@@ -1,0 +1,140 @@
+//! Row-major banded DP (no termination) — a second, independently-ordered
+//! implementation of the banded recurrences.
+//!
+//! Two purposes: (a) cross-validate the anti-diagonal reference (different
+//! iteration order must give identical results), and (b) serve as the
+//! alignment semantics of the *Diff-Target* GPU baselines, which implement
+//! banding but not the Z-drop termination (GASAL2's banded kernel, SALoBa
+//! with banding — §5.2).
+
+use crate::diag::DiagTracker;
+use crate::pack::PackedSeq;
+use crate::result::GuidedResult;
+use crate::scoring::Scoring;
+use crate::NEG_INF;
+
+/// Banded alignment without the termination condition, filled row by row.
+///
+/// The `zdrop` field of `scoring` is ignored (treated as disabled); banding
+/// is honoured. Results are produced through the same [`DiagTracker`]
+/// machinery as every other engine, so maxima/tie-breaks are canonical.
+pub fn banded_align(reference: &PackedSeq, query: &PackedSeq, scoring: &Scoring) -> GuidedResult {
+    let no_term = scoring.with_zdrop(Scoring::NO_ZDROP);
+    let n = reference.len();
+    let m = query.len();
+    let mut tracker = DiagTracker::new(n, m, &no_term);
+    if n == 0 || m == 0 {
+        return tracker.result();
+    }
+    let (ni, mi) = (n as i64, m as i64);
+    let w = if no_term.banded() { no_term.band_width as i64 } else { ni + mi };
+    let oe = no_term.gap_open + no_term.gap_extend;
+    let ext = no_term.gap_extend;
+
+    let rcodes = reference.to_codes();
+    let qcodes = query.to_codes();
+
+    // Row i-1 state, indexed by j: H and E.
+    let mut h_row = vec![NEG_INF; m];
+    let mut e_row = vec![NEG_INF; m];
+
+    for i in 0..ni {
+        let j_lo = (i - w).max(0);
+        let j_hi = (i + w).min(mi - 1);
+        if j_lo > j_hi {
+            continue;
+        }
+        let mut left_h;
+        let mut left_f;
+        let mut diag;
+        if j_lo == 0 {
+            left_h = no_term.border(i as i32);
+            left_f = NEG_INF;
+            diag = if i == 0 { 0 } else { no_term.border((i - 1) as i32) };
+        } else {
+            left_h = NEG_INF; // (i, j_lo - 1) is out of band
+            left_f = NEG_INF;
+            // (i-1, j_lo-1): |i-1 - (j_lo-1)| = |i - j_lo| <= w → in band,
+            // so read it from the previous row (or border when i == 0).
+            diag = if i == 0 { no_term.border((j_lo - 1) as i32) } else { h_row[(j_lo - 1) as usize] };
+        }
+        for j in j_lo..=j_hi {
+            let ju = j as usize;
+            // (i-1, j): in band iff |i-1-j| <= w; at j = i+w it is not.
+            let (up_h, up_e) = if i == 0 {
+                (no_term.border(j as i32), NEG_INF)
+            } else if (i - 1 - j).abs() <= w {
+                (h_row[ju], e_row[ju])
+            } else {
+                (NEG_INF, NEG_INF)
+            };
+
+            let e = (up_h - oe).max(up_e - ext);
+            let f = (left_h - oe).max(left_f - ext);
+            let sub = no_term.substitution(rcodes[i as usize], qcodes[ju]);
+            let h = e.max(f).max(diag.saturating_add(sub));
+
+            tracker.on_cell(i as i32, j as i32, h);
+
+            diag = up_h;
+            h_row[ju] = h;
+            e_row[ju] = e;
+            left_h = h;
+            left_f = f;
+        }
+        // Cells left of the band on the next row must read -∞.
+        if j_lo > 0 {
+            h_row[(j_lo - 1) as usize] = NEG_INF;
+            e_row[(j_lo - 1) as usize] = NEG_INF;
+        }
+    }
+    tracker.result()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::guided::guided_align;
+
+    fn seq(s: &str) -> PackedSeq {
+        PackedSeq::from_str_seq(s)
+    }
+
+    fn check(r: &str, q: &str, scoring: &Scoring) {
+        let (r, q) = (seq(r), seq(q));
+        let want = guided_align(&r, &q, &scoring.with_zdrop(Scoring::NO_ZDROP));
+        let got = banded_align(&r, &q, scoring);
+        assert!(got.same_alignment(&want), "\nrow-major: {got:?}\nanti-diag: {want:?}");
+    }
+
+    #[test]
+    fn agrees_unbanded() {
+        let s = Scoring::figure1();
+        check("AGATAGAT", "AGACTATC", &s);
+        check("ACGTACGTACGT", "ACGTTACGT", &s);
+    }
+
+    #[test]
+    fn agrees_banded() {
+        let s = Scoring::new(2, 4, 4, 2, Scoring::NO_ZDROP, 2);
+        check("ACGTACGTACGTACGT", "ACGTACGTACGTACGT", &s);
+        check("ACGTACGTACGTACGTACGT", "ACGTACG", &s);
+        check("AC", "ACGTACGTACGTACGTACGT", &s);
+    }
+
+    #[test]
+    fn ignores_zdrop() {
+        let s = Scoring::new(2, 4, 4, 2, 4, 8);
+        // Z-drop would trigger on this input, but banded_align must not stop.
+        let r = "ACGTACGTGGGGGGGGGGGGGGGG";
+        let q = "ACGTACGTCCCCCCCCCCCCCCCC";
+        let got = banded_align(&seq(r), &seq(q), &s);
+        assert_eq!(got.stop.antidiag(), None);
+    }
+
+    #[test]
+    fn band_one() {
+        let s = Scoring::new(2, 4, 4, 2, Scoring::NO_ZDROP, 1);
+        check("ACGTACGTAC", "ACGTACGTAC", &s);
+    }
+}

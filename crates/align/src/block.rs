@@ -1,0 +1,352 @@
+//! 8×8 cell-block computation — the "smallest unit for workload
+//! distribution" (§2.2) shared by every GPU-style engine.
+//!
+//! A block covers reference positions `[i0, i0+8)` × query positions
+//! `[j0, j0+8)`. Its inputs are the *west* boundary (`H`/`E` at
+//! `(i0-1, j0+k)`), the *north* boundary (`H`/`F` at `(i0+k, j0-1)`), and
+//! the corner `H(i0-1, j0-1)`; it produces the corresponding east/south
+//! boundaries in place. Out-of-band and out-of-table cells are computed
+//! (a real GPU block always executes all 64 cells) but **masked** to
+//! `-∞` before they feed neighbours or the [`DiagTracker`], which is what
+//! keeps tiled execution bit-identical to the scalar banded reference.
+
+use crate::diag::DiagTracker;
+use crate::pack::PackedSeq;
+use crate::scoring::Scoring;
+use crate::{BLOCK, NEG_INF};
+
+/// Geometry and scoring context shared by all blocks of one task.
+#[derive(Debug, Clone, Copy)]
+pub struct BlockCtx<'a> {
+    /// Reference length.
+    pub n: i64,
+    /// Query length.
+    pub m: i64,
+    /// Band half-width (large value = unbanded).
+    pub w: i64,
+    /// Scoring parameters.
+    pub scoring: &'a Scoring,
+}
+
+impl<'a> BlockCtx<'a> {
+    /// Build from task dimensions and scoring.
+    pub fn new(n: usize, m: usize, scoring: &'a Scoring) -> BlockCtx<'a> {
+        let (ni, mi) = (n as i64, m as i64);
+        BlockCtx {
+            n: ni,
+            m: mi,
+            w: if scoring.banded() { scoring.band_width as i64 } else { ni + mi },
+            scoring,
+        }
+    }
+
+    /// Whether cell `(i, j)` exists (inside table and band).
+    #[inline(always)]
+    pub fn valid(&self, i: i64, j: i64) -> bool {
+        i < self.n && j < self.m && (i - j).abs() <= self.w
+    }
+
+    /// Number of reference blocks.
+    #[inline]
+    pub fn ref_blocks(&self) -> i64 {
+        (self.n + BLOCK as i64 - 1) / BLOCK as i64
+    }
+
+    /// Number of query blocks.
+    #[inline]
+    pub fn query_blocks(&self) -> i64 {
+        (self.m + BLOCK as i64 - 1) / BLOCK as i64
+    }
+
+    /// Inclusive range of reference-block columns a query-block row `bj`
+    /// must compute so that every in-band cell of its rows is covered.
+    pub fn row_block_range(&self, bj: i64) -> Option<(i64, i64)> {
+        let b = BLOCK as i64;
+        let j_lo = bj * b;
+        let j_hi = (j_lo + b - 1).min(self.m - 1);
+        if j_lo >= self.m {
+            return None;
+        }
+        let i_lo = (j_lo - self.w).max(0);
+        let i_hi = (j_hi + self.w).min(self.n - 1);
+        if i_lo > i_hi {
+            return None;
+        }
+        Some((i_lo / b, i_hi / b))
+    }
+}
+
+/// One boundary pair (`H` plus the direction-specific gap score) spanning
+/// `BLOCK` cells.
+pub type Boundary = [i32; BLOCK];
+
+/// Compute one block.
+///
+/// * `rcodes`/`qcodes`: base codes for the block's reference/query spans
+///   (N-padded past the sequence end, as [`PackedSeq::unpack_block`] yields).
+/// * `corner`: `H(i0-1, j0-1)` (already masked/bordered by the caller).
+/// * `west_h`/`west_e`: in `H/E(i0-1, j0+k)`; out `H/E(i0+BLOCK-1, j0+k)`.
+/// * `north_h`/`north_f`: in `H/F(i0+k, j0-1)`; out `H/F(i0+k, j0+BLOCK-1)`.
+/// * Every computed in-band cell is reported to `tracker`.
+#[allow(clippy::too_many_arguments)]
+pub fn compute_block(
+    ctx: &BlockCtx<'_>,
+    i0: i64,
+    j0: i64,
+    rcodes: &[u8; BLOCK],
+    qcodes: &[u8; BLOCK],
+    corner: i32,
+    west_h: &mut Boundary,
+    west_e: &mut Boundary,
+    north_h: &mut Boundary,
+    north_f: &mut Boundary,
+    tracker: &mut DiagTracker,
+) {
+    let sc = ctx.scoring;
+    let oe = sc.gap_open + sc.gap_extend;
+    let ext = sc.gap_extend;
+    let mut carry = corner; // H(i-1, j0-1) for the current column i
+
+    for l in 0..BLOCK {
+        let i = i0 + l as i64;
+        let mut diag = carry; // H(i-1, j-1) as j advances
+        let mut left_h = north_h[l]; // H(i, j-1)
+        let mut left_f = north_f[l]; // F(i, j-1)
+        for k in 0..BLOCK {
+            let j = j0 + k as i64;
+            let up_h = west_h[k];
+            let up_e = west_e[k];
+
+            let e = (up_h - oe).max(up_e - ext);
+            let f = (left_h - oe).max(left_f - ext);
+            let sub = sc.substitution(rcodes[l], qcodes[k]);
+            let mut h = e.max(f).max(diag.saturating_add(sub));
+
+            let (mut ev, mut fv) = (e, f);
+            if ctx.valid(i, j) {
+                tracker.on_cell(i as i32, j as i32, h);
+            } else {
+                // Masked: out-of-band / out-of-table cells must read as -∞
+                // to every neighbour, exactly like the scalar reference.
+                h = NEG_INF;
+                ev = NEG_INF;
+                fv = NEG_INF;
+            }
+
+            diag = up_h;
+            west_h[k] = h;
+            west_e[k] = ev;
+            left_h = h;
+            left_f = fv;
+        }
+        // Corner for the next column is the *input* north value of this one.
+        carry = north_h[l];
+        north_h[l] = left_h;
+        north_f[l] = left_f;
+    }
+}
+
+/// Prepare the west boundary for the first block of a row sweep starting at
+/// reference position `i_start` (block-aligned): true borders when the sweep
+/// starts at the table edge, `-∞` when it starts mid-table at the band edge.
+pub fn west_init(ctx: &BlockCtx<'_>, i_start: i64, j0: i64) -> (Boundary, Boundary) {
+    let mut h = [NEG_INF; BLOCK];
+    let e = [NEG_INF; BLOCK];
+    if i_start == 0 {
+        for (k, slot) in h.iter_mut().enumerate() {
+            *slot = ctx.scoring.border((j0 + k as i64) as i32);
+        }
+    }
+    (h, e)
+}
+
+/// Masked north-boundary read: `H/F(i, j0-1)` for a block starting at
+/// reference `i0`. When `j0 == 0` this is the DP border; otherwise it is the
+/// stored row boundary masked by band membership.
+pub fn north_read(
+    ctx: &BlockCtx<'_>,
+    i0: i64,
+    j0: i64,
+    row_h: &[i32],
+    row_f: &[i32],
+) -> (Boundary, Boundary) {
+    let mut h = [NEG_INF; BLOCK];
+    let mut f = [NEG_INF; BLOCK];
+    for l in 0..BLOCK {
+        let i = i0 + l as i64;
+        if j0 == 0 {
+            h[l] = ctx.scoring.border(i as i32);
+        } else if (i - (j0 - 1)).abs() <= ctx.w && i < ctx.n {
+            h[l] = row_h[i as usize];
+            f[l] = row_f[i as usize];
+        }
+    }
+    (h, f)
+}
+
+/// Masked corner read: `H(i0-1, j0-1)`.
+pub fn corner_read(ctx: &BlockCtx<'_>, i0: i64, j0: i64, row_h: &[i32]) -> i32 {
+    if i0 == 0 && j0 == 0 {
+        0
+    } else if i0 == 0 {
+        ctx.scoring.border((j0 - 1) as i32)
+    } else if j0 == 0 {
+        ctx.scoring.border((i0 - 1) as i32)
+    } else if ((i0 - 1) - (j0 - 1)).abs() <= ctx.w {
+        row_h[(i0 - 1) as usize]
+    } else {
+        NEG_INF
+    }
+}
+
+/// Reference block-grid driver: computes the whole banded table block by
+/// block (query-block rows top-down, each sweeping its reference range) and
+/// returns the exact guided result.
+///
+/// This is the skeleton every GPU engine elaborates (with different tiling,
+/// checkpointing and cost accounting); it doubles as the validation target
+/// proving the block DP matches the scalar reference.
+pub fn block_grid_align(
+    reference: &PackedSeq,
+    query: &PackedSeq,
+    scoring: &Scoring,
+) -> crate::result::GuidedResult {
+    let ctx = BlockCtx::new(reference.len(), query.len(), scoring);
+    let mut tracker = DiagTracker::new(reference.len(), query.len(), scoring);
+    if reference.is_empty() || query.is_empty() {
+        return tracker.result();
+    }
+    let b = BLOCK as i64;
+    let padded_n = (ctx.ref_blocks() * b) as usize;
+    let mut row_h = vec![NEG_INF; padded_n];
+    let mut row_f = vec![NEG_INF; padded_n];
+
+    let mut rblock = [0u8; BLOCK];
+    let mut qblock = [0u8; BLOCK];
+
+    'rows: for bj in 0..ctx.query_blocks() {
+        let j0 = bj * b;
+        let Some((bi_lo, bi_hi)) = ctx.row_block_range(bj) else { continue };
+        query.unpack_block(j0 as usize, &mut qblock);
+        let i_start = bi_lo * b;
+        let (mut west_h, mut west_e) = west_init(&ctx, i_start, j0);
+        let mut corner = corner_read(&ctx, i_start, j0, &row_h);
+        for bi in bi_lo..=bi_hi {
+            let i0 = bi * b;
+            reference.unpack_block(i0 as usize, &mut rblock);
+            let (mut north_h, mut north_f) = north_read(&ctx, i0, j0, &row_h, &row_f);
+            // Corner for the *next* block in this sweep, read before overwrite.
+            let next_corner = north_h[BLOCK - 1];
+            compute_block(
+                &ctx, i0, j0, &rblock, &qblock, corner, &mut west_h, &mut west_e, &mut north_h,
+                &mut north_f, &mut tracker,
+            );
+            row_h[i0 as usize..i0 as usize + BLOCK].copy_from_slice(&north_h);
+            row_f[i0 as usize..i0 as usize + BLOCK].copy_from_slice(&north_f);
+            corner = next_corner;
+            if tracker.is_finished() {
+                break 'rows;
+            }
+        }
+        if tracker.advance().is_some() {
+            break;
+        }
+    }
+    tracker.result()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::guided::guided_align;
+
+    fn seq(s: &str) -> PackedSeq {
+        PackedSeq::from_str_seq(s)
+    }
+
+    fn check(r: &str, q: &str, scoring: &Scoring) {
+        let (r, q) = (seq(r), seq(q));
+        let want = guided_align(&r, &q, scoring);
+        let got = block_grid_align(&r, &q, scoring);
+        assert!(got.same_alignment(&want), "\nblock: {got:?}\nscalar: {want:?}");
+        assert_eq!(got.cells, want.cells, "reference cell counts must agree");
+        assert_eq!(got.antidiags, want.antidiags);
+    }
+
+    #[test]
+    fn matches_scalar_small_square() {
+        let s = Scoring::figure1();
+        check("AGATAGAT", "AGACTATC", &s);
+    }
+
+    #[test]
+    fn matches_scalar_non_block_multiple() {
+        let s = Scoring::figure1();
+        check("AGATAGATA", "AGACTATCAGA", &s);
+        check("AGA", "AGACT", &s);
+        check("ACGTACGTACGTACGTA", "ACG", &s);
+    }
+
+    #[test]
+    fn matches_scalar_banded() {
+        let s = Scoring::new(2, 4, 4, 2, Scoring::NO_ZDROP, 3);
+        check("ACGTACGTACGTACGTACGTACGT", "ACGTACGTTCGTACGTACGAACGT", &s);
+        let s = Scoring::new(2, 4, 4, 2, Scoring::NO_ZDROP, 5);
+        check(
+            "ACGTACGTACGTACGTACGTACGTACGTACGTACGT",
+            "ACGTACGTACGTACG",
+            &s,
+        );
+    }
+
+    #[test]
+    fn matches_scalar_zdrop() {
+        let s = Scoring::new(2, 4, 4, 2, 8, 6);
+        check(
+            "ACGTACGTACGTACGTGGGGGGGGGGGGGGGGGGGGGGGG",
+            "ACGTACGTACGTACGTCCCCCCCCCCCCCCCCCCCCCCCC",
+            &s,
+        );
+    }
+
+    #[test]
+    fn matches_scalar_band_exhaustion() {
+        let s = Scoring::new(2, 4, 4, 2, Scoring::NO_ZDROP, 2);
+        check(&"ACGT".repeat(16), "ACGTA", &s);
+    }
+
+    #[test]
+    fn matches_scalar_long_random_like() {
+        // Deterministic pseudo-random-ish strings exercising many blocks.
+        let mut r = String::new();
+        let mut q = String::new();
+        let mut x: u64 = 0x9E3779B97F4A7C15;
+        for k in 0..300 {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            let c = ['A', 'C', 'G', 'T'][(x >> 33) as usize % 4];
+            r.push(c);
+            if k % 37 != 0 {
+                q.push(c);
+            }
+            if k % 23 == 0 {
+                q.push('T');
+            }
+        }
+        let s = Scoring::new(2, 4, 4, 2, 40, 16);
+        check(&r, &q, &s);
+        let s = Scoring::preset_bwa().with_band(24);
+        check(&r, &q, &s);
+    }
+
+    #[test]
+    fn row_block_range_geometry() {
+        let sc = Scoring::new(1, 1, 1, 1, Scoring::NO_ZDROP, 4);
+        let ctx = BlockCtx::new(64, 32, &sc);
+        // row 0: j in [0,7], band w=4 → i in [0, 11] → blocks 0..=1
+        assert_eq!(ctx.row_block_range(0), Some((0, 1)));
+        // row 3: j in [24,31] → i in [20, 35] → blocks 2..=4
+        assert_eq!(ctx.row_block_range(3), Some((2, 4)));
+        // beyond query
+        assert_eq!(ctx.row_block_range(4), None);
+    }
+}

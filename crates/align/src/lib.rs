@@ -1,0 +1,56 @@
+//! # agatha-align
+//!
+//! Sequence-alignment substrate for the AGAThA reproduction.
+//!
+//! This crate is the *ground truth* layer: it defines the sequence
+//! representation (including the 4-bit input packing from GASAL2 that the
+//! GPU kernels rely on), the affine-gap scoring model, and several scalar
+//! reference implementations of the dynamic-programming recurrences from the
+//! paper (Eq. 1–3):
+//!
+//! ```text
+//! H(i,j) = max{ E(i,j), F(i,j), H(i-1,j-1) + S(R[i], Q[j]) }
+//! E(i,j) = max{ H(i-1,j) - α, E(i-1,j) - β }     (gaps along the reference)
+//! F(i,j) = max{ H(i,j-1) - α, F(i,j-1) - β }     (gaps along the query)
+//! ```
+//!
+//! together with the *guiding strategy*: banding (`|i - j| ≤ w`) and the
+//! Z-drop termination condition (Eq. 4–7), evaluated anti-diagonal by
+//! anti-diagonal.
+//!
+//! Every engine in the workspace — the AGAThA kernel and all GPU baselines —
+//! must produce results identical to [`guided::guided_align`]; the
+//! [`diag::DiagTracker`] in this crate is the shared mechanism that makes the
+//! termination semantics independent of tiling/execution order.
+
+pub mod banded;
+pub mod base;
+pub mod block;
+pub mod diag;
+pub mod guided;
+pub mod matrix;
+pub mod pack;
+pub mod result;
+pub mod scoring;
+pub mod task;
+pub mod traceback;
+pub mod xdrop;
+
+pub use base::Base;
+pub use pack::PackedSeq;
+pub use result::{GuidedResult, MaxCell};
+pub use scoring::Scoring;
+pub use task::Task;
+
+/// Sentinel for "minus infinity" in score space.
+///
+/// Chosen as `i32::MIN / 2` so that subtracting gap penalties from it can
+/// never wrap around.
+pub const NEG_INF: i32 = i32::MIN / 2;
+
+/// Side length of the square cell block used by all GPU-style engines.
+///
+/// The paper packs 8 literals per 32-bit word (4 bits each) and configures
+/// the score table "in units of blocks comprising 8×8 cells, which forms the
+/// smallest unit for workload distribution" (§2.2).
+pub const BLOCK: usize = 8;

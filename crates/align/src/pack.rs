@@ -1,0 +1,204 @@
+//! 4-bit input packing (§2.2, "Input Packing").
+//!
+//! Genome sequences use only five literals, so four bits suffice per base.
+//! GPUs move 32-bit words, so eight bases are packed per `u32`. The packed
+//! word is also the natural unit for the 8×8 cell blocks used by all the
+//! GPU-style engines: one reference word × one query word covers one block.
+
+use crate::base::Base;
+use crate::BLOCK;
+
+/// Bases per packed 32-bit word.
+pub const BASES_PER_WORD: usize = 8;
+/// Bits per packed base.
+pub const BITS_PER_BASE: u32 = 4;
+/// Mask extracting one base from a word.
+pub const BASE_MASK: u32 = 0xF;
+
+/// An immutable DNA sequence packed at 4 bits per base.
+///
+/// Base `i` lives in bits `[4*(i%8), 4*(i%8)+4)` of word `i/8`; unused tail
+/// nibbles of the final word are filled with the `N` code so that whole-word
+/// loads (as a GPU block would issue) read deterministic data.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct PackedSeq {
+    words: Vec<u32>,
+    len: usize,
+}
+
+impl PackedSeq {
+    /// Pack a slice of base codes (0–4; anything larger is clamped to `N`).
+    pub fn from_codes(codes: &[u8]) -> PackedSeq {
+        let mut words = vec![0u32; codes.len().div_ceil(BASES_PER_WORD)];
+        for (i, &c) in codes.iter().enumerate() {
+            let code = if c > 4 { Base::N.code() } else { c } as u32;
+            words[i / BASES_PER_WORD] |= code << (BITS_PER_BASE * (i % BASES_PER_WORD) as u32);
+        }
+        // Fill the tail with N so whole-word block loads are deterministic.
+        let tail_start = codes.len() % BASES_PER_WORD;
+        if tail_start != 0 {
+            let last = words.len() - 1;
+            for k in tail_start..BASES_PER_WORD {
+                words[last] |= (Base::N.code() as u32) << (BITS_PER_BASE * k as u32);
+            }
+        }
+        PackedSeq { words, len: codes.len() }
+    }
+
+    /// Pack from an ASCII string (characters outside `ACGTU` become `N`).
+    pub fn from_str_seq(s: &str) -> PackedSeq {
+        PackedSeq::from_codes(&crate::base::codes_from_str(s))
+    }
+
+    /// Pack from typed bases.
+    pub fn from_bases(bases: &[Base]) -> PackedSeq {
+        let codes: Vec<u8> = bases.iter().map(|b| b.code()).collect();
+        PackedSeq::from_codes(&codes)
+    }
+
+    /// Number of bases.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the sequence is empty.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Number of packed 32-bit words.
+    #[inline]
+    pub fn num_words(&self) -> usize {
+        self.words.len()
+    }
+
+    /// Raw packed words.
+    #[inline]
+    pub fn words(&self) -> &[u32] {
+        &self.words
+    }
+
+    /// Base code at position `i` (0–4). Panics if out of range.
+    #[inline]
+    pub fn code(&self, i: usize) -> u8 {
+        debug_assert!(i < self.len, "base index {i} out of range (len {})", self.len);
+        ((self.words[i / BASES_PER_WORD] >> (BITS_PER_BASE * (i % BASES_PER_WORD) as u32))
+            & BASE_MASK) as u8
+    }
+
+    /// Typed base at position `i`.
+    #[inline]
+    pub fn base(&self, i: usize) -> Base {
+        Base::from_code(self.code(i))
+    }
+
+    /// The packed word containing base `i` — the unit a GPU block load
+    /// would fetch. Out-of-range words read as all-`N`.
+    #[inline]
+    pub fn word_for(&self, i: usize) -> u32 {
+        self.words.get(i / BASES_PER_WORD).copied().unwrap_or({
+            // all-N filler word: 0x44444444
+            const N4: u32 = {
+                let n = Base::N as u32;
+                n | n << 4 | n << 8 | n << 12 | n << 16 | n << 20 | n << 24 | n << 28
+            };
+            N4
+        })
+    }
+
+    /// Unpack `BLOCK` consecutive base codes starting at `start` into `out`,
+    /// clamping out-of-range positions to `N`. This mirrors how a GPU thread
+    /// expands one packed word into registers when entering a block.
+    #[inline]
+    pub fn unpack_block(&self, start: usize, out: &mut [u8; BLOCK]) {
+        for (k, slot) in out.iter_mut().enumerate() {
+            let i = start + k;
+            *slot = if i < self.len { self.code(i) } else { Base::N.code() };
+        }
+    }
+
+    /// Unpack the whole sequence to base codes.
+    pub fn to_codes(&self) -> Vec<u8> {
+        (0..self.len).map(|i| self.code(i)).collect()
+    }
+
+    /// Render as an ASCII string.
+    pub fn to_string_seq(&self) -> String {
+        (0..self.len).map(|i| self.base(i).to_char()).collect()
+    }
+
+    /// Sub-sequence `[start, start+len)` as a new packed sequence.
+    ///
+    /// Packing is not bit-aligned across word boundaries, so this re-packs;
+    /// it is intended for task extraction, not hot loops.
+    pub fn slice(&self, start: usize, len: usize) -> PackedSeq {
+        assert!(start + len <= self.len, "slice out of range");
+        let codes: Vec<u8> = (start..start + len).map(|i| self.code(i)).collect();
+        PackedSeq::from_codes(&codes)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::base::codes_from_str;
+
+    #[test]
+    fn pack_unpack_roundtrip() {
+        let codes = codes_from_str("AGATACGATNNCGTACGGTTACA");
+        let p = PackedSeq::from_codes(&codes);
+        assert_eq!(p.len(), codes.len());
+        assert_eq!(p.to_codes(), codes);
+    }
+
+    #[test]
+    fn word_count_matches() {
+        assert_eq!(PackedSeq::from_codes(&[0; 8]).num_words(), 1);
+        assert_eq!(PackedSeq::from_codes(&[0; 9]).num_words(), 2);
+        assert_eq!(PackedSeq::from_codes(&[]).num_words(), 0);
+    }
+
+    #[test]
+    fn tail_padding_is_n() {
+        let p = PackedSeq::from_codes(&codes_from_str("AGA"));
+        let w = p.words()[0];
+        for k in 3..8 {
+            assert_eq!((w >> (4 * k)) & 0xF, Base::N.code() as u32);
+        }
+    }
+
+    #[test]
+    fn out_of_range_word_is_all_n() {
+        let p = PackedSeq::from_codes(&codes_from_str("ACGT"));
+        assert_eq!(p.word_for(100), 0x44444444);
+    }
+
+    #[test]
+    fn unpack_block_clamps() {
+        let p = PackedSeq::from_str_seq("ACG");
+        let mut out = [0u8; BLOCK];
+        p.unpack_block(1, &mut out);
+        assert_eq!(out[0], Base::C.code());
+        assert_eq!(out[1], Base::G.code());
+        for &c in &out[2..] {
+            assert_eq!(c, Base::N.code());
+        }
+    }
+
+    #[test]
+    fn slice_matches_codes() {
+        let codes = codes_from_str("AGATACGATACGTACGGTTACA");
+        let p = PackedSeq::from_codes(&codes);
+        let s = p.slice(5, 9);
+        assert_eq!(s.to_codes(), &codes[5..14]);
+    }
+
+    #[test]
+    fn invalid_codes_clamp() {
+        let p = PackedSeq::from_codes(&[9, 200]);
+        assert_eq!(p.code(0), Base::N.code());
+        assert_eq!(p.code(1), Base::N.code());
+    }
+}

@@ -1,0 +1,128 @@
+//! Result types shared by every alignment engine.
+
+/// A score together with the cell it was achieved at.
+///
+/// Position `(-1, -1)` with score 0 denotes the empty extension (the DP
+/// origin); every engine initialises its running global maximum there, which
+/// is what makes the Z-drop condition well-defined from the first
+/// anti-diagonal onward.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MaxCell {
+    /// Best score.
+    pub score: i32,
+    /// Reference index of the cell (`-1` for the origin).
+    pub i: i32,
+    /// Query index of the cell (`-1` for the origin).
+    pub j: i32,
+}
+
+impl MaxCell {
+    /// The DP origin: empty extension, score 0 at `(-1, -1)`.
+    pub const ORIGIN: MaxCell = MaxCell { score: 0, i: -1, j: -1 };
+
+    /// Keep the better of two maxima. Strictly-greater wins, so the earliest
+    /// (in anti-diagonal order, then smallest `i`) cell achieving the best
+    /// score is retained — every engine must fold candidates in that order
+    /// for results to be bit-identical.
+    #[inline]
+    pub fn fold(&mut self, other: MaxCell) {
+        if other.score > self.score {
+            *self = other;
+        }
+    }
+}
+
+/// Why the guided alignment stopped.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StopReason {
+    /// The entire (banded) score table was filled.
+    Completed,
+    /// The Z-drop termination condition (paper Eq. 4–7) fired on the
+    /// contained anti-diagonal.
+    ZDrop { antidiag: u32 },
+    /// The band became empty before the table end (can happen when the band
+    /// is narrower than the length difference of the inputs).
+    BandExhausted { antidiag: u32 },
+}
+
+impl StopReason {
+    /// The anti-diagonal at which filling stopped, if it stopped early.
+    pub fn antidiag(&self) -> Option<u32> {
+        match self {
+            StopReason::Completed => None,
+            StopReason::ZDrop { antidiag } | StopReason::BandExhausted { antidiag } => {
+                Some(*antidiag)
+            }
+        }
+    }
+
+    /// Whether the Z-drop condition fired.
+    pub fn z_dropped(&self) -> bool {
+        matches!(self, StopReason::ZDrop { .. })
+    }
+}
+
+/// Outcome of one guided alignment.
+///
+/// The exactness contract of the workspace: every MM2-target engine returns
+/// an identical `GuidedResult` for identical inputs (compared with
+/// [`GuidedResult::same_alignment`], which ignores the cost-model fields).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct GuidedResult {
+    /// Best extension score (the global maximum; `>= 0` because the empty
+    /// extension scores 0).
+    pub score: i32,
+    /// Cell achieving the best score.
+    pub max: MaxCell,
+    /// Best score among cells that consume the entire query (`j == m-1`),
+    /// or `None` if the band/termination never reached the last query
+    /// column. Minimap2 uses this "end score" to decide whether the
+    /// extension reached the read end.
+    pub qend_score: Option<i32>,
+    /// Why filling stopped.
+    pub stop: StopReason,
+    /// Number of anti-diagonals processed (= index of the last processed
+    /// anti-diagonal + 1).
+    pub antidiags: u32,
+    /// Number of in-band cells whose scores were computed by the *reference
+    /// semantics* (i.e., excluding any run-ahead an engine performed).
+    pub cells: u64,
+}
+
+impl GuidedResult {
+    /// Compare the alignment-semantics fields (exactness contract), ignoring
+    /// the bookkeeping fields that may legitimately differ between engines
+    /// (e.g., run-ahead cells).
+    pub fn same_alignment(&self, other: &GuidedResult) -> bool {
+        self.score == other.score
+            && self.max == other.max
+            && self.stop == other.stop
+            && self.qend_score == other.qend_score
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fold_keeps_earliest_on_tie() {
+        let mut m = MaxCell { score: 5, i: 1, j: 1 };
+        m.fold(MaxCell { score: 5, i: 9, j: 9 });
+        assert_eq!(m.i, 1);
+        m.fold(MaxCell { score: 6, i: 9, j: 9 });
+        assert_eq!(m.i, 9);
+    }
+
+    #[test]
+    fn stop_reason_accessors() {
+        assert_eq!(StopReason::Completed.antidiag(), None);
+        assert!(!StopReason::Completed.z_dropped());
+        let z = StopReason::ZDrop { antidiag: 7 };
+        assert_eq!(z.antidiag(), Some(7));
+        assert!(z.z_dropped());
+        let b = StopReason::BandExhausted { antidiag: 3 };
+        assert_eq!(b.antidiag(), Some(3));
+        assert!(!b.z_dropped());
+    }
+}

@@ -1,0 +1,269 @@
+//! Affine-gap scoring model and the presets used in the evaluation.
+//!
+//! The paper (and the AGAThA artifact's `AGAThA.sh`) parameterises alignment
+//! with: match score `-a`, mismatch penalty `-b`, gap-open penalty `-q` (α),
+//! gap-extension penalty `-r` (β), termination threshold `-z` (Z), and band
+//! width `-w`. Minimap2 preset parameters are used per dataset category
+//! (§5.1); BWA-MEM uses "significantly smaller" band width and termination
+//! threshold (§5.9).
+
+use crate::base::Base;
+
+/// Affine-gap scoring parameters for guided alignment.
+///
+/// A gap of length `k` costs `gap_open + k * gap_extend` (the paper's
+/// `α`/`β`; opening a 1-gap costs `α + β`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Scoring {
+    /// Score added on a match (`+a`, positive).
+    pub match_score: i32,
+    /// Penalty subtracted on a mismatch (`b`, positive).
+    pub mismatch: i32,
+    /// Gap-open penalty `α` (positive).
+    pub gap_open: i32,
+    /// Gap-extend penalty `β` (positive).
+    pub gap_extend: i32,
+    /// Z-drop termination threshold `Z` (positive). Use [`Scoring::NO_ZDROP`]
+    /// to disable termination.
+    pub zdrop: i32,
+    /// Band half-width `w`: cell `(i, j)` is computed iff `|i - j| <= w`.
+    /// Use [`Scoring::NO_BAND`] for unbanded alignment.
+    pub band_width: i32,
+    /// Penalty for comparing against `N` (positive; applied instead of
+    /// `mismatch` whenever either base is ambiguous).
+    pub ambig: i32,
+}
+
+impl Scoring {
+    /// Disables the Z-drop termination condition.
+    pub const NO_ZDROP: i32 = i32::MAX / 4;
+    /// Disables banding.
+    pub const NO_BAND: i32 = i32::MAX / 4;
+
+    /// Construct with explicit parameters (the CLI's `-a -b -q -r -z -w`).
+    pub fn new(
+        match_score: i32,
+        mismatch: i32,
+        gap_open: i32,
+        gap_extend: i32,
+        zdrop: i32,
+        band_width: i32,
+    ) -> Scoring {
+        let s = Scoring {
+            match_score,
+            mismatch,
+            gap_open,
+            gap_extend,
+            zdrop,
+            band_width,
+            ambig: 1,
+        };
+        s.validate().expect("invalid scoring parameters");
+        s
+    }
+
+    /// Check parameter sanity; returns a human-readable error.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.match_score <= 0 {
+            return Err(format!("match_score must be positive, got {}", self.match_score));
+        }
+        for (name, v) in [
+            ("mismatch", self.mismatch),
+            ("gap_open", self.gap_open),
+            ("gap_extend", self.gap_extend),
+            ("zdrop", self.zdrop),
+            ("ambig", self.ambig),
+        ] {
+            if v < 0 {
+                return Err(format!("{name} must be non-negative, got {v}"));
+            }
+        }
+        if self.gap_extend == 0 {
+            return Err("gap_extend must be positive".to_string());
+        }
+        if self.band_width < 0 {
+            return Err(format!("band_width must be non-negative, got {}", self.band_width));
+        }
+        Ok(())
+    }
+
+    /// Substitution score `S(x, y)` between two base codes (paper Eq. 1).
+    ///
+    /// Positive on a match, `-mismatch` on a mismatch, `-ambig` if either
+    /// base is `N` (ambiguous bases never "match").
+    #[inline(always)]
+    pub fn substitution(&self, x: u8, y: u8) -> i32 {
+        let n = Base::N.code();
+        if x >= n || y >= n {
+            -self.ambig
+        } else if x == y {
+            self.match_score
+        } else {
+            -self.mismatch
+        }
+    }
+
+    /// Cost of a gap of length `k >= 1`: `gap_open + k * gap_extend`.
+    #[inline]
+    pub fn gap_cost(&self, k: i32) -> i32 {
+        debug_assert!(k >= 1);
+        self.gap_open + k * self.gap_extend
+    }
+
+    /// Border score `H(i, -1) = H(-1, i) = -(α + (i+1)β)` for `i >= 0`.
+    #[inline(always)]
+    pub fn border(&self, i: i32) -> i32 {
+        -(self.gap_open + (i + 1) * self.gap_extend)
+    }
+
+    /// Whether cell `(i, j)` falls inside the diagonal band.
+    #[inline(always)]
+    pub fn in_band(&self, i: i32, j: i32) -> bool {
+        (i - j).abs() <= self.band_width
+    }
+
+    /// Whether the Z-drop termination condition is active.
+    #[inline]
+    pub fn zdrop_enabled(&self) -> bool {
+        self.zdrop < Scoring::NO_ZDROP
+    }
+
+    /// Whether banding is active.
+    #[inline]
+    pub fn banded(&self) -> bool {
+        self.band_width < Scoring::NO_BAND
+    }
+
+    /// Minimap2 `map-hifi`-style preset (PacBio HiFi reads):
+    /// `A=1 B=4 O=6 E=2 z=200 w=200`.
+    pub fn preset_hifi() -> Scoring {
+        Scoring::new(1, 4, 6, 2, 200, 200)
+    }
+
+    /// Minimap2 `map-pb`-style preset (PacBio CLR reads):
+    /// `A=2 B=4 O=4 E=2 z=400 w=400`.
+    pub fn preset_clr() -> Scoring {
+        Scoring::new(2, 4, 4, 2, 400, 400)
+    }
+
+    /// Minimap2 `map-ont`-style preset (Oxford Nanopore reads):
+    /// `A=2 B=4 O=4 E=2 z=400 w=400`.
+    pub fn preset_ont() -> Scoring {
+        Scoring::new(2, 4, 4, 2, 400, 400)
+    }
+
+    /// BWA-MEM-style preset: "the default band width and termination
+    /// threshold being significantly smaller" (§5.9):
+    /// `A=1 B=4 O=6 E=1 z=100 w=100`.
+    pub fn preset_bwa() -> Scoring {
+        Scoring::new(1, 4, 6, 1, 100, 100)
+    }
+
+    /// The worked example from Figure 1 of the paper:
+    /// match `+2`, mismatch `-4`, `α=4`, `β=2`.
+    pub fn figure1() -> Scoring {
+        Scoring::new(2, 4, 4, 2, Scoring::NO_ZDROP, Scoring::NO_BAND)
+    }
+
+    /// Return a copy with a different band width.
+    pub fn with_band(mut self, w: i32) -> Scoring {
+        self.band_width = w;
+        self
+    }
+
+    /// Return a copy with a different Z-drop threshold.
+    pub fn with_zdrop(mut self, z: i32) -> Scoring {
+        self.zdrop = z;
+        self
+    }
+
+    /// Scale band width and Z-drop threshold down by `factor` (used when
+    /// generating reduced-scale benchmark datasets; keeps score parameters
+    /// identical so per-cell arithmetic is unchanged).
+    pub fn scaled_guides(mut self, factor: i32) -> Scoring {
+        assert!(factor >= 1);
+        if self.banded() {
+            self.band_width = (self.band_width / factor).max(8);
+        }
+        if self.zdrop_enabled() {
+            self.zdrop = (self.zdrop / factor).max(10);
+        }
+        self
+    }
+}
+
+impl Default for Scoring {
+    /// Minimap2's long-read default (`map-ont`-style).
+    fn default() -> Scoring {
+        Scoring::preset_ont()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn substitution_matrix() {
+        let s = Scoring::figure1();
+        assert_eq!(s.substitution(0, 0), 2);
+        assert_eq!(s.substitution(0, 1), -4);
+        assert_eq!(s.substitution(4, 0), -1);
+        assert_eq!(s.substitution(0, 4), -1);
+        assert_eq!(s.substitution(4, 4), -1);
+    }
+
+    #[test]
+    fn border_matches_figure1() {
+        // Figure 1 with α=4, β=2: first border cells are -6, -8, -10, ...
+        let s = Scoring::figure1();
+        assert_eq!(s.border(0), -6);
+        assert_eq!(s.border(1), -8);
+        assert_eq!(s.border(2), -10);
+    }
+
+    #[test]
+    fn gap_cost_affine() {
+        let s = Scoring::preset_clr();
+        assert_eq!(s.gap_cost(1), 6);
+        assert_eq!(s.gap_cost(5), 14);
+    }
+
+    #[test]
+    fn band_membership() {
+        let s = Scoring::preset_bwa(); // w = 100
+        assert!(s.in_band(0, 100));
+        assert!(!s.in_band(0, 101));
+        assert!(s.in_band(350, 250));
+    }
+
+    #[test]
+    fn presets_validate() {
+        for p in [
+            Scoring::preset_hifi(),
+            Scoring::preset_clr(),
+            Scoring::preset_ont(),
+            Scoring::preset_bwa(),
+            Scoring::figure1(),
+        ] {
+            p.validate().unwrap();
+        }
+    }
+
+    #[test]
+    fn invalid_scoring_rejected() {
+        let mut s = Scoring::default();
+        s.match_score = 0;
+        assert!(s.validate().is_err());
+        let mut s = Scoring::default();
+        s.gap_extend = 0;
+        assert!(s.validate().is_err());
+    }
+
+    #[test]
+    fn scaled_guides_floor() {
+        let s = Scoring::preset_clr().scaled_guides(1000);
+        assert_eq!(s.band_width, 8);
+        assert_eq!(s.zdrop, 10);
+    }
+}

@@ -1,0 +1,87 @@
+//! Alignment tasks: the unit of work produced by the read-mapping
+//! pre-computation (seed & chain) and consumed by every engine.
+
+use crate::pack::PackedSeq;
+
+/// One extension-alignment task: a reference segment vs. a query segment.
+///
+/// In the real pipeline these are produced by Minimap2's seeding/chaining
+/// steps ("we ran them through the pre-computing steps to obtain the final
+/// datasets for alignment", §5.1); here they come from
+/// `agatha-datasets`' emulation of that step or from FASTA input.
+#[derive(Debug, Clone)]
+pub struct Task {
+    /// Stable identifier (index in the input batch); used for output order
+    /// and for workload-balancing bookkeeping.
+    pub id: u32,
+    /// Reference segment (the `R` axis, index `i`).
+    pub reference: PackedSeq,
+    /// Query segment (the `Q` axis, index `j`).
+    pub query: PackedSeq,
+}
+
+impl Task {
+    /// Build a task from ASCII sequences (convenience for tests/examples).
+    pub fn from_strs(id: u32, reference: &str, query: &str) -> Task {
+        Task {
+            id,
+            reference: PackedSeq::from_str_seq(reference),
+            query: PackedSeq::from_str_seq(query),
+        }
+    }
+
+    /// Reference length `n`.
+    #[inline]
+    pub fn ref_len(&self) -> usize {
+        self.reference.len()
+    }
+
+    /// Query length `m`.
+    #[inline]
+    pub fn query_len(&self) -> usize {
+        self.query.len()
+    }
+
+    /// Total number of anti-diagonals of the (unterminated) score table:
+    /// `n + m - 1`. The paper uses this as the a-priori workload measure for
+    /// sorting and bucketing (§4.4, §5.6).
+    #[inline]
+    pub fn antidiags(&self) -> u32 {
+        let n = self.ref_len() as u32;
+        let m = self.query_len() as u32;
+        (n + m).saturating_sub(1)
+    }
+
+    /// A-priori workload estimate in cells for band half-width `w`:
+    /// `antidiags × min(band cells per diagonal)` — the paper's
+    /// `Cells ≈ Antidiags × Band_width` (Eq. 8) without the run-ahead term.
+    pub fn workload_cells(&self, band_width: i32) -> u64 {
+        let per_diag = (2 * band_width + 1).min(self.ref_len().min(self.query_len()) as i32);
+        self.antidiags() as u64 * per_diag.max(1) as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn task_dimensions() {
+        let t = Task::from_strs(0, "AGATAGAT", "AGACTATC");
+        assert_eq!(t.ref_len(), 8);
+        assert_eq!(t.query_len(), 8);
+        assert_eq!(t.antidiags(), 15);
+    }
+
+    #[test]
+    fn workload_scales_with_band() {
+        let t = Task::from_strs(0, &"A".repeat(100), &"A".repeat(100));
+        assert!(t.workload_cells(50) > t.workload_cells(5));
+    }
+
+    #[test]
+    fn empty_task_has_zero_antidiags() {
+        let t = Task::from_strs(0, "", "");
+        assert_eq!(t.antidiags(), 0);
+    }
+}

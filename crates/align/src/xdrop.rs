@@ -1,0 +1,235 @@
+//! X-drop alignment with an adaptive band — the guiding heuristic of LOGAN
+//! (§5.2, [57]), which "adjusts the band width during score table filling
+//! after calculating each anti-diagonal".
+//!
+//! LOGAN uses a *linear* gap score ("maintains a gap score that is less
+//! expensive in both computation and memory", §5.3), so this module
+//! deliberately implements linear gaps, unlike the affine engines. Its
+//! results are *not* expected to match the Minimap2 reference — it is a
+//! Diff-Target baseline with its own semantics, validated against its own
+//! properties.
+
+use crate::pack::PackedSeq;
+use crate::result::MaxCell;
+use crate::scoring::Scoring;
+use crate::NEG_INF;
+
+/// Outcome of an X-drop alignment.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct XDropResult {
+    /// Best score found (>= 0; the empty extension scores 0).
+    pub score: i32,
+    /// Cell achieving the best score.
+    pub max: MaxCell,
+    /// Anti-diagonals processed before the band emptied (or table ended).
+    pub antidiags: u32,
+    /// Cells computed (the engine's actual workload).
+    pub cells: u64,
+    /// Widest instantaneous band encountered (cells on one anti-diagonal).
+    pub max_band: u32,
+}
+
+/// Parameters for the X-drop heuristic.
+#[derive(Debug, Clone, Copy)]
+pub struct XDropParams {
+    /// Drop threshold `X`: cells scoring below `best - X` are pruned from
+    /// the band edges.
+    pub xdrop: i32,
+    /// Linear gap penalty per gapped base.
+    pub gap: i32,
+    /// Hard cap on the adaptive band width (cells per anti-diagonal);
+    /// `u32::MAX` for uncapped.
+    pub max_band: u32,
+}
+
+impl XDropParams {
+    /// Derive LOGAN-style parameters from an affine scoring scheme: the
+    /// X threshold reuses the Z-drop threshold and the linear gap penalty
+    /// approximates one gap-extension step.
+    pub fn from_scoring(s: &Scoring) -> XDropParams {
+        XDropParams {
+            xdrop: if s.zdrop_enabled() { s.zdrop } else { i32::MAX / 4 },
+            gap: s.gap_open.min(s.gap_extend).max(1) + s.gap_extend,
+            max_band: if s.banded() { (2 * s.band_width + 1) as u32 } else { u32::MAX },
+        }
+    }
+}
+
+/// X-drop extension alignment with linear gaps and an adaptive band.
+pub fn xdrop_align(
+    reference: &PackedSeq,
+    query: &PackedSeq,
+    scoring: &Scoring,
+    params: &XDropParams,
+) -> XDropResult {
+    let n = reference.len() as i64;
+    let m = query.len() as i64;
+    if n == 0 || m == 0 {
+        return XDropResult { score: 0, max: MaxCell::ORIGIN, antidiags: 0, cells: 0, max_band: 0 };
+    }
+    let rcodes = reference.to_codes();
+    let qcodes = query.to_codes();
+    let gap = params.gap;
+
+    // Active i-range on the current anti-diagonal (inclusive); H values of
+    // the previous two diagonals indexed by i.
+    let mut prev = vec![NEG_INF; n as usize];
+    let mut prev2 = vec![NEG_INF; n as usize];
+    let mut cur = vec![NEG_INF; n as usize];
+
+    let mut best = MaxCell::ORIGIN;
+    let mut lo: i64 = 0;
+    let mut hi: i64 = 0;
+    let mut cells = 0u64;
+    let mut max_band = 0u32;
+    let mut antidiags = 0u32;
+
+    for c in 0..(n + m - 1) {
+        // Clip to the table.
+        let clo = lo.max(0).max(c - m + 1);
+        let chi = hi.min(n - 1).min(c);
+        if clo > chi {
+            break;
+        }
+        antidiags = c as u32 + 1;
+        max_band = max_band.max((chi - clo + 1) as u32);
+
+        let mut diag_best = NEG_INF;
+        for i in clo..=chi {
+            let j = c - i;
+            let iu = i as usize;
+            let up = if i == 0 { -(gap * (j as i32 + 1)) } else { prev[iu - 1] - gap };
+            let left = if j == 0 { -(gap * (i as i32 + 1)) } else { prev[iu] - gap };
+            let dg = if i == 0 && j == 0 {
+                0
+            } else if i == 0 {
+                -(gap * j as i32)
+            } else if j == 0 {
+                -(gap * i as i32)
+            } else {
+                prev2[iu - 1]
+            };
+            let sub = crate::scoring::Scoring::substitution(scoring, rcodes[iu], qcodes[j as usize]);
+            let h = up.max(left).max(dg.saturating_add(sub));
+            cur[iu] = h;
+            cells += 1;
+            if h > diag_best {
+                diag_best = h;
+            }
+            if h > best.score {
+                best = MaxCell { score: h, i: i as i32, j: j as i32 };
+            }
+        }
+
+        // Trim band edges below best - X.
+        let threshold = best.score.saturating_sub(params.xdrop);
+        let mut new_lo = clo;
+        while new_lo <= chi && cur[new_lo as usize] < threshold {
+            new_lo += 1;
+        }
+        let mut new_hi = chi;
+        while new_hi >= new_lo && cur[new_hi as usize] < threshold {
+            new_hi -= 1;
+        }
+        if new_lo > new_hi {
+            break; // every cell dropped: terminate
+        }
+        // Enforce the band cap symmetrically around the per-diagonal max.
+        if (new_hi - new_lo + 1) as u32 > params.max_band {
+            let half = params.max_band as i64 / 2;
+            let center = (new_lo + new_hi) / 2;
+            new_lo = new_lo.max(center - half);
+            new_hi = new_hi.min(new_lo + params.max_band as i64 - 1);
+        }
+
+        // Sentinels for reads one past the written range on later diagonals.
+        if clo > 0 {
+            cur[clo as usize - 1] = NEG_INF;
+        }
+        if chi + 1 < n {
+            cur[chi as usize + 1] = NEG_INF;
+        }
+
+        // Next diagonal may grow one cell at each end.
+        lo = new_lo;
+        hi = new_hi + 1;
+
+        std::mem::swap(&mut prev2, &mut prev);
+        std::mem::swap(&mut prev, &mut cur);
+    }
+
+    XDropResult { score: best.score, max: best, antidiags, cells, max_band }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn seq(s: &str) -> PackedSeq {
+        PackedSeq::from_str_seq(s)
+    }
+
+    fn params(x: i32, gap: i32) -> XDropParams {
+        XDropParams { xdrop: x, gap, max_band: u32::MAX }
+    }
+
+    #[test]
+    fn perfect_match() {
+        let s = Scoring::figure1();
+        let r = xdrop_align(&seq("ACGTACGT"), &seq("ACGTACGT"), &s, &params(100, 3));
+        assert_eq!(r.score, 16);
+        assert_eq!((r.max.i, r.max.j), (7, 7));
+    }
+
+    #[test]
+    fn mismatch_scoring_linear_gap() {
+        let s = Scoring::figure1(); // +2 / -4
+        // One insertion with linear gap 3: 8*2 - 3 = 13
+        let r = xdrop_align(&seq("AAAACCCC"), &seq("AAAAGCCCC"), &s, &params(100, 3));
+        assert_eq!(r.score, 13);
+    }
+
+    #[test]
+    fn xdrop_terminates_early_on_junk() {
+        let s = Scoring::figure1();
+        let pref = "ACGTACGTACGTACGT";
+        let r_full = format!("{pref}{}", "G".repeat(64));
+        let q_full = format!("{pref}{}", "C".repeat(64));
+        let tight = xdrop_align(&seq(&r_full), &seq(&q_full), &s, &params(8, 3));
+        assert_eq!(tight.score, 32);
+        assert!(
+            (tight.antidiags as usize) < r_full.len() + q_full.len() - 1,
+            "expected early termination, processed {} diagonals",
+            tight.antidiags
+        );
+        let loose = xdrop_align(&seq(&r_full), &seq(&q_full), &s, &params(10_000, 3));
+        assert!(loose.antidiags >= tight.antidiags);
+        assert!(loose.cells > tight.cells);
+    }
+
+    #[test]
+    fn adaptive_band_narrower_than_full_table() {
+        let s = Scoring::figure1();
+        let a = "ACGT".repeat(32);
+        let r = xdrop_align(&seq(&a), &seq(&a), &s, &params(6, 3));
+        // With a tight X the band stays narrow on a perfect match.
+        assert!(r.max_band < 32, "band grew to {}", r.max_band);
+        assert_eq!(r.score, 2 * a.len() as i32);
+    }
+
+    #[test]
+    fn band_cap_respected() {
+        let s = Scoring::figure1();
+        let a = "ACGT".repeat(32);
+        let p = XDropParams { xdrop: 1000, gap: 3, max_band: 9 };
+        let r = xdrop_align(&seq(&a), &seq(&a), &s, &p);
+        assert!(r.max_band <= 9 + 2, "band {} exceeded cap", r.max_band);
+    }
+
+    #[test]
+    fn from_scoring_derivation() {
+        let p = XDropParams::from_scoring(&Scoring::preset_clr());
+        assert_eq!(p.xdrop, 400);
+        assert_eq!(p.max_band, 801);
+    }
+}

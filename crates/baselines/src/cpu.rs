@@ -1,0 +1,71 @@
+//! The Minimap2 CPU baseline: the exact guided algorithm executed by the
+//! scalar reference, with a calibrated multithreaded throughput model
+//! (§5.1's 16C/32T SSE4 machine and §5.8's 48C/96T AVX512 machine).
+//!
+//! Reads are distributed across CPU threads; at tens of thousands of reads
+//! per batch the balance is near-perfect, so the time model is simply total
+//! reference cells over aggregate throughput.
+
+use agatha_align::guided::{guided_align_ws, GuidedWorkspace};
+use agatha_align::{Scoring, Task};
+use agatha_gpu_sim::{host, CpuSpec};
+
+use crate::report::EngineReport;
+
+/// Run the CPU engine.
+pub fn run(tasks: &[Task], scoring: &Scoring, cpu: &CpuSpec) -> EngineReport {
+    // Thread-local workspaces avoid per-task allocation, like ksw2's
+    // reusable buffers.
+    let results = host::parallel_map(tasks.len(), 0, {
+        |i| {
+            thread_local! {
+                static WS: std::cell::RefCell<GuidedWorkspace> =
+                    std::cell::RefCell::new(GuidedWorkspace::new());
+            }
+            WS.with(|ws| {
+                guided_align_ws(&tasks[i].reference, &tasks[i].query, scoring, &mut ws.borrow_mut())
+            })
+        }
+    });
+    let total_cells: u64 = results.iter().map(|r| r.cells).sum();
+    EngineReport {
+        name: cpu.name.to_string(),
+        scores: results.iter().map(|r| r.score).collect(),
+        elapsed_ms: cpu.ms_for_cells(total_cells),
+        total_cells,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use agatha_align::guided::guided_align;
+
+    fn tasks() -> Vec<Task> {
+        vec![
+            Task::from_strs(0, "ACGTACGTACGT", "ACGTACGTACGT"),
+            Task::from_strs(1, "ACGTACGTACGT", "ACGTTCGTACGA"),
+            Task::from_strs(2, "AAAACCCCGGGG", "AAAAGGGG"),
+        ]
+    }
+
+    #[test]
+    fn scores_match_reference() {
+        let s = Scoring::new(2, 4, 4, 2, 100, 8);
+        let rep = run(&tasks(), &s, &CpuSpec::sse4_16c32t());
+        for (t, &score) in tasks().iter().zip(&rep.scores) {
+            assert_eq!(score, guided_align(&t.reference, &t.query, &s).score);
+        }
+        assert!(rep.elapsed_ms > 0.0);
+    }
+
+    #[test]
+    fn stronger_cpu_faster_same_scores() {
+        let s = Scoring::new(2, 4, 4, 2, 100, 8);
+        let a = run(&tasks(), &s, &CpuSpec::sse4_16c32t());
+        let b = run(&tasks(), &s, &CpuSpec::avx512_48c96t());
+        assert_eq!(a.scores, b.scores);
+        assert!(b.elapsed_ms < a.elapsed_ms);
+        assert_eq!(a.total_cells, b.total_cells);
+    }
+}

@@ -1,0 +1,260 @@
+//! Manymap-like engine [12]: a GPU port of Minimap2's own kernel that fills
+//! the score table **one whole anti-diagonal at a time** with a full warp
+//! per alignment.
+//!
+//! Because every anti-diagonal completes before the next starts, the
+//! termination condition can be evaluated after each one — there is *no*
+//! run-ahead, which is why Manymap is "the only version that benefits from
+//! implementing the guided alignment algorithm" (§5.3). The price is poor
+//! lane utilisation (the band rarely fills 32 lanes' worth of work) and a
+//! synchronisation per anti-diagonal.
+//!
+//! * **MM2-Target**: exact per-anti-diagonal Z-drop (verified against the
+//!   reference).
+//! * **Diff-Target**: the original's *inexact interpretation* of the
+//!   termination condition: the score drop is compared against `Z` alone
+//!   (no gap-length adjustment, no position constraint) and only every 8th
+//!   anti-diagonal — faster to check, but can terminate differently.
+
+use agatha_align::guided::{diag_range, guided_align};
+use agatha_align::result::{GuidedResult, MaxCell, StopReason};
+use agatha_align::{PackedSeq, Scoring, Task, NEG_INF};
+use agatha_gpu_sim::{host, sched, CostModel, GpuSpec, WARP_LANES};
+
+use crate::report::EngineReport;
+
+/// How often the Diff-Target variant evaluates its (approximate)
+/// termination condition.
+const DIFF_CHECK_INTERVAL: i64 = 8;
+
+/// Run the Manymap-like engine.
+pub fn run(tasks: &[Task], scoring: &Scoring, spec: &GpuSpec, mm2_target: bool) -> EngineReport {
+    let cost = CostModel::for_spec(spec);
+
+    let results: Vec<GuidedResult> = host::parallel_map(tasks.len(), 0, |i| {
+        if mm2_target {
+            guided_align(&tasks[i].reference, &tasks[i].query, scoring)
+        } else {
+            inexact_guided(&tasks[i].reference, &tasks[i].query, scoring)
+        }
+    });
+
+    // One warp per alignment: per anti-diagonal, the warp computes
+    // ceil(cells/32) lockstep rounds of 32 cells plus a synchronisation and
+    // a termination check.
+    let warp_cycles: Vec<f64> = results
+        .iter()
+        .map(|r| {
+            let diags = r.antidiags as f64;
+            let rounds = (r.cells as f64 / WARP_LANES as f64).max(diags); // >= 1 round per diag
+            let compute = rounds * WARP_LANES as f64 * cost.effective_cell_cycles();
+            let sync = diags * cost.sync_cycles;
+            let exchange = diags * 6.0 * cost.sync_cycles; // boundary shuffles per diagonal
+            // MM2-Target keeps the GMB in a register and checks with one
+            // warp reduction per anti-diagonal; the original (Diff-Target)
+            // check reads its max buffer from global memory every 8th
+            // anti-diagonal. Combined with the exact variant's slightly
+            // earlier termination, guiding *helps* Manymap (§5.3).
+            let term = if mm2_target {
+                diags * cost.reduce_cycles
+            } else {
+                diags / DIFF_CHECK_INTERVAL as f64 * (cost.reduce_cycles + cost.global_tx_cycles)
+            };
+            let seq = diags / 4.0 * cost.global_tx_cycles; // packed loads every 8 diagonals, 2 streams
+            compute + sync + exchange + term + seq
+        })
+        .collect();
+
+    let makespan = sched::makespan_cycles(&warp_cycles, spec.warp_slots());
+    EngineReport {
+        name: if mm2_target { "Manymap (MM2-Target)" } else { "Manymap (Diff-Target)" }
+            .to_string(),
+        scores: results.iter().map(|r| r.score).collect(),
+        elapsed_ms: spec.cycles_to_ms(makespan),
+        total_cells: results.iter().map(|r| r.cells).sum(),
+    }
+}
+
+/// The Diff-Target scalar: banded affine DP, approximate drop condition.
+pub fn inexact_guided(reference: &PackedSeq, query: &PackedSeq, scoring: &Scoring) -> GuidedResult {
+    // Reuse the exact per-diagonal machinery but with the approximate check;
+    // the easiest faithful implementation recomputes diagonals directly.
+    let n = reference.len() as i64;
+    let m = query.len() as i64;
+    if n == 0 || m == 0 {
+        return GuidedResult {
+            score: 0,
+            max: MaxCell::ORIGIN,
+            qend_score: None,
+            stop: StopReason::Completed,
+            antidiags: 0,
+            cells: 0,
+        };
+    }
+    let w = if scoring.banded() { scoring.band_width as i64 } else { n + m };
+    let oe = scoring.gap_open + scoring.gap_extend;
+    let ext = scoring.gap_extend;
+    let rc = reference.to_codes();
+    let qc = query.to_codes();
+
+    let nu = n as usize;
+    let mut h = [vec![NEG_INF; nu], vec![NEG_INF; nu], vec![NEG_INF; nu]];
+    let mut e = [vec![NEG_INF; nu], vec![NEG_INF; nu]];
+    let mut f = [vec![NEG_INF; nu], vec![NEG_INF; nu]];
+
+    let mut global = MaxCell::ORIGIN;
+    let mut qend: Option<i32> = None;
+    let mut cells = 0u64;
+    let mut stop = StopReason::Completed;
+    let mut last = -1i64;
+
+    for c in 0..(n + m - 1) {
+        let Some((lo, hi)) = diag_range(c, n, m, w) else {
+            stop = StopReason::BandExhausted { antidiag: c as u32 };
+            break;
+        };
+        let (hs, hp, hp2) = ((c % 3) as usize, ((c + 2) % 3) as usize, ((c + 1) % 3) as usize);
+        let (efs, efp) = ((c % 2) as usize, ((c + 1) % 2) as usize);
+        let mut local = MaxCell { score: NEG_INF, i: -1, j: -1 };
+        for i in lo..=hi {
+            let j = c - i;
+            let iu = i as usize;
+            let up_h = if i == 0 { scoring.border(j as i32) } else { h[hp][iu - 1] };
+            let up_e = if i == 0 { NEG_INF } else { e[efp][iu - 1] };
+            let left_h = if j == 0 { scoring.border(i as i32) } else { h[hp][iu] };
+            let left_f = if j == 0 { NEG_INF } else { f[efp][iu] };
+            let dg = if i == 0 && j == 0 {
+                0
+            } else if i == 0 {
+                scoring.border((j - 1) as i32)
+            } else if j == 0 {
+                scoring.border((i - 1) as i32)
+            } else {
+                h[hp2][iu - 1]
+            };
+            let ev = (up_h - oe).max(up_e - ext);
+            let fv = (left_h - oe).max(left_f - ext);
+            let sub = scoring.substitution(rc[iu], qc[j as usize]);
+            let hv = ev.max(fv).max(dg.saturating_add(sub));
+            h[hs][iu] = hv;
+            e[efs][iu] = ev;
+            f[efs][iu] = fv;
+            if hv > local.score {
+                local = MaxCell { score: hv, i: i as i32, j: j as i32 };
+            }
+            if j == m - 1 {
+                qend = Some(qend.map_or(hv, |q| q.max(hv)));
+            }
+            cells += 1;
+        }
+        if lo > 0 {
+            h[hs][(lo - 1) as usize] = NEG_INF;
+            e[efs][(lo - 1) as usize] = NEG_INF;
+            f[efs][(lo - 1) as usize] = NEG_INF;
+        }
+        if hi + 1 < n {
+            h[hs][(hi + 1) as usize] = NEG_INF;
+            e[efs][(hi + 1) as usize] = NEG_INF;
+            f[efs][(hi + 1) as usize] = NEG_INF;
+        }
+        last = c;
+        // The inexact check: plain score drop, sampled every few diagonals.
+        if scoring.zdrop_enabled()
+            && c % DIFF_CHECK_INTERVAL == DIFF_CHECK_INTERVAL - 1
+            && (global.score as i64 - local.score as i64) > scoring.zdrop as i64
+        {
+            stop = StopReason::ZDrop { antidiag: c as u32 };
+            break;
+        }
+        global.fold(local);
+    }
+    GuidedResult {
+        score: global.score,
+        max: global,
+        qend_score: qend,
+        stop,
+        antidiags: (last + 1) as u32,
+        cells,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn seq(s: &str) -> PackedSeq {
+        PackedSeq::from_str_seq(s)
+    }
+
+    fn mk_tasks(n: usize) -> Vec<Task> {
+        let mut out = Vec::new();
+        let mut x = 17u64;
+        for id in 0..n {
+            let mut r = String::new();
+            let mut q = String::new();
+            for k in 0..140 {
+                x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                let c = ['A', 'C', 'G', 'T'][(x >> 33) as usize % 4];
+                r.push(c);
+                q.push(if k % 29 == 0 { 'C' } else { c });
+            }
+            out.push(Task::from_strs(id as u32, &r, &q));
+        }
+        out
+    }
+
+    #[test]
+    fn mm2_target_exact() {
+        let s = Scoring::new(2, 4, 4, 2, 40, 12);
+        let tasks = mk_tasks(6);
+        let rep = run(&tasks, &s, &GpuSpec::rtx_a6000(), true);
+        for (t, &score) in tasks.iter().zip(&rep.scores) {
+            assert_eq!(score, guided_align(&t.reference, &t.query, &s).score);
+        }
+    }
+
+    #[test]
+    fn diff_target_differs_on_gap_heavy_input() {
+        // A long single gap: the exact condition tolerates it (the drop is
+        // explained by |Δi - Δj| · β), the inexact one terminates.
+        let pref = "ACGTACGTACGTACGTACGTACGTACGT";
+        let r = format!("{pref}{}", "ACGT".repeat(12));
+        let q = format!("{pref}{}{}", "T".repeat(16), "ACGT".repeat(12));
+        let s = Scoring::new(2, 4, 4, 2, 30, Scoring::NO_BAND);
+        let exact = guided_align(&seq(&r), &seq(&q), &s);
+        let inexact = inexact_guided(&seq(&r), &seq(&q), &s);
+        assert!(
+            !exact.stop.z_dropped(),
+            "exact Z-drop must tolerate the long gap: {:?}",
+            exact.stop
+        );
+        assert!(
+            inexact.stop.z_dropped(),
+            "inexact X-drop-style check must fire: {:?}",
+            inexact.stop
+        );
+        assert!(inexact.score < exact.score);
+    }
+
+    #[test]
+    fn diff_target_agrees_on_easy_input() {
+        let s = Scoring::new(2, 4, 4, 2, 100, 16);
+        for t in mk_tasks(4) {
+            let exact = guided_align(&t.reference, &t.query, &s);
+            let inexact = inexact_guided(&t.reference, &t.query, &s);
+            assert_eq!(exact.score, inexact.score, "task {}", t.id);
+        }
+    }
+
+    #[test]
+    fn no_runahead_means_cells_equal_reference() {
+        let s = Scoring::new(2, 4, 4, 2, 40, 12);
+        let tasks = mk_tasks(6);
+        let rep = run(&tasks, &s, &GpuSpec::rtx_a6000(), true);
+        let expect: u64 = tasks
+            .iter()
+            .map(|t| guided_align(&t.reference, &t.query, &s).cells)
+            .sum();
+        assert_eq!(rep.total_cells, expect);
+    }
+}

@@ -1,0 +1,131 @@
+//! Uniform engine interface for the benchmark harnesses.
+
+use agatha_align::{Scoring, Task};
+use agatha_gpu_sim::GpuSpec;
+
+/// Output of running one engine over one dataset.
+#[derive(Debug, Clone)]
+pub struct EngineReport {
+    /// Engine display name (figure row label).
+    pub name: String,
+    /// Alignment scores in task order. Diff-Target engines may legitimately
+    /// differ from the reference here.
+    pub scores: Vec<i32>,
+    /// Simulated execution time in milliseconds.
+    pub elapsed_ms: f64,
+    /// Total DP cells the engine computed.
+    pub total_cells: u64,
+}
+
+impl EngineReport {
+    /// Speedup of this engine relative to a reference time.
+    pub fn speedup_vs(&self, reference_ms: f64) -> f64 {
+        reference_ms / self.elapsed_ms
+    }
+}
+
+/// Registry of all baseline engines, for sweeping in the harnesses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Baseline {
+    /// Minimap2 on the default CPU (16C/32T SSE4).
+    CpuSse4,
+    /// mm2-fast on the stronger CPU (48C/96T AVX512).
+    CpuAvx512,
+    /// GASAL2's own banded kernel.
+    Gasal2Diff,
+    /// GASAL2 extended with the exact guiding algorithm.
+    Gasal2Mm2,
+    /// SALoBa's own banded kernel.
+    SalobaDiff,
+    /// SALoBa extended with the exact guiding algorithm (the ablation
+    /// baseline of Fig. 9).
+    SalobaMm2,
+    /// Manymap with its original inexact termination.
+    ManymapDiff,
+    /// Manymap with exact per-anti-diagonal termination.
+    ManymapMm2,
+    /// LOGAN's X-drop algorithm (Diff-Target only; §5.2).
+    Logan,
+}
+
+impl Baseline {
+    /// All engines, in the order Fig. 8 lists them.
+    pub const ALL: [Baseline; 9] = [
+        Baseline::CpuSse4,
+        Baseline::CpuAvx512,
+        Baseline::Gasal2Diff,
+        Baseline::Gasal2Mm2,
+        Baseline::SalobaDiff,
+        Baseline::SalobaMm2,
+        Baseline::ManymapDiff,
+        Baseline::ManymapMm2,
+        Baseline::Logan,
+    ];
+
+    /// Display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Baseline::CpuSse4 => "Minimap2 (16C32T SSE4)",
+            Baseline::CpuAvx512 => "Minimap2 (48C96T AVX512)",
+            Baseline::Gasal2Diff => "GASAL2 (Diff-Target)",
+            Baseline::Gasal2Mm2 => "GASAL2 (MM2-Target)",
+            Baseline::SalobaDiff => "SALoBa (Diff-Target)",
+            Baseline::SalobaMm2 => "SALoBa (MM2-Target)",
+            Baseline::ManymapDiff => "Manymap (Diff-Target)",
+            Baseline::ManymapMm2 => "Manymap (MM2-Target)",
+            Baseline::Logan => "LOGAN (Diff-Target)",
+        }
+    }
+
+    /// Whether this engine claims exact MM2 semantics.
+    pub fn is_exact(self) -> bool {
+        matches!(
+            self,
+            Baseline::CpuSse4 | Baseline::CpuAvx512 | Baseline::Gasal2Mm2 | Baseline::SalobaMm2
+                | Baseline::ManymapMm2
+        )
+    }
+}
+
+/// Run one baseline engine on a GPU spec (ignored by the CPU engines).
+pub fn run_baseline(
+    which: Baseline,
+    tasks: &[Task],
+    scoring: &Scoring,
+    spec: &GpuSpec,
+) -> EngineReport {
+    match which {
+        Baseline::CpuSse4 => crate::cpu::run(tasks, scoring, &agatha_gpu_sim::CpuSpec::sse4_16c32t()),
+        Baseline::CpuAvx512 => {
+            crate::cpu::run(tasks, scoring, &agatha_gpu_sim::CpuSpec::avx512_48c96t())
+        }
+        Baseline::Gasal2Diff => crate::gasal2::run(tasks, scoring, spec, false),
+        Baseline::Gasal2Mm2 => crate::gasal2::run(tasks, scoring, spec, true),
+        Baseline::SalobaDiff => crate::saloba::run(tasks, scoring, spec, false),
+        Baseline::SalobaMm2 => crate::saloba::run(tasks, scoring, spec, true),
+        Baseline::ManymapDiff => crate::manymap::run(tasks, scoring, spec, false),
+        Baseline::ManymapMm2 => crate::manymap::run(tasks, scoring, spec, true),
+        Baseline::Logan => crate::logan::run(tasks, scoring, spec),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn names_unique() {
+        let names: std::collections::HashSet<&str> =
+            Baseline::ALL.iter().map(|b| b.name()).collect();
+        assert_eq!(names.len(), Baseline::ALL.len());
+    }
+
+    #[test]
+    fn exactness_flags() {
+        assert!(Baseline::SalobaMm2.is_exact());
+        assert!(!Baseline::SalobaDiff.is_exact());
+        assert!(!Baseline::Logan.is_exact());
+        assert!(!Baseline::ManymapDiff.is_exact());
+        assert!(Baseline::ManymapMm2.is_exact());
+    }
+}

@@ -1,0 +1,62 @@
+//! Figure 8: performance comparison — speedup over Minimap2-CPU for every
+//! baseline (Diff-Target and MM2-Target) and AGAThA on the nine datasets.
+//!
+//! Paper reference points (geomean speedup over the CPU): AGAThA 18.8×;
+//! SALoBa MM2-Target ≈ 18.8/9.6 ≈ 2.0×; Manymap MM2-Target ≈ 18.8/12.1 ≈
+//! 1.55×; GASAL2 MM2-Target ≈ 18.8/36.6 ≈ 0.51× (slower than the CPU);
+//! best Diff-Target (SALoBa) ≈ 18.8/3.6 ≈ 5.2×; LOGAN close behind.
+
+use agatha_baselines::{run_baseline, Baseline};
+use agatha_bench::{banner, dataset_header, geomean, nine_datasets, row};
+use agatha_core::{AgathaConfig, Pipeline};
+use agatha_gpu_sim::GpuSpec;
+
+fn main() {
+    banner("Figure 8", "speedup over Minimap2 (16C32T SSE4)");
+    let datasets = nine_datasets();
+    let spec = GpuSpec::rtx_a6000();
+
+    // CPU reference times per dataset.
+    let cpu_ms: Vec<f64> = datasets
+        .iter()
+        .map(|d| run_baseline(Baseline::CpuSse4, &d.tasks, &d.scoring, &spec).elapsed_ms)
+        .collect();
+
+    println!("{}", dataset_header(&datasets));
+
+    let engines = [
+        Baseline::Gasal2Diff,
+        Baseline::Gasal2Mm2,
+        Baseline::SalobaDiff,
+        Baseline::SalobaMm2,
+        Baseline::ManymapDiff,
+        Baseline::ManymapMm2,
+        Baseline::Logan,
+    ];
+    for engine in engines {
+        let mut speeds = Vec::new();
+        for (d, &cpu) in datasets.iter().zip(&cpu_ms) {
+            let rep = run_baseline(engine, &d.tasks, &d.scoring, &spec);
+            speeds.push(cpu / rep.elapsed_ms);
+        }
+        print_speedups(engine.name(), &speeds);
+    }
+
+    // AGAThA.
+    let mut speeds = Vec::new();
+    for (d, &cpu) in datasets.iter().zip(&cpu_ms) {
+        let p = Pipeline::new(d.scoring, AgathaConfig::agatha());
+        let rep = p.align_batch(&d.tasks);
+        speeds.push(cpu / rep.elapsed_ms);
+    }
+    print_speedups("AGAThA", &speeds);
+
+    println!();
+    println!("paper geomeans: AGAThA 18.8x | SALoBa-MM2 2.0x | Manymap-MM2 1.55x | GASAL2-MM2 0.51x | SALoBa-Diff 5.2x");
+}
+
+fn print_speedups(name: &str, speeds: &[f64]) {
+    let mut cells: Vec<String> = speeds.iter().map(|s| format!("{s:.2}x")).collect();
+    cells.push(format!("{:.2}x", geomean(speeds)));
+    println!("{}", row(name, &cells));
+}

@@ -1,0 +1,44 @@
+//! Figure 9: ablation study — speedup over the naive exact baseline as the
+//! four techniques are added cumulatively: Baseline → +RW → +SD → +SR → +UB.
+//!
+//! Paper reference points: +RW ≈ 3.1–3.5×, +SD a further ≈ 1.3–1.4×,
+//! +SR a further ≈ 1.1–1.2×, +UB a further ≈ 1.3× (CLR) to 2.2× (HiFi/ONT).
+
+use agatha_bench::{banner, dataset_header, geomean, nine_datasets, row};
+use agatha_core::{AgathaConfig, Pipeline};
+
+fn main() {
+    banner("Figure 9", "cumulative ablation: Baseline, +RW, +SD, +SR, +UB");
+    let datasets = nine_datasets();
+
+    let steps: [(&str, AgathaConfig); 5] = [
+        ("Baseline", AgathaConfig::baseline()),
+        ("(+) RW", AgathaConfig::baseline().with_rw(true)),
+        ("(+) SD", AgathaConfig::baseline().with_rw(true).with_sd(true)),
+        ("(+) SR", AgathaConfig::baseline().with_rw(true).with_sd(true).with_sr(true)),
+        ("(+) UB", AgathaConfig::agatha()),
+    ];
+
+    // Baseline times per dataset.
+    let base_ms: Vec<f64> = datasets
+        .iter()
+        .map(|d| Pipeline::new(d.scoring, steps[0].1.clone()).align_batch(&d.tasks).elapsed_ms)
+        .collect();
+
+    println!("{}", dataset_header(&datasets));
+    let mut prev_geo = 1.0;
+    for (name, cfg) in &steps {
+        let mut speeds = Vec::new();
+        for (d, &b) in datasets.iter().zip(&base_ms) {
+            let ms = Pipeline::new(d.scoring, cfg.clone()).align_batch(&d.tasks).elapsed_ms;
+            speeds.push(b / ms);
+        }
+        let geo = geomean(&speeds);
+        let mut cells: Vec<String> = speeds.iter().map(|s| format!("{s:.2}x")).collect();
+        cells.push(format!("{geo:.2}x"));
+        println!("{} (step x{:.2})", row(name, &cells), geo / prev_geo);
+        prev_geo = geo;
+    }
+    println!();
+    println!("paper steps: RW x3.1-3.5 | SD x1.3-1.4 | SR x1.1-1.2 | UB x1.3-2.2");
+}

@@ -1,0 +1,48 @@
+//! Figure 11: effect of the workload-balancing techniques — Original order,
+//! Sort, SR+Original, SR+Sort, SR+UB — as speedup over Original order
+//! (AGAThA with RW+SD only).
+//!
+//! Paper: Sort ≈ 1.06×, SR+Original ≈ 1.17×, SR+Sort ≈ 1.17×,
+//! SR+UB ≈ 2.22×.
+
+use agatha_bench::{banner, dataset_header, geomean, nine_datasets, row};
+use agatha_core::{AgathaConfig, OrderingStrategy, Pipeline};
+
+fn main() {
+    banner("Figure 11", "workload balancing: speedup over Original order");
+    let datasets = nine_datasets();
+
+    let variants: [(&str, bool, OrderingStrategy); 5] = [
+        ("Original Order", false, OrderingStrategy::Original),
+        ("Sort", false, OrderingStrategy::Sorted),
+        ("SR+Original Order", true, OrderingStrategy::Original),
+        ("SR+Sort", true, OrderingStrategy::Sorted),
+        ("SR+UB", true, OrderingStrategy::UnevenBucketing),
+    ];
+
+    let base_ms: Vec<f64> = datasets
+        .iter()
+        .map(|d| {
+            let cfg = AgathaConfig::agatha().with_sr(false).with_ub(false);
+            Pipeline::new(d.scoring, cfg)
+                .align_batch_with_strategy(&d.tasks, OrderingStrategy::Original)
+                .elapsed_ms
+        })
+        .collect();
+
+    println!("{}", dataset_header(&datasets));
+    for (name, sr, strat) in variants {
+        let mut speeds = Vec::new();
+        for (d, &b) in datasets.iter().zip(&base_ms) {
+            let cfg = AgathaConfig::agatha().with_sr(sr).with_ub(false);
+            let ms =
+                Pipeline::new(d.scoring, cfg).align_batch_with_strategy(&d.tasks, strat).elapsed_ms;
+            speeds.push(b / ms);
+        }
+        let mut cells: Vec<String> = speeds.iter().map(|s| format!("{s:.2}x")).collect();
+        cells.push(format!("{:.2}x", geomean(&speeds)));
+        println!("{}", row(name, &cells));
+    }
+    println!();
+    println!("paper: Sort 1.06x | SR+Orig 1.17x | SR+Sort 1.17x | SR+UB 2.22x");
+}

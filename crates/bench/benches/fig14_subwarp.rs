@@ -1,0 +1,36 @@
+//! Figure 14: subwarp-size sensitivity — execution time with subwarps of
+//! 8, 16 and 32 threads (RW+SD kernel, no SR/UB) against full AGAThA.
+//!
+//! Paper: the full warp (32) beats plain subwarps by ~10 % for the RW+SD
+//! kernel, 16 shows slowdowns, but final AGAThA (subwarp 8 + SR + UB)
+//! outpaces all of them.
+
+use agatha_bench::{banner, dataset_header, nine_datasets, row};
+use agatha_core::{AgathaConfig, Pipeline};
+
+fn main() {
+    banner("Figure 14", "subwarp size sensitivity, exec time (ms)");
+    let datasets = nine_datasets();
+
+    let variants: [(&str, AgathaConfig); 4] = [
+        ("8", AgathaConfig::agatha().with_sr(false).with_ub(false).with_subwarp(8)),
+        ("16", AgathaConfig::agatha().with_sr(false).with_ub(false).with_subwarp(16)),
+        ("32 (full warp)", AgathaConfig::agatha().with_sr(false).with_ub(false).with_subwarp(32)),
+        ("AGAThA (8+SR+UB)", AgathaConfig::agatha()),
+    ];
+
+    println!("{}", dataset_header(&datasets));
+    for (name, cfg) in &variants {
+        let mut cells = Vec::new();
+        let mut times = Vec::new();
+        for d in &datasets {
+            let ms = Pipeline::new(d.scoring, cfg.clone()).align_batch(&d.tasks).elapsed_ms;
+            times.push(ms);
+            cells.push(format!("{ms:.3}"));
+        }
+        cells.push(format!("{:.3}", agatha_bench::geomean(&times)));
+        println!("{}", row(name, &cells));
+    }
+    println!();
+    println!("paper: full warp ~10% faster than subwarps for RW+SD only; AGAThA (which needs subwarps for SR/UB) fastest overall; 16 shows slowdowns.");
+}

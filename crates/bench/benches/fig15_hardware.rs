@@ -1,0 +1,62 @@
+//! Figure 15: hardware flexibility — AGAThA on RTX 2080Ti / A100 / A6000
+//! ×{1,2,3,4}, against both CPU baselines.
+//!
+//! Paper: 9.49× (2080Ti), 15.84× (A100), 18.8× (A6000) over the default
+//! CPU; near-linear multi-GPU scaling to 59.38× at 4 GPUs; the stronger
+//! AVX512 CPU is 2.30× the default, leaving AGAThA 8.19× ahead.
+
+use agatha_baselines::{run_baseline, Baseline};
+use agatha_bench::{banner, dataset_header, geomean, nine_datasets, row};
+use agatha_core::{AgathaConfig, Pipeline};
+use agatha_gpu_sim::GpuSpec;
+
+fn main() {
+    banner("Figure 15", "hardware flexibility: speedup over Minimap2 (16C32T SSE4)");
+    let datasets = nine_datasets();
+    let a6000 = GpuSpec::rtx_a6000();
+
+    let cpu_ms: Vec<f64> = datasets
+        .iter()
+        .map(|d| run_baseline(Baseline::CpuSse4, &d.tasks, &d.scoring, &a6000).elapsed_ms)
+        .collect();
+
+    println!("{}", dataset_header(&datasets));
+
+    // Stronger CPU row.
+    {
+        let mut speeds = Vec::new();
+        for (d, &c) in datasets.iter().zip(&cpu_ms) {
+            let ms = run_baseline(Baseline::CpuAvx512, &d.tasks, &d.scoring, &a6000).elapsed_ms;
+            speeds.push(c / ms);
+        }
+        print_row("Minimap2 48C96T AVX512", &speeds);
+    }
+
+    // GPUs.
+    let variants: Vec<(String, GpuSpec, usize)> = vec![
+        ("RTX 2080Ti".into(), GpuSpec::rtx_2080ti(), 1),
+        ("A100".into(), GpuSpec::a100(), 1),
+        ("A6000".into(), GpuSpec::rtx_a6000(), 1),
+        ("A6000 x2".into(), GpuSpec::rtx_a6000(), 2),
+        ("A6000 x3".into(), GpuSpec::rtx_a6000(), 3),
+        ("A6000 x4".into(), GpuSpec::rtx_a6000(), 4),
+    ];
+    for (name, spec, gpus) in variants {
+        let mut speeds = Vec::new();
+        for (d, &c) in datasets.iter().zip(&cpu_ms) {
+            let p = Pipeline::new(d.scoring, AgathaConfig::agatha())
+                .with_spec(spec.clone())
+                .with_gpus(gpus);
+            speeds.push(c / p.align_batch(&d.tasks).elapsed_ms);
+        }
+        print_row(&name, &speeds);
+    }
+    println!();
+    println!("paper: 2080Ti 9.49x | A100 15.84x | A6000 18.83x | x4 59.38x (near-linear) | AVX512 CPU 2.30x");
+}
+
+fn print_row(name: &str, speeds: &[f64]) {
+    let mut cells: Vec<String> = speeds.iter().map(|s| format!("{s:.2}x")).collect();
+    cells.push(format!("{:.2}x", geomean(speeds)));
+    println!("{}", row(name, &cells));
+}

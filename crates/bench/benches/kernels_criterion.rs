@@ -1,0 +1,83 @@
+//! Criterion microbenchmarks of the hot paths: the scalar guided reference,
+//! the block-grid kernel under each configuration, input packing and the
+//! anti-diagonal tracker. These measure *real host wall-time* of the
+//! implementation (unlike the figure harnesses, which report simulated
+//! device time).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+use agatha_align::guided::guided_align;
+use agatha_align::{block::block_grid_align, PackedSeq, Scoring, Task};
+use agatha_core::{kernel::run_task, AgathaConfig};
+
+fn pseudo_seq(len: usize, seed: u64, mutate_every: usize) -> (String, String) {
+    let mut r = String::new();
+    let mut q = String::new();
+    let mut x = seed | 1;
+    for k in 0..len {
+        x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        let c = ['A', 'C', 'G', 'T'][(x >> 33) as usize % 4];
+        r.push(c);
+        q.push(if mutate_every > 0 && k % mutate_every == 0 { 'T' } else { c });
+    }
+    (r, q)
+}
+
+fn bench_guided_reference(c: &mut Criterion) {
+    let mut g = c.benchmark_group("guided_reference");
+    for len in [512usize, 2048] {
+        let (r, q) = pseudo_seq(len, 11, 17);
+        let (rp, qp) = (PackedSeq::from_str_seq(&r), PackedSeq::from_str_seq(&q));
+        let s = Scoring::new(2, 4, 4, 2, 200, 100);
+        let cells = guided_align(&rp, &qp, &s).cells;
+        g.throughput(Throughput::Elements(cells));
+        g.bench_with_input(BenchmarkId::from_parameter(len), &len, |b, _| {
+            b.iter(|| guided_align(&rp, &qp, &s))
+        });
+    }
+    g.finish();
+}
+
+fn bench_block_kernel(c: &mut Criterion) {
+    let mut g = c.benchmark_group("block_grid");
+    let (r, q) = pseudo_seq(2048, 23, 19);
+    let (rp, qp) = (PackedSeq::from_str_seq(&r), PackedSeq::from_str_seq(&q));
+    let s = Scoring::new(2, 4, 4, 2, 200, 100);
+    let cells = block_grid_align(&rp, &qp, &s).cells;
+    g.throughput(Throughput::Elements(cells));
+    g.bench_function("reference_driver", |b| b.iter(|| block_grid_align(&rp, &qp, &s)));
+    g.finish();
+}
+
+fn bench_kernel_configs(c: &mut Criterion) {
+    let mut g = c.benchmark_group("kernel_exec");
+    let (r, q) = pseudo_seq(2048, 37, 19);
+    let task = Task::from_strs(0, &r, &q);
+    let s = Scoring::new(2, 4, 4, 2, 200, 100);
+    for (name, cfg) in [
+        ("baseline", AgathaConfig::baseline()),
+        ("agatha_s3", AgathaConfig::agatha()),
+        ("agatha_s16", AgathaConfig::agatha().with_slice_width(16)),
+    ] {
+        g.bench_function(name, |b| b.iter(|| run_task(&task, &s, &cfg)));
+    }
+    g.finish();
+}
+
+fn bench_packing(c: &mut Criterion) {
+    let mut g = c.benchmark_group("packing");
+    let (r, _) = pseudo_seq(1 << 16, 41, 0);
+    let codes = agatha_align::base::codes_from_str(&r);
+    g.throughput(Throughput::Elements(codes.len() as u64));
+    g.bench_function("pack_4bit", |b| b.iter(|| PackedSeq::from_codes(&codes)));
+    let packed = PackedSeq::from_codes(&codes);
+    g.bench_function("unpack", |b| b.iter(|| packed.to_codes()));
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20).measurement_time(std::time::Duration::from_secs(3)).warm_up_time(std::time::Duration::from_millis(500));
+    targets = bench_guided_reference, bench_block_kernel, bench_kernel_configs, bench_packing
+}
+criterion_main!(benches);

@@ -1,0 +1,183 @@
+//! `agatha` — command-line guided sequence alignment, mirroring the AGAThA
+//! artifact's `AGAThA.sh` interface (Appendix A.2.6).
+//!
+//! ```text
+//! agatha align [-a M] [-b X] [-q O] [-r E] [-z Z] [-w W] \
+//!              [--engine NAME] [--gpus N] [-o DIR] REF.fasta QUERY.fasta
+//! agatha demo  [--tech hifi|clr|ont] [--reads N] [-o DIR]
+//! agatha engines
+//! ```
+//!
+//! `align` scores each pair `(REF[i], QUERY[i])` and writes `score.log`
+//! plus `time.json` (simulated kernel time) into the output directory.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use agatha_align::{Scoring, Task};
+use agatha_baselines::{run_baseline, Baseline};
+use agatha_core::{AgathaConfig, Pipeline};
+use agatha_datasets::{generate, DatasetSpec, Tech};
+use agatha_gpu_sim::GpuSpec;
+use agatha_io::{read_fasta, write_score_log, write_time_json, Args};
+
+fn main() -> ExitCode {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let Some(command) = argv.first().cloned() else {
+        eprintln!("{USAGE}");
+        return ExitCode::FAILURE;
+    };
+    let args = Args::parse(argv.into_iter().skip(1));
+    let result = match command.as_str() {
+        "align" => cmd_align(&args),
+        "demo" => cmd_demo(&args),
+        "engines" => {
+            cmd_engines();
+            Ok(())
+        }
+        "help" | "--help" | "-h" => {
+            println!("{USAGE}");
+            Ok(())
+        }
+        other => Err(format!("unknown command '{other}'\n{USAGE}")),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("agatha: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+const USAGE: &str = "\
+usage:
+  agatha align [options] REF.fasta QUERY.fasta   score sequence pairs
+  agatha demo  [options]                         run on a synthetic dataset
+  agatha engines                                 list available engines
+
+alignment options (AGAThA.sh compatible):
+  -a N     match score            (default 2)
+  -b N     mismatch penalty       (default 4)
+  -q N     gap open penalty       (default 4)
+  -r N     gap extension penalty  (default 2)
+  -z N     termination threshold  (default 400)
+  -w N     band width             (default 400)
+
+common options:
+  --engine NAME   agatha (default) or a baseline (see `agatha engines`)
+  --gpus N        simulate N GPUs (agatha engine only, default 1)
+  -o DIR          output directory (default ./output)
+  --tech T        demo technology: hifi | clr | ont (default clr)
+  --reads N       demo task count (default 160)";
+
+fn scoring_from_args(args: &Args) -> Scoring {
+    Scoring::new(
+        args.get_num("a", 2),
+        args.get_num("b", 4),
+        args.get_num("q", 4),
+        args.get_num("r", 2),
+        args.get_num("z", 400),
+        args.get_num("w", 400),
+    )
+}
+
+fn out_dir(args: &Args) -> Result<PathBuf, String> {
+    let dir = PathBuf::from(args.get("o").filter(|s| !s.is_empty()).unwrap_or("output"));
+    std::fs::create_dir_all(&dir).map_err(|e| format!("create {}: {e}", dir.display()))?;
+    Ok(dir)
+}
+
+fn run_engine(
+    engine: &str,
+    tasks: &[Task],
+    scoring: &Scoring,
+    gpus: usize,
+) -> Result<(String, Vec<i32>, f64), String> {
+    if engine.eq_ignore_ascii_case("agatha") {
+        let p = Pipeline::new(*scoring, AgathaConfig::agatha()).with_gpus(gpus);
+        let rep = p.align_batch(tasks);
+        let scores = rep.results.iter().map(|r| r.score).collect();
+        return Ok(("AGAThA".to_string(), scores, rep.elapsed_ms));
+    }
+    let which = match engine.to_ascii_lowercase().as_str() {
+        "cpu" | "minimap2" => Baseline::CpuSse4,
+        "cpu-avx512" => Baseline::CpuAvx512,
+        "gasal2" => Baseline::Gasal2Mm2,
+        "gasal2-diff" => Baseline::Gasal2Diff,
+        "saloba" => Baseline::SalobaMm2,
+        "saloba-diff" => Baseline::SalobaDiff,
+        "manymap" => Baseline::ManymapMm2,
+        "manymap-diff" => Baseline::ManymapDiff,
+        "logan" => Baseline::Logan,
+        other => return Err(format!("unknown engine '{other}' (try `agatha engines`)")),
+    };
+    let rep = run_baseline(which, tasks, scoring, &GpuSpec::rtx_a6000());
+    Ok((rep.name, rep.scores, rep.elapsed_ms))
+}
+
+fn cmd_align(args: &Args) -> Result<(), String> {
+    let pos = args.positional();
+    if pos.len() != 2 {
+        return Err(format!("align needs REF.fasta and QUERY.fasta\n{USAGE}"));
+    }
+    let refs = read_fasta(&PathBuf::from(&pos[0]))?;
+    let queries = read_fasta(&PathBuf::from(&pos[1]))?;
+    if refs.len() != queries.len() {
+        return Err(format!(
+            "reference and query files must pair up ({} vs {} records); \
+             'each input file should have an equal number of reference and query strings'",
+            refs.len(),
+            queries.len()
+        ));
+    }
+    let tasks: Vec<Task> = refs
+        .into_iter()
+        .zip(queries)
+        .enumerate()
+        .map(|(id, (r, q))| Task { id: id as u32, reference: r.seq, query: q.seq })
+        .collect();
+
+    let scoring = scoring_from_args(args);
+    let engine = args.get("engine").filter(|s| !s.is_empty()).unwrap_or("agatha");
+    let gpus = args.get_num("gpus", 1usize).max(1);
+    let (name, scores, ms) = run_engine(engine, &tasks, &scoring, gpus)?;
+
+    let dir = out_dir(args)?;
+    write_score_log(&dir.join("score.log"), &scores)?;
+    write_time_json(&dir.join("time.json"), &name, ms, tasks.len())?;
+    println!("{name}: {} pairs, simulated kernel time {ms:.3} ms", tasks.len());
+    println!("wrote {}/score.log and {}/time.json", dir.display(), dir.display());
+    Ok(())
+}
+
+fn cmd_demo(args: &Args) -> Result<(), String> {
+    let tech = match args.get("tech").unwrap_or("clr").to_ascii_lowercase().as_str() {
+        "hifi" => Tech::HiFi,
+        "clr" | "" => Tech::Clr,
+        "ont" => Tech::Ont,
+        other => return Err(format!("unknown tech '{other}'")),
+    };
+    let reads = args.get_num("reads", 160usize).max(1);
+    let spec = DatasetSpec { name: format!("{} demo", tech.name()), tech, seed: 1234, reads };
+    let ds = generate(&spec);
+    let engine = args.get("engine").filter(|s| !s.is_empty()).unwrap_or("agatha");
+    let gpus = args.get_num("gpus", 1usize).max(1);
+    let (name, scores, ms) = run_engine(engine, &ds.tasks, &ds.scoring, gpus)?;
+
+    let dir = out_dir(args)?;
+    write_score_log(&dir.join("score.log"), &scores)?;
+    write_time_json(&dir.join("time.json"), &name, ms, ds.tasks.len())?;
+    println!("{}: {} tasks via {name}: {ms:.3} ms simulated", ds.name, ds.tasks.len());
+    Ok(())
+}
+
+fn cmd_engines() {
+    println!("agatha            AGAThA (this paper): RW + SD + SR + UB");
+    println!("cpu               Minimap2 on 16C/32T SSE4 (reference)");
+    println!("cpu-avx512        mm2-fast on 48C/96T AVX512");
+    println!("gasal2[-diff]     GASAL2-like inter-query kernel");
+    println!("saloba[-diff]     SALoBa-like intra-query kernel");
+    println!("manymap[-diff]    Manymap-like anti-diagonal kernel");
+    println!("logan             LOGAN-like adaptive-band X-drop");
+}

@@ -1,0 +1,88 @@
+//! Integration tests of the `agatha` binary.
+
+use std::process::Command;
+
+fn agatha() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_agatha"))
+}
+
+#[test]
+fn help_lists_commands() {
+    let out = agatha().arg("help").output().unwrap();
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("align"));
+    assert!(text.contains("-z N"));
+}
+
+#[test]
+fn engines_listed() {
+    let out = agatha().arg("engines").output().unwrap();
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    for e in ["agatha", "saloba", "manymap", "logan", "cpu"] {
+        assert!(text.contains(e), "missing engine {e}");
+    }
+}
+
+#[test]
+fn unknown_command_fails() {
+    let out = agatha().arg("frobnicate").output().unwrap();
+    assert!(!out.status.success());
+}
+
+#[test]
+fn align_artifact_format_end_to_end() {
+    let dir = std::env::temp_dir().join(format!("agatha_cli_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let refs = dir.join("ref.fasta");
+    let queries = dir.join("query.fasta");
+    // The artifact's input format (Appendix A.2.5).
+    std::fs::write(&refs, ">>> 1\nACGTACGTACGTACGT\n>>> 2\nAAAACCCCGGGGTTTT\n").unwrap();
+    std::fs::write(&queries, ">>> 1\nACGTACGTACGTACGT\n>>> 2\nAAAACCCCGGGGTTTT\n").unwrap();
+    let out_dir = dir.join("out");
+    let out = agatha()
+        .args(["align", "-a", "2", "-b", "4", "-q", "4", "-r", "2", "-z", "400", "-w", "100"])
+        .args(["-o", out_dir.to_str().unwrap()])
+        .arg(refs.to_str().unwrap())
+        .arg(queries.to_str().unwrap())
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "stderr: {}", String::from_utf8_lossy(&out.stderr));
+    let scores = std::fs::read_to_string(out_dir.join("score.log")).unwrap();
+    // Perfect 16-base matches at +2 each.
+    assert_eq!(scores, "32\n32\n");
+    let time = std::fs::read_to_string(out_dir.join("time.json")).unwrap();
+    assert!(time.contains("\"engine\": \"AGAThA\""));
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn align_rejects_mismatched_files() {
+    let dir = std::env::temp_dir().join(format!("agatha_cli_mm_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let refs = dir.join("ref.fasta");
+    let queries = dir.join("query.fasta");
+    std::fs::write(&refs, ">1\nACGT\n>2\nACGT\n").unwrap();
+    std::fs::write(&queries, ">1\nACGT\n").unwrap();
+    let out = agatha()
+        .args(["align", refs.to_str().unwrap(), queries.to_str().unwrap()])
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("equal number"));
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn demo_runs_with_baseline_engine() {
+    let dir = std::env::temp_dir().join(format!("agatha_cli_demo_{}", std::process::id()));
+    let out = agatha()
+        .args(["demo", "--tech", "hifi", "--reads", "12", "--engine", "saloba"])
+        .args(["-o", dir.to_str().unwrap()])
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "stderr: {}", String::from_utf8_lossy(&out.stderr));
+    assert!(dir.join("score.log").exists());
+    std::fs::remove_dir_all(&dir).ok();
+}

@@ -1,0 +1,253 @@
+//! Task-to-warp assignment strategies (§4.4, Fig. 7, and the §5.6
+//! comparison set).
+//!
+//! * `Original` — tasks go to subwarps in incoming order, the baseline
+//!   behaviour the paper diagnoses ("existing approaches assign tasks to
+//!   warps in the order in which the input is given", §3.1).
+//! * `Sorted` — tasks sorted by workload (number of anti-diagonals) before
+//!   sequential assignment; the "simple and intuitive" comparison of §5.6.
+//! * `UnevenBucketing` — the paper's scheme: sort, pick the longest `1/N`
+//!   tasks (`N` = subwarps per warp), and redistribute them one per warp so
+//!   no warp holds two extreme tasks; the rest fill the remaining slots in
+//!   original order.
+
+/// Ordering strategy for building warp assignments.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum OrderingStrategy {
+    /// Incoming order (the baseline).
+    Original,
+    /// Sort by workload, descending, then assign sequentially.
+    Sorted,
+    /// §4.4 uneven bucketing.
+    UnevenBucketing,
+}
+
+/// One warp's task assignment: `queues[s][g]` is the task index subwarp `s`
+/// processes in generation `g`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WarpAssignment {
+    /// Per-subwarp task queues (inner length ≤ `tasks_per_subwarp`).
+    pub queues: Vec<Vec<usize>>,
+}
+
+impl WarpAssignment {
+    /// All task indices assigned to this warp.
+    pub fn task_indices(&self) -> impl Iterator<Item = usize> + '_ {
+        self.queues.iter().flatten().copied()
+    }
+}
+
+/// Build warp assignments for `workloads.len()` tasks, where `workloads[i]`
+/// is the a-priori size estimate of task `i` (the paper sorts "by the
+/// number of anti-diagonals", §5.6).
+pub fn build_warps(
+    workloads: &[u64],
+    subwarps_per_warp: usize,
+    tasks_per_subwarp: usize,
+    strategy: OrderingStrategy,
+) -> Vec<WarpAssignment> {
+    assert!(subwarps_per_warp >= 1 && tasks_per_subwarp >= 1);
+    let t = workloads.len();
+    if t == 0 {
+        return Vec::new();
+    }
+    let n = subwarps_per_warp;
+    let g = tasks_per_subwarp;
+    let capacity = n * g;
+    let num_warps = t.div_ceil(capacity);
+
+    let order: Vec<usize> = match strategy {
+        OrderingStrategy::Original => (0..t).collect(),
+        OrderingStrategy::Sorted => {
+            let mut idx: Vec<usize> = (0..t).collect();
+            // Stable sort keeps incoming order among equal workloads.
+            idx.sort_by_key(|&i| std::cmp::Reverse(workloads[i]));
+            idx
+        }
+        OrderingStrategy::UnevenBucketing => {
+            return uneven_bucketing(workloads, n, g, num_warps);
+        }
+    };
+
+    sequential_fill(&order, n, num_warps, g)
+}
+
+/// Fill warps in order: warp `w` takes the next `n*g` tasks, distributed
+/// round-robin across subwarps generation by generation.
+fn sequential_fill(order: &[usize], n: usize, num_warps: usize, g: usize) -> Vec<WarpAssignment> {
+    let mut warps: Vec<WarpAssignment> =
+        (0..num_warps).map(|_| WarpAssignment { queues: vec![Vec::new(); n] }).collect();
+    for (pos, &task) in order.iter().enumerate() {
+        let w = pos / (n * g);
+        let within = pos % (n * g);
+        let s = within % n;
+        warps[w].queues[s].push(task);
+    }
+    warps
+}
+
+/// §4.4: the longest `1/N` of the tasks (= one per warp per generation) go
+/// to subwarp 0 of distinct warps; the remaining tasks fill subwarps `1..N`
+/// in their original incoming order.
+fn uneven_bucketing(
+    workloads: &[u64],
+    n: usize,
+    g: usize,
+    num_warps: usize,
+) -> Vec<WarpAssignment> {
+    let t = workloads.len();
+    let mut idx: Vec<usize> = (0..t).collect();
+    idx.sort_by_key(|&i| std::cmp::Reverse(workloads[i]));
+    // One long task per warp per generation.
+    let long_count = (num_warps * g).min(t);
+    let long: Vec<usize> = idx[..long_count].to_vec();
+    let long_set: std::collections::HashSet<usize> = long.iter().copied().collect();
+    // Everything else in original order.
+    let rest: Vec<usize> = (0..t).filter(|i| !long_set.contains(i)).collect();
+
+    let mut warps: Vec<WarpAssignment> =
+        (0..num_warps).map(|_| WarpAssignment { queues: vec![Vec::new(); n] }).collect();
+    // Long tasks: one per warp per generation, rotated across subwarps so a
+    // warp's long tasks land in *different* subwarps — they overlap instead
+    // of serialising in one queue.
+    for (k, &task) in long.iter().enumerate() {
+        let w = k % num_warps;
+        let gen = k / num_warps;
+        warps[w].queues[gen % n].push(task);
+    }
+    // Short tasks: round-robin over warps, each filling its currently
+    // shortest subwarp queue (up to the generation depth `g`).
+    let mut w = 0usize;
+    for &task in &rest {
+        // Find a warp with spare capacity, starting from the cursor.
+        for _ in 0..num_warps {
+            let total: usize = warps[w].queues.iter().map(Vec::len).sum();
+            if total < n * g {
+                break;
+            }
+            w = (w + 1) % num_warps;
+        }
+        let queue = warps[w]
+            .queues
+            .iter_mut()
+            .min_by_key(|q| q.len())
+            .expect("warps have at least one subwarp");
+        queue.push(task);
+        w = (w + 1) % num_warps;
+    }
+    warps
+}
+
+/// Per-warp a-priori workload totals (for balance diagnostics and tests).
+pub fn warp_workloads(warps: &[WarpAssignment], workloads: &[u64]) -> Vec<u64> {
+    warps.iter().map(|w| w.task_indices().map(|i| workloads[i]).sum()).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn assert_partition(warps: &[WarpAssignment], t: usize) {
+        let mut seen = vec![false; t];
+        for w in warps {
+            for i in w.task_indices() {
+                assert!(!seen[i], "task {i} assigned twice");
+                seen[i] = true;
+            }
+        }
+        assert!(seen.iter().all(|&s| s), "some task unassigned");
+    }
+
+    #[test]
+    fn original_preserves_order() {
+        let wl = vec![10u64; 16];
+        let warps = build_warps(&wl, 4, 2, OrderingStrategy::Original);
+        assert_eq!(warps.len(), 2);
+        assert_partition(&warps, 16);
+        // First warp's subwarp 0 gets tasks 0 and 4 (round-robin).
+        assert_eq!(warps[0].queues[0], vec![0, 4]);
+        assert_eq!(warps[0].queues[3], vec![3, 7]);
+        assert_eq!(warps[1].queues[0], vec![8, 12]);
+    }
+
+    #[test]
+    fn sorted_orders_by_workload() {
+        let wl = vec![1, 100, 2, 90, 3, 80, 4, 70];
+        let warps = build_warps(&wl, 4, 1, OrderingStrategy::Sorted);
+        assert_partition(&warps, 8);
+        // Longest four land in warp 0.
+        let w0: Vec<usize> = warps[0].task_indices().collect();
+        assert_eq!(w0, vec![1, 3, 5, 7]);
+    }
+
+    #[test]
+    fn uneven_spreads_long_tasks() {
+        // 4 extreme tasks among 16; 4 warps of 4 subwarps × 1 generation.
+        let mut wl = vec![10u64; 16];
+        for i in [0, 1, 2, 3] {
+            wl[i] = 1000;
+        }
+        let warps = build_warps(&wl, 4, 1, OrderingStrategy::UnevenBucketing);
+        assert_eq!(warps.len(), 4);
+        assert_partition(&warps, 16);
+        // Each warp holds exactly one long task.
+        for w in &warps {
+            let longs = w.task_indices().filter(|&i| wl[i] == 1000).count();
+            assert_eq!(longs, 1, "warp {w:?}");
+        }
+        // Balance: max/min warp workload ratio far below the sorted case.
+        let ub = warp_workloads(&warps, &wl);
+        let sorted = warp_workloads(&build_warps(&wl, 4, 1, OrderingStrategy::Sorted), &wl);
+        let spread = |v: &[u64]| *v.iter().max().unwrap() as f64 / *v.iter().min().unwrap() as f64;
+        assert!(spread(&ub) < spread(&sorted));
+    }
+
+    #[test]
+    fn uneven_with_generations() {
+        let mut wl = vec![5u64; 32];
+        for i in 0..8 {
+            wl[i] = 500;
+        }
+        // 4 warps × 4 subwarps × 2 generations = 32 slots.
+        let warps = build_warps(&wl, 4, 2, OrderingStrategy::UnevenBucketing);
+        assert_eq!(warps.len(), 4);
+        assert_partition(&warps, 32);
+        for w in &warps {
+            let longs = w.task_indices().filter(|&i| wl[i] == 500).count();
+            assert_eq!(longs, 2, "one long task per generation");
+            // The two long tasks sit in different subwarps so they overlap.
+            let in_one_queue = w
+                .queues
+                .iter()
+                .map(|q| q.iter().filter(|&&i| wl[i] == 500).count())
+                .max()
+                .unwrap();
+            assert_eq!(in_one_queue, 1, "long tasks must not share a queue: {w:?}");
+        }
+    }
+
+    #[test]
+    fn ragged_task_count() {
+        let wl = vec![7u64; 13];
+        for strat in [
+            OrderingStrategy::Original,
+            OrderingStrategy::Sorted,
+            OrderingStrategy::UnevenBucketing,
+        ] {
+            let warps = build_warps(&wl, 4, 2, strat);
+            assert_partition(&warps, 13);
+        }
+    }
+
+    #[test]
+    fn single_subwarp_degenerate() {
+        let wl = vec![1u64, 2, 3, 4];
+        let warps = build_warps(&wl, 1, 2, OrderingStrategy::UnevenBucketing);
+        assert_partition(&warps, 4);
+    }
+
+    #[test]
+    fn empty_input() {
+        assert!(build_warps(&[], 4, 2, OrderingStrategy::Original).is_empty());
+    }
+}

@@ -1,0 +1,399 @@
+//! The AGAThA kernel executor: computes one task's real DP values under the
+//! configured tiling (horizontal chunks or sliced diagonal), feeds the
+//! shared [`DiagTracker`], and emits per-checkpoint-unit cost descriptors.
+//!
+//! Exactness: the DP values and termination decisions are identical across
+//! every configuration — tiling affects only *which extra cells get
+//! computed* (run-ahead) and what the memory traffic costs. This is
+//! verified against the scalar reference in this module's tests and by
+//! property tests at the workspace level.
+
+use agatha_align::block::{compute_block, corner_read, north_read, west_init, BlockCtx, Boundary};
+use agatha_align::diag::DiagTracker;
+use agatha_align::{GuidedResult, Scoring, Task, BLOCK, NEG_INF};
+use agatha_gpu_sim::{CostModel, KernelStats};
+
+use crate::options::AgathaConfig;
+use crate::trace::{unit_cost, SliceUnit};
+
+/// Output of executing one task through the kernel.
+#[derive(Debug, Clone)]
+pub struct TaskRun {
+    /// Task identifier (copied from the input).
+    pub id: u32,
+    /// Exact guided-alignment result.
+    pub result: GuidedResult,
+    /// Cost descriptors, one per checkpoint unit, in execution order.
+    pub units: Vec<SliceUnit>,
+    /// Total blocks computed (including run-ahead).
+    pub blocks: u64,
+}
+
+impl TaskRun {
+    /// Cells actually computed by the device (blocks × 64).
+    pub fn computed_cells(&self) -> u64 {
+        self.blocks * agatha_gpu_sim::BLOCK_CELLS
+    }
+
+    /// Aggregate stats at a fixed lane count under a cost model.
+    pub fn stats(&self, lanes: usize, cfg: &AgathaConfig, cost: &CostModel) -> KernelStats {
+        let mut s = KernelStats::new();
+        s.computed_cells = self.computed_cells();
+        s.reference_cells = self.result.cells;
+        s.tasks = 1;
+        s.zdropped_tasks = u64::from(self.result.stop.z_dropped());
+        for u in &self.units {
+            let c = unit_cost(u, lanes, cfg, cost);
+            s.steps += c.steps;
+            s.idle_lane_steps += c.idle_lane_steps;
+            s.mem.add(&c.mem);
+        }
+        s
+    }
+
+    /// Subwarp latency in cycles at a fixed lane count.
+    pub fn cycles(&self, lanes: usize, cfg: &AgathaConfig, cost: &CostModel) -> f64 {
+        crate::trace::units_cycles(&self.units, lanes, cfg, cost)
+    }
+}
+
+/// Per-block-row state carried across slices (sliced mode) or within a row
+/// sweep (horizontal mode).
+#[derive(Debug, Clone)]
+struct RowCarry {
+    west_h: Boundary,
+    west_e: Boundary,
+    corner: i32,
+    started: bool,
+}
+
+impl RowCarry {
+    fn fresh() -> RowCarry {
+        RowCarry {
+            west_h: [NEG_INF; BLOCK],
+            west_e: [NEG_INF; BLOCK],
+            corner: NEG_INF,
+            started: false,
+        }
+    }
+}
+
+/// A row segment scheduled in one unit: query-block row `bj` sweeping
+/// reference blocks `bi_from..=bi_to`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct RowSeg {
+    bj: i64,
+    bi_from: i64,
+    bi_to: i64,
+}
+
+/// Execute one task under `cfg`, producing the exact result plus cost
+/// descriptors.
+pub fn run_task(task: &Task, scoring: &Scoring, cfg: &AgathaConfig) -> TaskRun {
+    let n = task.ref_len();
+    let m = task.query_len();
+    let ctx = BlockCtx::new(n, m, scoring);
+    let mut tracker = DiagTracker::new(n, m, scoring);
+    if n == 0 || m == 0 {
+        return TaskRun { id: task.id, result: tracker.result(), units: Vec::new(), blocks: 0 };
+    }
+
+    let b = BLOCK as i64;
+    let qb = ctx.query_blocks();
+    let rb = ctx.ref_blocks();
+    let padded_n = (rb * b) as usize;
+    let mut row_h = vec![NEG_INF; padded_n];
+    let mut row_f = vec![NEG_INF; padded_n];
+    let mut carries: Vec<RowCarry> = vec![RowCarry::fresh(); qb as usize];
+
+    let lmb_fits =
+        cfg.sliced_diagonal && BLOCK * cfg.slice_width + BLOCK - 1 <= cfg.lmb_max_diags;
+
+    let mut units: Vec<SliceUnit> = Vec::new();
+    let mut blocks_total: u64 = 0;
+    let mut rblock = [0u8; BLOCK];
+    let mut qblock = [0u8; BLOCK];
+
+    // Execute one row segment, updating carries/boundaries/tracker.
+    let mut exec_segment = |seg: RowSeg,
+                            tracker: &mut DiagTracker,
+                            row_h: &mut [i32],
+                            row_f: &mut [i32],
+                            carries: &mut [RowCarry]|
+     -> u64 {
+        let j0 = seg.bj * b;
+        task.query.unpack_block(j0 as usize, &mut qblock);
+        let carry = &mut carries[seg.bj as usize];
+        if !carry.started {
+            let (wh, we) = west_init(&ctx, seg.bi_from * b, j0);
+            carry.west_h = wh;
+            carry.west_e = we;
+            carry.corner = corner_read(&ctx, seg.bi_from * b, j0, row_h);
+            carry.started = true;
+        }
+        let mut blocks = 0u64;
+        for bi in seg.bi_from..=seg.bi_to {
+            let i0 = bi * b;
+            task.reference.unpack_block(i0 as usize, &mut rblock);
+            let (mut nh, mut nf) = north_read(&ctx, i0, j0, row_h, row_f);
+            let next_corner = nh[BLOCK - 1];
+            compute_block(
+                &ctx,
+                i0,
+                j0,
+                &rblock,
+                &qblock,
+                carry.corner,
+                &mut carry.west_h,
+                &mut carry.west_e,
+                &mut nh,
+                &mut nf,
+                tracker,
+            );
+            row_h[i0 as usize..i0 as usize + BLOCK].copy_from_slice(&nh);
+            row_f[i0 as usize..i0 as usize + BLOCK].copy_from_slice(&nf);
+            carry.corner = next_corner;
+            blocks += 1;
+        }
+        blocks
+    };
+
+    // Build the unit schedule: each inner Vec is one checkpoint unit.
+    let schedule: Vec<Vec<RowSeg>> = if cfg.sliced_diagonal {
+        let s = cfg.slice_width as i64;
+        let total_bd = rb + qb - 1;
+        let nslices = (total_bd + s - 1) / s;
+        (0..nslices)
+            .map(|k| {
+                let mut rows = Vec::new();
+                for bj in 0..qb {
+                    let Some((rlo, rhi)) = ctx.row_block_range(bj) else { continue };
+                    let w_lo = (k * s - bj).max(rlo);
+                    let w_hi = (k * s + s - 1 - bj).min(rhi);
+                    if w_lo <= w_hi {
+                        rows.push(RowSeg { bj, bi_from: w_lo, bi_to: w_hi });
+                    }
+                }
+                rows
+            })
+            .filter(|rows| !rows.is_empty())
+            .collect()
+    } else {
+        // Horizontal mode: chunks of `subwarp_lanes` full-band rows.
+        let mut all_rows = Vec::new();
+        for bj in 0..qb {
+            if let Some((rlo, rhi)) = ctx.row_block_range(bj) {
+                all_rows.push(RowSeg { bj, bi_from: rlo, bi_to: rhi });
+            }
+        }
+        all_rows.chunks(cfg.subwarp_lanes).map(|c| c.to_vec()).collect()
+    };
+
+    for unit_rows in schedule {
+        let mut unit_blocks = 0u64;
+        let mut row_cols = Vec::with_capacity(unit_rows.len());
+        for seg in &unit_rows {
+            let blocks = exec_segment(*seg, &mut tracker, &mut row_h, &mut row_f, &mut carries);
+            unit_blocks += blocks;
+            row_cols.push(blocks as u16);
+        }
+        blocks_total += unit_blocks;
+        let before = tracker.frontier();
+        let stop = tracker.advance();
+        let completed = (tracker.frontier() - before) as u32;
+        units.push(SliceUnit {
+            row_cols,
+            blocks: unit_blocks,
+            diags_completed: completed,
+            lmb_fits,
+        });
+        if stop.is_some() {
+            break;
+        }
+    }
+
+    TaskRun { id: task.id, result: tracker.result(), units, blocks: blocks_total }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use agatha_align::guided::guided_align;
+    use agatha_gpu_sim::GpuSpec;
+
+    fn task(r: &str, q: &str) -> Task {
+        Task::from_strs(0, r, q)
+    }
+
+    fn pseudo_seq(len: usize, seed: u64, mutate_every: usize) -> (String, String) {
+        let mut r = String::new();
+        let mut q = String::new();
+        let mut x = seed | 1;
+        for k in 0..len {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            let c = ['A', 'C', 'G', 'T'][(x >> 33) as usize % 4];
+            r.push(c);
+            if mutate_every > 0 && k % mutate_every == 0 {
+                let c2 = ['A', 'C', 'G', 'T'][(x >> 35) as usize % 4];
+                q.push(c2);
+            } else {
+                q.push(c);
+            }
+        }
+        (r, q)
+    }
+
+    fn all_configs() -> Vec<AgathaConfig> {
+        vec![
+            AgathaConfig::baseline(),
+            AgathaConfig::baseline().with_rw(true),
+            AgathaConfig::baseline().with_rw(true).with_sd(true),
+            AgathaConfig::agatha(),
+            AgathaConfig::agatha().with_slice_width(1),
+            AgathaConfig::agatha().with_slice_width(8),
+            AgathaConfig::agatha().with_slice_width(64),
+            AgathaConfig::agatha().with_subwarp(16),
+            AgathaConfig::agatha().with_subwarp(32),
+        ]
+    }
+
+    fn check_exact(r: &str, q: &str, scoring: &Scoring) {
+        let t = task(r, q);
+        let want = guided_align(&t.reference, &t.query, scoring);
+        for cfg in all_configs() {
+            let got = run_task(&t, scoring, &cfg);
+            assert!(
+                got.result.same_alignment(&want),
+                "config {cfg:?}\n got {:?}\nwant {want:?}",
+                got.result
+            );
+            assert_eq!(got.result.cells, want.cells, "reference cells, config {cfg:?}");
+        }
+    }
+
+    #[test]
+    fn exact_small() {
+        let s = Scoring::figure1();
+        check_exact("AGATAGAT", "AGACTATC", &s);
+        check_exact("ACGT", "ACGTACGTACGTACGT", &s);
+    }
+
+    #[test]
+    fn exact_banded_zdrop() {
+        let s = Scoring::new(2, 4, 4, 2, 30, 20);
+        let (r, q) = pseudo_seq(400, 7, 13);
+        check_exact(&r, &q, &s);
+    }
+
+    #[test]
+    fn exact_terminating_junk_tail() {
+        let s = Scoring::new(2, 4, 4, 2, 20, 16);
+        let (mut r, _) = pseudo_seq(150, 11, 0);
+        let (tail_r, _) = pseudo_seq(200, 13, 0);
+        let (tail_q, _) = pseudo_seq(200, 17, 0);
+        let mut q = r.clone();
+        r.push_str(&tail_r);
+        q.push_str(&tail_q);
+        let want = guided_align(
+            &agatha_align::PackedSeq::from_str_seq(&r),
+            &agatha_align::PackedSeq::from_str_seq(&q),
+            &s,
+        );
+        assert!(want.stop.z_dropped(), "test needs a z-dropping input");
+        check_exact(&r, &q, &s);
+    }
+
+    #[test]
+    fn exact_asymmetric_lengths() {
+        let s = Scoring::new(2, 4, 4, 2, 50, 12);
+        let (r, _) = pseudo_seq(300, 23, 0);
+        let (q, _) = pseudo_seq(80, 23, 9); // same seed prefix → aligned start
+        check_exact(&r, &q, &s);
+        check_exact(&q, &r, &s);
+    }
+
+    #[test]
+    fn sliced_reduces_runahead_on_termination() {
+        let s = Scoring::new(2, 4, 4, 2, 20, 32);
+        let (mut r, _) = pseudo_seq(200, 31, 0);
+        let (tail_r, _) = pseudo_seq(400, 37, 0);
+        let (tail_q, _) = pseudo_seq(400, 41, 0);
+        let mut q = r.clone();
+        r.push_str(&tail_r);
+        q.push_str(&tail_q);
+        let t = task(&r, &q);
+        let horiz = run_task(&t, &s, &AgathaConfig::baseline().with_rw(true));
+        let sliced = run_task(&t, &s, &AgathaConfig::baseline().with_rw(true).with_sd(true));
+        assert!(horiz.result.stop.z_dropped());
+        assert!(
+            sliced.blocks < horiz.blocks,
+            "sliced diagonal must bound run-ahead: {} vs {}",
+            sliced.blocks,
+            horiz.blocks
+        );
+    }
+
+    #[test]
+    fn wider_slices_more_runahead() {
+        let s = Scoring::new(2, 4, 4, 2, 20, 32);
+        let (mut r, _) = pseudo_seq(200, 43, 0);
+        let (tr, _) = pseudo_seq(400, 47, 0);
+        let (tq, _) = pseudo_seq(400, 53, 0);
+        let mut q = r.clone();
+        r.push_str(&tr);
+        q.push_str(&tq);
+        let t = task(&r, &q);
+        let narrow = run_task(&t, &s, &AgathaConfig::agatha().with_slice_width(2));
+        let wide = run_task(&t, &s, &AgathaConfig::agatha().with_slice_width(64));
+        assert!(narrow.blocks <= wide.blocks);
+    }
+
+    #[test]
+    fn unit_blocks_cover_whole_band_when_no_termination() {
+        let s = Scoring::new(2, 4, 4, 2, Scoring::NO_ZDROP, 16);
+        let (r, q) = pseudo_seq(250, 3, 11);
+        let t = task(&r, &q);
+        let cfgs = [AgathaConfig::baseline(), AgathaConfig::agatha()];
+        let counts: Vec<u64> = cfgs.iter().map(|c| run_task(&t, &s, c).blocks).collect();
+        // Without termination, every schedule computes exactly the band's
+        // block cover, so totals agree.
+        assert_eq!(counts[0], counts[1]);
+    }
+
+    #[test]
+    fn cycles_monotone_in_lane_count() {
+        // Band wide enough that slices span more rows than one subwarp.
+        let s = Scoring::new(2, 4, 4, 2, 400, 64);
+        let (r, q) = pseudo_seq(400, 5, 17);
+        let t = task(&r, &q);
+        let cfg = AgathaConfig::agatha();
+        let run = run_task(&t, &s, &cfg);
+        let cost = CostModel::for_spec(&GpuSpec::rtx_a6000());
+        let c8 = run.cycles(8, &cfg, &cost);
+        let c32 = run.cycles(32, &cfg, &cost);
+        assert!(c32 < c8, "more lanes must not be slower: {c32} vs {c8}");
+    }
+
+    #[test]
+    fn stats_consistency() {
+        let s = Scoring::new(2, 4, 4, 2, 100, 24);
+        let (r, q) = pseudo_seq(200, 19, 23);
+        let t = task(&r, &q);
+        let cfg = AgathaConfig::agatha();
+        let run = run_task(&t, &s, &cfg);
+        let cost = CostModel::for_spec(&GpuSpec::rtx_a6000());
+        let st = run.stats(8, &cfg, &cost);
+        assert_eq!(st.computed_cells, run.blocks * 64);
+        assert!(st.computed_cells >= st.reference_cells);
+        assert_eq!(st.tasks, 1);
+    }
+
+    #[test]
+    fn empty_task() {
+        let t = task("", "ACGT");
+        let run = run_task(&t, &Scoring::figure1(), &AgathaConfig::agatha());
+        assert_eq!(run.result.score, 0);
+        assert_eq!(run.blocks, 0);
+        assert!(run.units.is_empty());
+    }
+}

@@ -1,0 +1,35 @@
+//! # agatha-core
+//!
+//! The paper's contribution: the AGAThA guided-alignment kernel and its
+//! host-side scheduling, built on the `agatha-gpu-sim` execution model.
+//!
+//! The four techniques map to modules as follows:
+//!
+//! * **Rolling window** (§4.1) — anti-diagonal maxima tracked in shared
+//!   memory with periodic spills: cost accounting in [`kernel`], semantics
+//!   delegated to [`agatha_align::diag::DiagTracker`].
+//! * **Sliced diagonal** (§4.2) — the tiling in [`kernel`]/[`trace`]:
+//!   diagonal slices of `slice_width` blocks bound run-ahead and let the
+//!   local-max buffer fit in shared memory.
+//! * **Subwarp rejoining** (§4.3) — the intra-warp work-stealing simulation
+//!   in [`warp_sim`].
+//! * **Uneven bucketing** (§4.4) — the task-to-warp assignment in
+//!   [`bucketing`].
+//!
+//! [`pipeline::Pipeline`] ties everything into a batch aligner; every
+//! feature can be toggled independently through [`options::AgathaConfig`]
+//! for the ablation study (Fig. 9).
+
+pub mod bucketing;
+pub mod kernel;
+pub mod model;
+pub mod options;
+pub mod pipeline;
+pub mod predictive;
+pub mod trace;
+pub mod warp_sim;
+
+pub use bucketing::OrderingStrategy;
+pub use kernel::{run_task, TaskRun};
+pub use options::AgathaConfig;
+pub use pipeline::{BatchReport, Pipeline};

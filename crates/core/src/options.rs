@@ -1,0 +1,163 @@
+//! Kernel configuration and feature toggles.
+
+use agatha_gpu_sim::WARP_LANES;
+
+/// Configuration of the AGAThA kernel. Every §4 technique can be toggled
+/// independently so the ablation study (Fig. 9) and the sensitivity studies
+/// (Fig. 10 slice width, Fig. 14 subwarp size) are all expressible.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AgathaConfig {
+    /// Threads per subwarp (8 in the final design; Fig. 14 sweeps 8/16/32).
+    pub subwarp_lanes: usize,
+    /// Slice width `s` in blocks (3 in the final design; Fig. 10 sweeps
+    /// 1..128). Only meaningful with `sliced_diagonal`.
+    pub slice_width: usize,
+    /// §4.1 rolling window: track anti-diagonal maxima in shared memory
+    /// (LMB) instead of per-cell global-memory updates.
+    pub rolling_window: bool,
+    /// §4.2 sliced diagonal tiling; when `false` the kernel degrades to the
+    /// horizontal-only chunk sweep ("when `s` is larger than the band width,
+    /// the sliced diagonal kernel reduces to the baseline kernel").
+    pub sliced_diagonal: bool,
+    /// §4.3 subwarp rejoining (intra-warp work stealing at slice
+    /// boundaries).
+    pub subwarp_rejoining: bool,
+    /// §4.4 uneven bucketing (inter-warp workload balancing).
+    pub uneven_bucketing: bool,
+    /// Task-queue depth per subwarp slot: how many alignment "generations"
+    /// a warp processes (Fig. 6 shows two).
+    pub tasks_per_subwarp: usize,
+    /// LMB capacity per subwarp in anti-diagonal rows. When a slice's span
+    /// fits, no global spilling is needed (§4.2); the default corresponds
+    /// to `3 × block_size` rows per lane of a 100 KiB-SM budget.
+    pub lmb_max_diags: usize,
+    /// Model Hopper DPX instructions (§6 discussion).
+    pub use_dpx: bool,
+}
+
+impl AgathaConfig {
+    /// The naive exact baseline of the ablation study: guided algorithm on
+    /// the SALoBa-style design with none of the §4 techniques.
+    pub fn baseline() -> AgathaConfig {
+        AgathaConfig {
+            subwarp_lanes: 8,
+            slice_width: 3,
+            rolling_window: false,
+            sliced_diagonal: false,
+            subwarp_rejoining: false,
+            uneven_bucketing: false,
+            tasks_per_subwarp: 2,
+            lmb_max_diags: 64,
+            use_dpx: false,
+        }
+    }
+
+    /// Full AGAThA: all four techniques on, slice width 3, subwarp 8.
+    pub fn agatha() -> AgathaConfig {
+        AgathaConfig {
+            rolling_window: true,
+            sliced_diagonal: true,
+            subwarp_rejoining: true,
+            uneven_bucketing: true,
+            ..AgathaConfig::baseline()
+        }
+    }
+
+    /// Ablation step `+RW`.
+    pub fn with_rw(mut self, on: bool) -> AgathaConfig {
+        self.rolling_window = on;
+        self
+    }
+
+    /// Ablation step `+SD`.
+    pub fn with_sd(mut self, on: bool) -> AgathaConfig {
+        self.sliced_diagonal = on;
+        self
+    }
+
+    /// Ablation step `+SR`.
+    pub fn with_sr(mut self, on: bool) -> AgathaConfig {
+        self.subwarp_rejoining = on;
+        self
+    }
+
+    /// Ablation step `+UB`.
+    pub fn with_ub(mut self, on: bool) -> AgathaConfig {
+        self.uneven_bucketing = on;
+        self
+    }
+
+    /// Set the slice width (Fig. 10).
+    pub fn with_slice_width(mut self, s: usize) -> AgathaConfig {
+        assert!(s >= 1);
+        self.slice_width = s;
+        self
+    }
+
+    /// Set the subwarp size (Fig. 14).
+    pub fn with_subwarp(mut self, lanes: usize) -> AgathaConfig {
+        assert!(
+            lanes >= 1 && lanes <= WARP_LANES && WARP_LANES % lanes == 0,
+            "subwarp must divide the warp"
+        );
+        self.subwarp_lanes = lanes;
+        self
+    }
+
+    /// Subwarps per warp (`N` in §4.4).
+    #[inline]
+    pub fn subwarps_per_warp(&self) -> usize {
+        WARP_LANES / self.subwarp_lanes
+    }
+
+    /// Whether slice widths allow replacing modulo by bitwise-and in the
+    /// window indexing ("it is possible to use bitwise & operation with
+    /// these widths instead of modulo", §5.5 — widths 3 and 7, i.e. one
+    /// less than a power of two).
+    #[inline]
+    pub fn slice_width_uses_mask(&self) -> bool {
+        (self.slice_width + 1).is_power_of_two()
+    }
+}
+
+impl Default for AgathaConfig {
+    fn default() -> AgathaConfig {
+        AgathaConfig::agatha()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_paper() {
+        let c = AgathaConfig::agatha();
+        assert_eq!(c.subwarp_lanes, 8);
+        assert_eq!(c.slice_width, 3);
+        assert!(c.rolling_window && c.sliced_diagonal);
+        assert!(c.subwarp_rejoining && c.uneven_bucketing);
+        assert_eq!(c.subwarps_per_warp(), 4);
+    }
+
+    #[test]
+    fn mask_widths() {
+        assert!(AgathaConfig::agatha().with_slice_width(3).slice_width_uses_mask());
+        assert!(AgathaConfig::agatha().with_slice_width(7).slice_width_uses_mask());
+        assert!(!AgathaConfig::agatha().with_slice_width(4).slice_width_uses_mask());
+        assert!(!AgathaConfig::agatha().with_slice_width(5).slice_width_uses_mask());
+    }
+
+    #[test]
+    #[should_panic(expected = "divide the warp")]
+    fn bad_subwarp_rejected() {
+        let _ = AgathaConfig::agatha().with_subwarp(12);
+    }
+
+    #[test]
+    fn ablation_chain() {
+        let c = AgathaConfig::baseline().with_rw(true).with_sd(true);
+        assert!(c.rolling_window && c.sliced_diagonal);
+        assert!(!c.subwarp_rejoining && !c.uneven_bucketing);
+    }
+}

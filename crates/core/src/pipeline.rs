@@ -1,0 +1,294 @@
+//! End-to-end batch alignment: tasks → kernel runs → warp assignment →
+//! warp simulation → device scheduling → scores + simulated time.
+//!
+//! Host-side execution parallelises across CPU threads with a shared atomic
+//! work index (tasks have a long-tailed size distribution, so static
+//! chunking would recreate on the host exactly the imbalance the paper
+//! fixes on the GPU).
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+use agatha_align::{GuidedResult, Scoring, Task};
+use agatha_gpu_sim::{sched, CostModel, DeviceReport, GpuSpec, KernelStats};
+
+use crate::bucketing::{build_warps, OrderingStrategy, WarpAssignment};
+use crate::kernel::{run_task, TaskRun};
+use crate::options::AgathaConfig;
+use crate::warp_sim::simulate_warp;
+
+/// A configured aligner: scoring, kernel options and target device.
+#[derive(Debug, Clone)]
+pub struct Pipeline {
+    /// Alignment scoring parameters.
+    pub scoring: Scoring,
+    /// Kernel configuration.
+    pub config: AgathaConfig,
+    /// Target GPU.
+    pub spec: GpuSpec,
+    /// Cost model (derived from `spec` unless overridden).
+    pub cost: CostModel,
+    /// Number of identical GPUs (tasks split evenly; §5.8).
+    pub gpus: usize,
+    /// Host threads for the simulation itself (0 = all available).
+    pub host_threads: usize,
+}
+
+/// Everything a batch run produces.
+#[derive(Debug, Clone)]
+pub struct BatchReport {
+    /// Alignment results, indexed like the input tasks.
+    pub results: Vec<GuidedResult>,
+    /// Simulated kernel time in milliseconds (max across GPUs).
+    pub elapsed_ms: f64,
+    /// Scheduling detail of the (first) device.
+    pub device: DeviceReport,
+    /// Aggregate execution statistics.
+    pub stats: KernelStats,
+    /// Per-warp latencies in submission order (cycles).
+    pub warp_cycles: Vec<f64>,
+    /// Fig. 12 data: per subwarp slot, (a-priori assigned blocks,
+    /// actually executed blocks after rejoining).
+    pub subwarp_blocks: Vec<(u64, f64)>,
+}
+
+impl Pipeline {
+    /// AGAThA on a single RTX A6000 (the paper's primary setup).
+    pub fn new(scoring: Scoring, config: AgathaConfig) -> Pipeline {
+        let spec = GpuSpec::rtx_a6000();
+        let mut cost = CostModel::for_spec(&spec);
+        cost.use_dpx = config.use_dpx;
+        Pipeline { scoring, config, spec, cost, gpus: 1, host_threads: 0 }
+    }
+
+    /// Change the target GPU.
+    pub fn with_spec(mut self, spec: GpuSpec) -> Pipeline {
+        let mut cost = CostModel::for_spec(&spec);
+        cost.use_dpx = self.config.use_dpx;
+        self.spec = spec;
+        self.cost = cost;
+        self
+    }
+
+    /// Use `gpus` identical devices.
+    pub fn with_gpus(mut self, gpus: usize) -> Pipeline {
+        assert!(gpus >= 1);
+        self.gpus = gpus;
+        self
+    }
+
+    /// The ordering strategy implied by the configuration.
+    pub fn default_strategy(&self) -> OrderingStrategy {
+        if self.config.uneven_bucketing {
+            OrderingStrategy::UnevenBucketing
+        } else {
+            OrderingStrategy::Original
+        }
+    }
+
+    /// Align a batch using the configuration's implied ordering.
+    pub fn align_batch(&self, tasks: &[Task]) -> BatchReport {
+        self.align_batch_with_strategy(tasks, self.default_strategy())
+    }
+
+    /// Align a batch with an explicit ordering strategy (Fig. 11 compares
+    /// several on otherwise identical configurations).
+    pub fn align_batch_with_strategy(
+        &self,
+        tasks: &[Task],
+        strategy: OrderingStrategy,
+    ) -> BatchReport {
+        let runs = self.execute_tasks(tasks);
+
+        // A-priori workload estimate: number of anti-diagonals (§5.6).
+        let workloads: Vec<u64> = tasks.iter().map(|t| t.antidiags() as u64).collect();
+        let warps = build_warps(
+            &workloads,
+            self.config.subwarps_per_warp(),
+            self.config.tasks_per_subwarp,
+            strategy,
+        );
+
+        let (warp_cycles, subwarp_blocks) = self.simulate_warps(&runs, &warps);
+
+        let device = sched::schedule(&warp_cycles, self.spec.warp_slots());
+        let makespan = if self.gpus == 1 {
+            device.makespan_cycles
+        } else {
+            sched::multi_gpu_makespan(&warp_cycles, self.spec.warp_slots(), self.gpus)
+        };
+
+        let mut stats = KernelStats::new();
+        for r in &runs {
+            stats.add(&r.stats(self.config.subwarp_lanes, &self.config, &self.cost));
+        }
+
+        let results = runs.into_iter().map(|r| r.result).collect();
+        BatchReport {
+            results,
+            elapsed_ms: self.spec.cycles_to_ms(makespan),
+            device,
+            stats,
+            warp_cycles,
+            subwarp_blocks,
+        }
+    }
+
+    /// Execute the kernels for all tasks in parallel on the host.
+    pub fn execute_tasks(&self, tasks: &[Task]) -> Vec<TaskRun> {
+        let threads = if self.host_threads > 0 {
+            self.host_threads
+        } else {
+            std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+        }
+        .min(tasks.len().max(1));
+
+        let mut out: Vec<Option<TaskRun>> = (0..tasks.len()).map(|_| None).collect();
+        if threads <= 1 {
+            for (i, t) in tasks.iter().enumerate() {
+                out[i] = Some(run_task(t, &self.scoring, &self.config));
+            }
+        } else {
+            let next = AtomicUsize::new(0);
+            let collected: Vec<Vec<(usize, TaskRun)>> = std::thread::scope(|scope| {
+                let handles: Vec<_> = (0..threads)
+                    .map(|_| {
+                        let next = &next;
+                        scope.spawn(move || {
+                            let mut local = Vec::new();
+                            loop {
+                                let i = next.fetch_add(1, Ordering::Relaxed);
+                                if i >= tasks.len() {
+                                    break;
+                                }
+                                local.push((i, run_task(&tasks[i], &self.scoring, &self.config)));
+                            }
+                            local
+                        })
+                    })
+                    .collect();
+                handles.into_iter().map(|h| h.join().expect("worker panicked")).collect()
+            });
+            for (i, run) in collected.into_iter().flatten() {
+                out[i] = Some(run);
+            }
+        }
+        out.into_iter().map(|r| r.expect("every task executed")).collect()
+    }
+
+    /// Simulate all warps, returning per-warp cycles (submission order) and
+    /// per-subwarp-slot block accounting.
+    fn simulate_warps(
+        &self,
+        runs: &[TaskRun],
+        warps: &[WarpAssignment],
+    ) -> (Vec<f64>, Vec<(u64, f64)>) {
+        let mut warp_cycles = Vec::with_capacity(warps.len());
+        let mut subwarp_blocks = Vec::new();
+        for w in warps {
+            let queues: Vec<Vec<&TaskRun>> =
+                w.queues.iter().map(|q| q.iter().map(|&i| &runs[i]).collect()).collect();
+            let outcome = simulate_warp(&queues, &self.config, &self.cost);
+            warp_cycles.push(outcome.cycles);
+            for (s, q) in w.queues.iter().enumerate() {
+                let assigned: u64 = q.iter().map(|&i| runs[i].blocks).sum();
+                subwarp_blocks.push((assigned, outcome.subwarp_blocks[s]));
+            }
+        }
+        (warp_cycles, subwarp_blocks)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use agatha_align::guided::guided_align;
+
+    fn mk_tasks(count: usize, len_base: usize, seed: u64) -> Vec<Task> {
+        let mut tasks = Vec::new();
+        let mut x = seed | 1;
+        for id in 0..count {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            let len = len_base + (x >> 33) as usize % len_base;
+            let mut r = String::new();
+            let mut q = String::new();
+            for k in 0..len {
+                x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                let c = ['A', 'C', 'G', 'T'][(x >> 33) as usize % 4];
+                r.push(c);
+                q.push(if k % 19 == 0 { 'T' } else { c });
+            }
+            tasks.push(Task::from_strs(id as u32, &r, &q));
+        }
+        tasks
+    }
+
+    #[test]
+    fn batch_results_are_exact() {
+        let scoring = Scoring::new(2, 4, 4, 2, 60, 16);
+        let tasks = mk_tasks(24, 120, 77);
+        let p = Pipeline::new(scoring, AgathaConfig::agatha());
+        let rep = p.align_batch(&tasks);
+        assert_eq!(rep.results.len(), tasks.len());
+        for (t, got) in tasks.iter().zip(&rep.results) {
+            let want = guided_align(&t.reference, &t.query, &scoring);
+            assert!(got.same_alignment(&want), "task {}", t.id);
+        }
+        assert!(rep.elapsed_ms > 0.0);
+    }
+
+    #[test]
+    fn strategies_do_not_change_scores() {
+        let scoring = Scoring::new(2, 4, 4, 2, 60, 16);
+        let tasks = mk_tasks(17, 100, 99);
+        let p = Pipeline::new(scoring, AgathaConfig::agatha());
+        let a = p.align_batch_with_strategy(&tasks, OrderingStrategy::Original);
+        let b = p.align_batch_with_strategy(&tasks, OrderingStrategy::Sorted);
+        let c = p.align_batch_with_strategy(&tasks, OrderingStrategy::UnevenBucketing);
+        for i in 0..tasks.len() {
+            assert!(a.results[i].same_alignment(&b.results[i]));
+            assert!(a.results[i].same_alignment(&c.results[i]));
+        }
+    }
+
+    #[test]
+    fn multi_gpu_is_faster() {
+        let scoring = Scoring::new(2, 4, 4, 2, 60, 16);
+        let tasks = mk_tasks(64, 100, 5);
+        let one = Pipeline::new(scoring, AgathaConfig::agatha()).align_batch(&tasks);
+        let four =
+            Pipeline::new(scoring, AgathaConfig::agatha()).with_gpus(4).align_batch(&tasks);
+        assert!(four.elapsed_ms <= one.elapsed_ms);
+    }
+
+    #[test]
+    fn single_threaded_host_matches_parallel() {
+        let scoring = Scoring::new(2, 4, 4, 2, 60, 16);
+        let tasks = mk_tasks(9, 80, 13);
+        let mut p = Pipeline::new(scoring, AgathaConfig::agatha());
+        let par = p.align_batch(&tasks);
+        p.host_threads = 1;
+        let ser = p.align_batch(&tasks);
+        assert_eq!(par.results, ser.results);
+        assert!((par.elapsed_ms - ser.elapsed_ms).abs() < 1e-12);
+    }
+
+    #[test]
+    fn subwarp_block_accounting_conserves_work() {
+        let scoring = Scoring::new(2, 4, 4, 2, 60, 16);
+        let tasks = mk_tasks(20, 90, 21);
+        let p = Pipeline::new(scoring, AgathaConfig::agatha());
+        let rep = p.align_batch(&tasks);
+        let assigned: u64 = rep.subwarp_blocks.iter().map(|&(a, _)| a).sum();
+        let executed: f64 = rep.subwarp_blocks.iter().map(|&(_, e)| e).sum();
+        assert_eq!(assigned, rep.stats.computed_cells / 64);
+        assert!((executed - assigned as f64).abs() / (assigned as f64) < 1e-9);
+    }
+
+    #[test]
+    fn empty_batch() {
+        let p = Pipeline::new(Scoring::default(), AgathaConfig::agatha());
+        let rep = p.align_batch(&[]);
+        assert!(rep.results.is_empty());
+        assert_eq!(rep.elapsed_ms, 0.0);
+    }
+}

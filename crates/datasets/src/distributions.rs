@@ -1,0 +1,69 @@
+//! Minimal distribution sampling on top of `rand`'s uniform generator
+//! (log-normal via Box–Muller, Pareto via inverse transform), keeping the
+//! dependency set to the approved list.
+
+use rand::Rng;
+
+/// Sample a standard normal deviate (Box–Muller).
+pub fn standard_normal<R: Rng + ?Sized>(rng: &mut R) -> f64 {
+    // Avoid log(0).
+    let u1: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+    let u2: f64 = rng.gen_range(0.0..1.0);
+    (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
+}
+
+/// Sample a log-normal deviate with the given log-space parameters.
+pub fn log_normal<R: Rng + ?Sized>(rng: &mut R, mu: f64, sigma: f64) -> f64 {
+    (mu + sigma * standard_normal(rng)).exp()
+}
+
+/// Sample a Pareto deviate with scale 1 and the given shape.
+pub fn pareto<R: Rng + ?Sized>(rng: &mut R, alpha: f64) -> f64 {
+    let u: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+    u.powf(-1.0 / alpha)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{rngs::StdRng, SeedableRng};
+
+    #[test]
+    fn normal_mean_and_spread() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let n = 20_000;
+        let samples: Vec<f64> = (0..n).map(|_| standard_normal(&mut rng)).collect();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        let var = samples.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / n as f64;
+        assert!(mean.abs() < 0.05, "mean {mean}");
+        assert!((var - 1.0).abs() < 0.1, "variance {var}");
+    }
+
+    #[test]
+    fn log_normal_median() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let mu = 7.0;
+        let mut samples: Vec<f64> = (0..10_001).map(|_| log_normal(&mut rng, mu, 0.5)).collect();
+        samples.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let median = samples[5000];
+        assert!((median.ln() - mu).abs() < 0.1, "median {median}");
+    }
+
+    #[test]
+    fn pareto_is_heavy_tailed_and_bounded_below() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let samples: Vec<f64> = (0..10_000).map(|_| pareto(&mut rng, 1.5)).collect();
+        assert!(samples.iter().all(|&x| x >= 1.0));
+        let big = samples.iter().filter(|&&x| x > 10.0).count();
+        assert!(big > 10, "expected a heavy tail, got {big} samples > 10");
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(standard_normal(&mut a), standard_normal(&mut b));
+        }
+    }
+}

@@ -1,0 +1,116 @@
+//! Synthetic reference genome generation (the GRCh38 stand-in).
+//!
+//! Real genomes are not uniform random: they have GC bias and repeat
+//! content (which is what makes banding/termination interesting). The
+//! generator plants tandem and interspersed repeats over a biased random
+//! background.
+
+use rand::{rngs::StdRng, Rng, SeedableRng};
+
+/// Generate `len` base codes (0–3) with the given GC fraction and a few
+/// percent of repeat content.
+pub fn generate_genome(len: usize, seed: u64) -> Vec<u8> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let gc = 0.41; // human-like GC content
+    let mut genome = Vec::with_capacity(len);
+    for _ in 0..len {
+        let r: f64 = rng.gen();
+        let base = if r < gc / 2.0 {
+            1 // C
+        } else if r < gc {
+            2 // G
+        } else if r < gc + (1.0 - gc) / 2.0 {
+            0 // A
+        } else {
+            3 // T
+        };
+        genome.push(base);
+    }
+    plant_repeats(&mut genome, &mut rng);
+    genome
+}
+
+/// Overwrite ~5 % of the genome with tandem copies of short motifs and
+/// ~3 % with dispersed copies of a few "transposon" sequences.
+fn plant_repeats(genome: &mut [u8], rng: &mut StdRng) {
+    let len = genome.len();
+    if len < 1024 {
+        return;
+    }
+    // Tandem repeats: motif length 2–16, copy number 8–64.
+    let mut covered = 0usize;
+    while covered < len / 20 {
+        let motif_len = rng.gen_range(2..=16);
+        let copies = rng.gen_range(8..=64);
+        let total = motif_len * copies;
+        if total + 1 >= len {
+            break;
+        }
+        let start = rng.gen_range(0..len - total - 1);
+        let motif: Vec<u8> = (0..motif_len).map(|_| rng.gen_range(0..4)).collect();
+        for c in 0..copies {
+            let at = start + c * motif_len;
+            genome[at..at + motif_len].copy_from_slice(&motif);
+        }
+        covered += total;
+    }
+    // Interspersed repeats: 3 families, 300-base elements.
+    let family: Vec<Vec<u8>> =
+        (0..3).map(|_| (0..300).map(|_| rng.gen_range(0..4)).collect()).collect();
+    let mut placed = 0usize;
+    while placed < len / 33 {
+        let f = &family[rng.gen_range(0..family.len())];
+        if f.len() + 1 >= len {
+            break;
+        }
+        let start = rng.gen_range(0..len - f.len() - 1);
+        genome[start..start + f.len()].copy_from_slice(f);
+        placed += f.len();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic() {
+        assert_eq!(generate_genome(10_000, 7), generate_genome(10_000, 7));
+        assert_ne!(generate_genome(10_000, 7), generate_genome(10_000, 8));
+    }
+
+    #[test]
+    fn gc_content_in_range() {
+        let g = generate_genome(100_000, 1);
+        let gc = g.iter().filter(|&&b| b == 1 || b == 2).count() as f64 / g.len() as f64;
+        assert!((0.35..0.50).contains(&gc), "GC {gc}");
+    }
+
+    #[test]
+    fn codes_valid() {
+        assert!(generate_genome(5_000, 3).iter().all(|&b| b < 4));
+    }
+
+    #[test]
+    fn contains_tandem_repeats() {
+        // Some position should start a long exact self-overlap at small
+        // period — evidence of a tandem repeat.
+        let g = generate_genome(200_000, 11);
+        let mut found = false;
+        'outer: for start in (0..g.len() - 256).step_by(97) {
+            for period in 2..=16 {
+                let mut run = 0;
+                while start + period + run < g.len().min(start + 256)
+                    && g[start + run] == g[start + period + run]
+                {
+                    run += 1;
+                }
+                if run >= 64 {
+                    found = true;
+                    break 'outer;
+                }
+            }
+        }
+        assert!(found, "expected at least one tandem repeat");
+    }
+}

@@ -1,0 +1,107 @@
+//! Controlled long/short mixtures for Fig. 13: "datasets by varying the
+//! percentage of long sequences (4096 bp) against short sequences (128 bp)".
+
+use agatha_align::{PackedSeq, Scoring, Task};
+use rand::{rngs::StdRng, Rng, SeedableRng};
+
+use crate::genome::generate_genome;
+use crate::profiles::Tech;
+use crate::spec::Dataset;
+
+/// Length of a "long" sequence in the mixture.
+pub const LONG_LEN: usize = 4096;
+/// Length of a "short" sequence in the mixture.
+pub const SHORT_LEN: usize = 128;
+
+/// Generate a mixture dataset with `pct_long` percent long tasks.
+///
+/// Long tasks are scattered through the batch (not front-loaded), matching
+/// the paper's arbitrary incoming order; the RNG decides placement.
+pub fn long_short_mix(pct_long: f64, total: usize, seed: u64) -> Dataset {
+    assert!((0.0..=100.0).contains(&pct_long));
+    let genome = generate_genome(200_000, seed.wrapping_mul(0x2545F4914F6CDD1D));
+    let mut rng = StdRng::seed_from_u64(seed);
+    let long_count = ((total as f64) * pct_long / 100.0).round() as usize;
+
+    // Choose which slots hold long tasks.
+    let mut is_long = vec![false; total];
+    let mut placed = 0;
+    while placed < long_count {
+        let at = rng.gen_range(0..total);
+        if !is_long[at] {
+            is_long[at] = true;
+            placed += 1;
+        }
+    }
+
+    let profile = {
+        // Near-clean reads: Fig. 13 isolates workload balancing, not
+        // termination.
+        let mut p = Tech::Clr.profile();
+        p.junk_fraction = 0.0;
+        p.chimera_fraction = 0.0;
+        p.divergent_fraction = 0.0;
+        p
+    };
+    let tasks: Vec<Task> = is_long
+        .iter()
+        .enumerate()
+        .map(|(id, &long)| {
+            let len = if long { LONG_LEN } else { SHORT_LEN };
+            let start = rng.gen_range(0..genome.len() - 2 * len);
+            let template = &genome[start..start + len];
+            let read = crate::reads::apply_errors(template, &profile, &mut rng);
+            let margin = (len / 8).max(32);
+            Task {
+                id: id as u32,
+                reference: PackedSeq::from_codes(&genome[start..start + len + margin]),
+                query: PackedSeq::from_codes(&read),
+            }
+        })
+        .collect();
+
+    Dataset {
+        name: format!("mix {pct_long}% long"),
+        tech: Tech::Clr,
+        tasks,
+        scoring: Scoring::preset_clr().scaled_guides(4),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn percentages_respected() {
+        for pct in [25.0, 10.0, 5.0, 1.0] {
+            let d = long_short_mix(pct, 200, 42);
+            let long = d.tasks.iter().filter(|t| t.query_len() > LONG_LEN / 2).count();
+            let expect = (200.0 * pct / 100.0).round() as usize;
+            assert_eq!(long, expect, "pct {pct}");
+        }
+    }
+
+    #[test]
+    fn long_tasks_scattered() {
+        let d = long_short_mix(25.0, 200, 7);
+        let first_half_long =
+            d.tasks[..100].iter().filter(|t| t.query_len() > LONG_LEN / 2).count();
+        assert!((10..=40).contains(&first_half_long), "placement skew: {first_half_long}");
+    }
+
+    #[test]
+    fn deterministic() {
+        let a = long_short_mix(10.0, 100, 9);
+        let b = long_short_mix(10.0, 100, 9);
+        for (x, y) in a.tasks.iter().zip(&b.tasks) {
+            assert_eq!(x.query, y.query);
+        }
+    }
+
+    #[test]
+    fn zero_and_full() {
+        assert!(long_short_mix(0.0, 50, 1).tasks.iter().all(|t| t.query_len() < 1000));
+        assert!(long_short_mix(100.0, 50, 1).tasks.iter().all(|t| t.query_len() > 1000));
+    }
+}

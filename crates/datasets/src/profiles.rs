@@ -1,0 +1,157 @@
+//! Sequencing-technology profiles (§5.1's three dataset categories).
+//!
+//! Lengths are expressed at *benchmark scale*: roughly 1/8 of the real
+//! technologies' read lengths, with band width and Z-drop threshold scaled
+//! accordingly (see `Scoring::scaled_guides`). This keeps the full 9-dataset
+//! × 10-engine sweeps tractable while preserving every distributional
+//! property the scheduling results depend on.
+
+use agatha_align::Scoring;
+
+/// Sequencing technology category.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Tech {
+    /// PacBio HiFi: long, highly accurate circular-consensus reads.
+    HiFi,
+    /// PacBio CLR: long continuous reads with high error rates.
+    Clr,
+    /// Oxford Nanopore: the longest reads, heavy length tail, mixed errors.
+    Ont,
+}
+
+impl Tech {
+    /// Display name used in dataset labels.
+    pub fn name(self) -> &'static str {
+        match self {
+            Tech::HiFi => "HiFi",
+            Tech::Clr => "CLR",
+            Tech::Ont => "ONT",
+        }
+    }
+
+    /// The Minimap2 preset for this category ("we used Minimap2's preset
+    /// parameters for each dataset category", §5.1), at benchmark scale.
+    pub fn scoring(self) -> Scoring {
+        match self {
+            Tech::HiFi => Scoring::preset_hifi().with_band(200),
+            Tech::Clr => Scoring::preset_clr().scaled_guides(2),
+            Tech::Ont => Scoring::preset_ont().scaled_guides(2),
+        }
+    }
+
+    /// Generation parameters for this category.
+    pub fn profile(self) -> TechProfile {
+        match self {
+            Tech::HiFi => TechProfile {
+                tech: self,
+                len_log_mean: 7.0, // median ≈ 1100 bases
+                len_log_sigma: 0.25,
+                tail_fraction: 0.06,
+                tail_alpha: 1.8,
+                max_len: 8_000,
+                sub_rate: 0.002,
+                ins_rate: 0.001,
+                del_rate: 0.001,
+                junk_fraction: 0.45,
+                chimera_fraction: 0.28,
+                divergent_fraction: 0.10,
+            },
+            Tech::Clr => TechProfile {
+                tech: self,
+                len_log_mean: 7.1, // median ≈ 1210
+                len_log_sigma: 0.45,
+                tail_fraction: 0.08,
+                tail_alpha: 1.5,
+                max_len: 9_000,
+                sub_rate: 0.06,
+                ins_rate: 0.04,
+                del_rate: 0.02,
+                junk_fraction: 0.45,
+                chimera_fraction: 0.30,
+                divergent_fraction: 0.12,
+            },
+            Tech::Ont => TechProfile {
+                tech: self,
+                len_log_mean: 7.0, // median ≈ 1100, but the heaviest tail
+                len_log_sigma: 0.6,
+                tail_fraction: 0.10,
+                tail_alpha: 1.3,
+                max_len: 10_000,
+                sub_rate: 0.04,
+                ins_rate: 0.02,
+                del_rate: 0.03,
+                junk_fraction: 0.45,
+                chimera_fraction: 0.30,
+                divergent_fraction: 0.12,
+            },
+        }
+    }
+}
+
+/// Read-generation parameters for one technology.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TechProfile {
+    /// Owning technology.
+    pub tech: Tech,
+    /// Log-space mean of the read-length body.
+    pub len_log_mean: f64,
+    /// Log-space sigma of the read-length body.
+    pub len_log_sigma: f64,
+    /// Fraction of reads whose length is multiplied by a Pareto deviate —
+    /// the far-right workload peak of Fig. 3(b) ("ranged between 5∼20 % for
+    /// all datasets", §5.6).
+    pub tail_fraction: f64,
+    /// Pareto shape of the tail multiplier (smaller = heavier).
+    pub tail_alpha: f64,
+    /// Hard cap on read length (bases).
+    pub max_len: usize,
+    /// Per-base substitution probability.
+    pub sub_rate: f64,
+    /// Per-base insertion probability.
+    pub ins_rate: f64,
+    /// Per-base deletion probability.
+    pub del_rate: f64,
+    /// Fraction of extension candidates that are spurious (seed hits with
+    /// no real homology): the alignment Z-drops almost immediately. Read
+    /// mapping generates many such candidates per read; only the best
+    /// chain survives.
+    pub junk_fraction: f64,
+    /// Fraction of reads that are chimeric: the tail past a random
+    /// breakpoint comes from elsewhere, so the extension Z-drops there.
+    pub chimera_fraction: f64,
+    /// Fraction of reads with a burst of extra divergence (SV-like),
+    /// which may or may not survive the Z-drop.
+    pub divergent_fraction: f64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn profiles_are_distinct() {
+        let h = Tech::HiFi.profile();
+        let c = Tech::Clr.profile();
+        let o = Tech::Ont.profile();
+        assert!(h.sub_rate < c.sub_rate);
+        assert!(o.tail_alpha < c.tail_alpha, "ONT tail must be heaviest");
+        assert!(o.max_len > c.max_len);
+    }
+
+    #[test]
+    fn tail_fractions_match_paper_range() {
+        for t in [Tech::HiFi, Tech::Clr, Tech::Ont] {
+            let f = t.profile().tail_fraction;
+            assert!((0.05..=0.20).contains(&f), "{:?}: {f}", t);
+        }
+    }
+
+    #[test]
+    fn scorings_validate() {
+        for t in [Tech::HiFi, Tech::Clr, Tech::Ont] {
+            t.scoring().validate().unwrap();
+            assert!(t.scoring().banded());
+            assert!(t.scoring().zdrop_enabled());
+        }
+    }
+}

@@ -1,0 +1,189 @@
+//! Read sampling with technology-specific errors, emulating the output of
+//! Minimap2's seed-and-chain pre-computation: (reference segment, query
+//! segment) pairs anchored at their starts, ready for extension alignment.
+
+use agatha_align::{PackedSeq, Task};
+use rand::{rngs::StdRng, Rng};
+
+use crate::distributions::{log_normal, pareto};
+use crate::profiles::TechProfile;
+
+/// Sample one read length from the profile's body+tail distribution.
+pub fn sample_length(profile: &TechProfile, rng: &mut StdRng) -> usize {
+    let len = if rng.gen_bool(profile.tail_fraction) {
+        // The far-right workload peak of Fig. 3(b): extra-long reads
+        // clustered near the technology's length ceiling, mildly spread by
+        // a Pareto factor.
+        profile.max_len as f64 / pareto(rng, profile.tail_alpha).min(2.0)
+    } else {
+        log_normal(rng, profile.len_log_mean, profile.len_log_sigma)
+    };
+    (len as usize).clamp(64, profile.max_len)
+}
+
+/// Apply the sequencing error model to a template, returning the read.
+pub fn apply_errors(template: &[u8], profile: &TechProfile, rng: &mut StdRng) -> Vec<u8> {
+    let mut read = Vec::with_capacity(template.len() + 16);
+    for &base in template {
+        if rng.gen_bool(profile.del_rate) {
+            continue; // deletion
+        }
+        if rng.gen_bool(profile.ins_rate) {
+            read.push(rng.gen_range(0..4)); // insertion before the base
+        }
+        if rng.gen_bool(profile.sub_rate) {
+            let sub = (base + rng.gen_range(1..4)) % 4; // guaranteed different
+            read.push(sub);
+        } else {
+            read.push(base);
+        }
+    }
+    read
+}
+
+/// Generate one extension task from the genome.
+///
+/// With probability `chimera_fraction` the read's tail past a random
+/// breakpoint is random sequence (the alignment should Z-drop near the
+/// breakpoint); with probability `divergent_fraction` a divergence burst is
+/// inserted mid-read instead.
+pub fn sample_task(
+    id: u32,
+    genome: &[u8],
+    profile: &TechProfile,
+    rng: &mut StdRng,
+) -> Task {
+    let len = sample_length(profile, rng).min(genome.len() / 2);
+    let start = rng.gen_range(0..genome.len() - len);
+    let template = &genome[start..start + len];
+
+    let mut read = apply_errors(template, profile, rng);
+
+    let kind: f64 = rng.gen();
+    if kind < profile.junk_fraction {
+        // Spurious extension candidate: no homology at all past a short
+        // seed; the Z-drop fires within the first few anti-diagonals.
+        let seed_len = 24.min(read.len());
+        for slot in read.iter_mut().skip(seed_len) {
+            *slot = rng.gen_range(0..4);
+        }
+    } else if kind < profile.junk_fraction + profile.chimera_fraction {
+        // Chimeric tail: replace everything past the breakpoint.
+        let bp = (read.len() as f64 * rng.gen_range(0.05..0.55)) as usize;
+        for slot in read.iter_mut().skip(bp) {
+            *slot = rng.gen_range(0..4);
+        }
+    } else if kind < profile.junk_fraction + profile.chimera_fraction + profile.divergent_fraction
+    {
+        // Divergence burst: heavy substitutions over a mid-read window.
+        let wlen = (read.len() / 8).max(16).min(read.len());
+        let wstart = rng.gen_range(0..read.len() - wlen + 1);
+        for slot in read.iter_mut().skip(wstart).take(wlen) {
+            if rng.gen_bool(0.35) {
+                *slot = rng.gen_range(0..4);
+            }
+        }
+    }
+
+    // The reference segment the chain anchors to: the template plus margin
+    // for read insertions (so a clean extension can reach the read end).
+    let margin = (len / 8).max(32);
+    let ref_end = (start + len + margin).min(genome.len());
+    let reference = &genome[start..ref_end];
+
+    Task {
+        id,
+        reference: PackedSeq::from_codes(reference),
+        query: PackedSeq::from_codes(&read),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::genome::generate_genome;
+    use crate::profiles::Tech;
+    use agatha_align::guided::guided_align;
+    use rand::SeedableRng;
+
+    #[test]
+    fn lengths_respect_bounds() {
+        let p = Tech::Ont.profile();
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..2000 {
+            let l = sample_length(&p, &mut rng);
+            assert!((64..=p.max_len).contains(&l));
+        }
+    }
+
+    #[test]
+    fn tail_produces_long_reads() {
+        let p = Tech::Ont.profile();
+        let mut rng = StdRng::seed_from_u64(2);
+        let lens: Vec<usize> = (0..3000).map(|_| sample_length(&p, &mut rng)).collect();
+        let median = {
+            let mut s = lens.clone();
+            s.sort_unstable();
+            s[s.len() / 2]
+        };
+        let long = lens.iter().filter(|&&l| l > 4 * median).count() as f64 / lens.len() as f64;
+        assert!(long > 0.02, "need a visible long tail, got {long}");
+    }
+
+    #[test]
+    fn hifi_errors_sparse_clr_errors_dense() {
+        let genome = generate_genome(50_000, 3);
+        let mut rng = StdRng::seed_from_u64(4);
+        let template = &genome[..5000];
+        let hifi = apply_errors(template, &Tech::HiFi.profile(), &mut rng);
+        let clr = apply_errors(template, &Tech::Clr.profile(), &mut rng);
+        let diff = |read: &[u8]| {
+            read.iter().zip(template).filter(|(a, b)| a != b).count() as f64 / template.len() as f64
+        };
+        // Positional diff over-counts after indels, but the ordering holds.
+        assert!(diff(&hifi) < diff(&clr));
+    }
+
+    #[test]
+    fn clean_reads_align_to_their_templates() {
+        let genome = generate_genome(100_000, 5);
+        let mut p = Tech::HiFi.profile();
+        p.junk_fraction = 0.0;
+        p.chimera_fraction = 0.0;
+        p.divergent_fraction = 0.0;
+        let mut rng = StdRng::seed_from_u64(6);
+        let scoring = Tech::HiFi.scoring();
+        for id in 0..10 {
+            let t = sample_task(id, &genome, &p, &mut rng);
+            let r = guided_align(&t.reference, &t.query, &scoring);
+            // A clean HiFi read must align nearly end-to-end: score close to
+            // match_score × len.
+            let ideal = scoring.match_score * t.query_len() as i32;
+            assert!(
+                r.score > ideal * 8 / 10,
+                "task {id}: score {} vs ideal {ideal}",
+                r.score
+            );
+        }
+    }
+
+    #[test]
+    fn chimeric_reads_zdrop() {
+        let genome = generate_genome(100_000, 7);
+        let mut p = Tech::HiFi.profile();
+        p.junk_fraction = 0.0;
+        p.chimera_fraction = 1.0;
+        p.divergent_fraction = 0.0;
+        let mut rng = StdRng::seed_from_u64(8);
+        let scoring = Tech::HiFi.scoring();
+        let mut dropped = 0;
+        for id in 0..20 {
+            let t = sample_task(id, &genome, &p, &mut rng);
+            let r = guided_align(&t.reference, &t.query, &scoring);
+            if r.stop.z_dropped() {
+                dropped += 1;
+            }
+        }
+        assert!(dropped >= 16, "chimeras must usually terminate, got {dropped}/20");
+    }
+}

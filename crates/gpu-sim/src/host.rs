@@ -1,0 +1,85 @@
+//! Host-side parallel execution helper.
+//!
+//! Engines execute thousands of independent simulated tasks with a
+//! long-tailed size distribution; a shared atomic work index gives dynamic
+//! load balancing without any dependency beyond `std` (the same reasoning
+//! the paper applies on-device, applied to the host).
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Map `f` over `0..len` in parallel, preserving index order in the output.
+///
+/// `f` must be `Sync` (it is called concurrently from many threads).
+pub fn parallel_map<T, F>(len: usize, threads: usize, f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    let threads = if threads == 0 {
+        std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+    } else {
+        threads
+    }
+    .min(len.max(1));
+
+    if threads <= 1 {
+        return (0..len).map(&f).collect();
+    }
+
+    let next = AtomicUsize::new(0);
+    let mut out: Vec<Option<T>> = (0..len).map(|_| None).collect();
+    let collected: Vec<Vec<(usize, T)>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..threads)
+            .map(|_| {
+                let next = &next;
+                let f = &f;
+                scope.spawn(move || {
+                    let mut local = Vec::new();
+                    loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        if i >= len {
+                            break;
+                        }
+                        local.push((i, f(i)));
+                    }
+                    local
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().expect("worker panicked")).collect()
+    });
+    for (i, v) in collected.into_iter().flatten() {
+        out[i] = Some(v);
+    }
+    out.into_iter().map(|v| v.expect("all indices computed")).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn preserves_order() {
+        let v = parallel_map(100, 4, |i| i * i);
+        assert_eq!(v, (0..100).map(|i| i * i).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn single_thread_path() {
+        let v = parallel_map(10, 1, |i| i + 1);
+        assert_eq!(v.len(), 10);
+        assert_eq!(v[9], 10);
+    }
+
+    #[test]
+    fn empty() {
+        let v: Vec<usize> = parallel_map(0, 4, |i| i);
+        assert!(v.is_empty());
+    }
+
+    #[test]
+    fn auto_thread_count() {
+        let v = parallel_map(50, 0, |i| i);
+        assert_eq!(v.len(), 50);
+    }
+}

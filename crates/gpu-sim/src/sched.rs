@@ -1,0 +1,185 @@
+//! Warp-to-slot scheduling: converts per-warp latencies into a kernel
+//! makespan, and splits batches across multiple GPUs (§5.8).
+//!
+//! Warps are placed in submission order onto the device's concurrent warp
+//! slots ("existing approaches assign tasks to warps in the order in which
+//! the input is given", §3.1) — the slot that frees earliest takes the next
+//! warp. This is classic list scheduling; with a long-tailed latency
+//! distribution the makespan is dominated by straggler warps, which is the
+//! inter-warp imbalance uneven bucketing attacks.
+
+use crate::spec::GpuSpec;
+
+/// Outcome of scheduling one kernel launch.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DeviceReport {
+    /// Kernel makespan in simulated cycles.
+    pub makespan_cycles: f64,
+    /// Sum of warp latencies (the work the device actually did).
+    pub busy_cycles: f64,
+    /// `busy / (makespan × slots)` — fraction of slot-time doing work.
+    pub utilization: f64,
+    /// Number of warps scheduled.
+    pub warps: usize,
+    /// Slots used.
+    pub slots: usize,
+}
+
+impl DeviceReport {
+    /// Makespan in milliseconds on the given device.
+    pub fn ms(&self, spec: &GpuSpec) -> f64 {
+        spec.cycles_to_ms(self.makespan_cycles)
+    }
+}
+
+/// List-schedule warp latencies (in submission order) onto `slots`
+/// concurrent slots; returns the makespan in cycles.
+pub fn makespan_cycles(latencies: &[f64], slots: usize) -> f64 {
+    schedule(latencies, slots).makespan_cycles
+}
+
+/// Full scheduling report.
+pub fn schedule(latencies: &[f64], slots: usize) -> DeviceReport {
+    assert!(slots > 0, "device must have at least one warp slot");
+    let slots_used = slots.min(latencies.len().max(1));
+    // Binary-heap of slot free times (min first). With up to ~10⁵ warps and
+    // ~10² slots this is comfortably fast.
+    let mut heap: std::collections::BinaryHeap<std::cmp::Reverse<F64Ord>> =
+        (0..slots_used).map(|_| std::cmp::Reverse(F64Ord(0.0))).collect();
+    let mut busy = 0.0;
+    let mut makespan = 0.0f64;
+    for &lat in latencies {
+        debug_assert!(lat >= 0.0, "negative warp latency");
+        let std::cmp::Reverse(F64Ord(free)) = heap.pop().expect("slot heap never empty");
+        let end = free + lat;
+        busy += lat;
+        makespan = makespan.max(end);
+        heap.push(std::cmp::Reverse(F64Ord(end)));
+    }
+    let denom = makespan * slots_used as f64;
+    DeviceReport {
+        makespan_cycles: makespan,
+        busy_cycles: busy,
+        utilization: if denom > 0.0 { busy / denom } else { 1.0 },
+        warps: latencies.len(),
+        slots: slots_used,
+    }
+}
+
+/// Split `items` across `gpus` devices in contiguous equal shares
+/// ("distributing equal numbers of alignment tasks to each GPU", §5.8).
+/// Returns the per-GPU index ranges.
+pub fn split_even(items: usize, gpus: usize) -> Vec<std::ops::Range<usize>> {
+    assert!(gpus > 0);
+    let base = items / gpus;
+    let extra = items % gpus;
+    let mut out = Vec::with_capacity(gpus);
+    let mut start = 0;
+    for g in 0..gpus {
+        let len = base + usize::from(g < extra);
+        out.push(start..start + len);
+        start += len;
+    }
+    out
+}
+
+/// Multi-GPU makespan: each device schedules its contiguous share; the
+/// kernel finishes when the slowest device does.
+pub fn multi_gpu_makespan(latencies: &[f64], slots_per_gpu: usize, gpus: usize) -> f64 {
+    split_even(latencies.len(), gpus)
+        .into_iter()
+        .map(|r| makespan_cycles(&latencies[r], slots_per_gpu))
+        .fold(0.0, f64::max)
+}
+
+/// Total-order wrapper for finite f64 latencies.
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct F64Ord(f64);
+
+impl Eq for F64Ord {}
+impl PartialOrd for F64Ord {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for F64Ord {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.0.partial_cmp(&other.0).expect("latencies must be finite")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_slot_sums() {
+        let m = makespan_cycles(&[3.0, 4.0, 5.0], 1);
+        assert!((m - 12.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn enough_slots_takes_max() {
+        let m = makespan_cycles(&[3.0, 4.0, 5.0], 8);
+        assert!((m - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn bounds_hold() {
+        let lats: Vec<f64> = (1..=100).map(|x| x as f64).collect();
+        let slots = 7;
+        let m = makespan_cycles(&lats, slots);
+        let total: f64 = lats.iter().sum();
+        let max = 100.0;
+        assert!(m >= total / slots as f64 - 1e-9);
+        assert!(m >= max);
+        assert!(m <= total);
+    }
+
+    #[test]
+    fn straggler_dominates() {
+        // 63 tiny warps + 1 huge one on 8 slots: makespan ≈ the huge warp.
+        let mut lats = vec![1.0; 63];
+        lats.push(1000.0);
+        let m = makespan_cycles(&lats, 8);
+        assert!(m >= 1000.0 && m < 1100.0);
+    }
+
+    #[test]
+    fn order_matters_for_list_scheduling() {
+        // Long job last leaves it as the straggler; long job first overlaps.
+        let short_first = makespan_cycles(&[1.0, 1.0, 1.0, 10.0], 2);
+        let long_first = makespan_cycles(&[10.0, 1.0, 1.0, 1.0], 2);
+        assert!(long_first <= short_first);
+    }
+
+    #[test]
+    fn utilization_in_unit_range() {
+        let rep = schedule(&[5.0, 1.0, 1.0, 1.0], 2);
+        assert!(rep.utilization > 0.0 && rep.utilization <= 1.0);
+    }
+
+    #[test]
+    fn split_even_covers_all() {
+        let parts = split_even(10, 4);
+        assert_eq!(parts.len(), 4);
+        assert_eq!(parts[0], 0..3);
+        assert_eq!(parts[1], 3..6);
+        assert_eq!(parts[2], 6..8);
+        assert_eq!(parts[3], 8..10);
+    }
+
+    #[test]
+    fn multi_gpu_scales_down() {
+        let lats = vec![10.0; 64];
+        let one = multi_gpu_makespan(&lats, 4, 1);
+        let four = multi_gpu_makespan(&lats, 4, 4);
+        assert!(four < one);
+        assert!((one / four - 4.0).abs() < 0.5, "expected ~4x, got {}", one / four);
+    }
+
+    #[test]
+    fn empty_batch() {
+        assert_eq!(makespan_cycles(&[], 8), 0.0);
+    }
+}

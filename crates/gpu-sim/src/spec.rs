@@ -1,0 +1,126 @@
+//! GPU hardware descriptions for the devices the paper evaluates (§5.1,
+//! §5.8): NVIDIA RTX A6000 (primary), A100, and RTX 2080Ti.
+
+/// Static description of one GPU model.
+///
+/// Only properties the execution model consumes are listed; they are public
+/// so sensitivity studies can construct hypothetical devices.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GpuSpec {
+    /// Marketing name.
+    pub name: &'static str,
+    /// Streaming multiprocessor count.
+    pub sm_count: u32,
+    /// Total CUDA cores; `cuda_cores / 32` concurrent warp slots is the
+    /// effective parallel width used for makespan scheduling (§5.8 explains
+    /// the A6000 > A100 result by CUDA core count).
+    pub cuda_cores: u32,
+    /// Boost clock in GHz, converting cycles to milliseconds.
+    pub clock_ghz: f64,
+    /// Shared memory per SM in bytes (bounds the LMB; §4.1).
+    pub shared_mem_per_sm: u32,
+    /// Whether `__reduce_max_sync`-style warp reductions exist. The RTX
+    /// 2080Ti predates them, so reductions fall back to shared memory
+    /// ("we replaced them with shared memory access", §5.8).
+    pub has_warp_reduce: bool,
+    /// Whether Hopper-style DPX min/max instructions exist (§6 discussion).
+    pub has_dpx: bool,
+}
+
+impl GpuSpec {
+    /// NVIDIA RTX A6000 — the paper's primary evaluation GPU.
+    pub fn rtx_a6000() -> GpuSpec {
+        GpuSpec {
+            name: "RTX A6000",
+            sm_count: 84,
+            cuda_cores: 10752,
+            clock_ghz: 1.80,
+            shared_mem_per_sm: 100 << 10,
+            has_warp_reduce: true,
+            has_dpx: false,
+        }
+    }
+
+    /// NVIDIA A100 (SXM4) — datacenter GPU with fewer CUDA cores.
+    pub fn a100() -> GpuSpec {
+        GpuSpec {
+            name: "A100",
+            sm_count: 108,
+            cuda_cores: 6912,
+            clock_ghz: 1.41,
+            shared_mem_per_sm: 164 << 10,
+            has_warp_reduce: true,
+            has_dpx: false,
+        }
+    }
+
+    /// NVIDIA RTX 2080Ti — Turing, no warp-reduce intrinsics.
+    pub fn rtx_2080ti() -> GpuSpec {
+        GpuSpec {
+            name: "RTX 2080Ti",
+            sm_count: 68,
+            cuda_cores: 4352,
+            clock_ghz: 1.545,
+            shared_mem_per_sm: 64 << 10,
+            has_warp_reduce: false,
+            has_dpx: false,
+        }
+    }
+
+    /// Hypothetical Hopper-class device with DPX instructions (for the §6
+    /// discussion ablation).
+    pub fn hopper_like() -> GpuSpec {
+        GpuSpec {
+            name: "Hopper-like (DPX)",
+            sm_count: 114,
+            cuda_cores: 14592,
+            clock_ghz: 1.78,
+            shared_mem_per_sm: 228 << 10,
+            has_warp_reduce: true,
+            has_dpx: true,
+        }
+    }
+
+    /// Concurrent warp slots the list scheduler fills (one `1/SIM_SCALE`
+    /// slice of the physical device; see [`crate::SIM_SCALE`]).
+    #[inline]
+    pub fn warp_slots(&self) -> usize {
+        (self.cuda_cores / 32 / crate::SIM_SCALE).max(1) as usize
+    }
+
+    /// Convert simulated cycles to milliseconds.
+    #[inline]
+    pub fn cycles_to_ms(&self, cycles: f64) -> f64 {
+        cycles / (self.clock_ghz * 1e6)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn warp_slots_follow_core_count() {
+        assert_eq!(GpuSpec::rtx_a6000().warp_slots(), 10);
+        assert_eq!(GpuSpec::a100().warp_slots(), 6);
+        assert_eq!(GpuSpec::rtx_2080ti().warp_slots(), 4);
+    }
+
+    #[test]
+    fn a6000_outranks_a100_in_parallel_width() {
+        // §5.8: "A6000 performs better due to having a larger cuda core count".
+        assert!(GpuSpec::rtx_a6000().warp_slots() > GpuSpec::a100().warp_slots());
+    }
+
+    #[test]
+    fn cycles_to_ms_scales_with_clock() {
+        let spec = GpuSpec::rtx_a6000();
+        assert!((spec.cycles_to_ms(1.8e6) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn turing_lacks_warp_reduce() {
+        assert!(!GpuSpec::rtx_2080ti().has_warp_reduce);
+        assert!(GpuSpec::rtx_a6000().has_warp_reduce);
+    }
+}

@@ -1,0 +1,113 @@
+//! Dependency-free argument parsing for the CLI and benchmark harnesses.
+//!
+//! Supports the artifact's short options (`-a -b -q -r -z -w`; Appendix
+//! A.2.6) plus long `--flag[=value]` / `--flag value` forms and positional
+//! arguments.
+
+use std::collections::HashMap;
+
+/// Parsed command-line arguments.
+#[derive(Debug, Clone, Default)]
+pub struct Args {
+    flags: HashMap<String, String>,
+    positional: Vec<String>,
+}
+
+impl Args {
+    /// Parse from an iterator of argument strings (without the program
+    /// name). Flags expecting values take the following argument unless
+    /// given as `--flag=value`. A bare trailing flag gets an empty value.
+    pub fn parse<I: IntoIterator<Item = String>>(args: I) -> Args {
+        let mut flags = HashMap::new();
+        let mut positional = Vec::new();
+        let mut iter = args.into_iter().peekable();
+        while let Some(arg) = iter.next() {
+            if let Some(body) = arg.strip_prefix("--") {
+                if let Some((k, v)) = body.split_once('=') {
+                    flags.insert(k.to_string(), v.to_string());
+                } else {
+                    // Value-taking long flag: consume the next token unless
+                    // it looks like another flag.
+                    let take = iter.peek().is_some_and(|n| !n.starts_with('-'));
+                    let v = if take { iter.next().unwrap() } else { String::new() };
+                    flags.insert(body.to_string(), v);
+                }
+            } else if arg.starts_with('-') && arg.len() >= 2 && !arg[1..2].chars().next().unwrap().is_ascii_digit() {
+                let k = arg[1..].to_string();
+                let take = iter.peek().is_some_and(|n| {
+                    !n.starts_with('-') || n[1..].chars().next().is_some_and(|c| c.is_ascii_digit())
+                });
+                let v = if take { iter.next().unwrap() } else { String::new() };
+                flags.insert(k, v);
+            } else {
+                positional.push(arg);
+            }
+        }
+        Args { flags, positional }
+    }
+
+    /// Parse from the process environment.
+    pub fn from_env() -> Args {
+        Args::parse(std::env::args().skip(1))
+    }
+
+    /// Whether a flag was present.
+    pub fn has(&self, name: &str) -> bool {
+        self.flags.contains_key(name)
+    }
+
+    /// String value of a flag.
+    pub fn get(&self, name: &str) -> Option<&str> {
+        self.flags.get(name).map(String::as_str)
+    }
+
+    /// Parsed numeric value of a flag, or `default`.
+    pub fn get_num<T: std::str::FromStr>(&self, name: &str, default: T) -> T {
+        self.get(name).and_then(|v| v.parse().ok()).unwrap_or(default)
+    }
+
+    /// Positional arguments.
+    pub fn positional(&self) -> &[String] {
+        &self.positional
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(s: &str) -> Args {
+        Args::parse(s.split_whitespace().map(String::from))
+    }
+
+    #[test]
+    fn artifact_style_short_flags() {
+        let a = parse("-a 2 -b 4 -q 4 -r 2 -z 400 -w 500 ref.fa query.fa");
+        assert_eq!(a.get_num("a", 0), 2);
+        assert_eq!(a.get_num("z", 0), 400);
+        assert_eq!(a.get_num("w", 0), 500);
+        assert_eq!(a.positional(), &["ref.fa".to_string(), "query.fa".to_string()]);
+    }
+
+    #[test]
+    fn long_flags_both_forms() {
+        let a = parse("--engine=agatha --reads 100 --verbose");
+        assert_eq!(a.get("engine"), Some("agatha"));
+        assert_eq!(a.get_num("reads", 0), 100);
+        assert!(a.has("verbose"));
+        assert_eq!(a.get("verbose"), Some(""));
+    }
+
+    #[test]
+    fn negative_numbers_as_values() {
+        let a = parse("-a -4");
+        assert_eq!(a.get_num("a", 0), -4);
+    }
+
+    #[test]
+    fn defaults_apply() {
+        let a = parse("");
+        assert_eq!(a.get_num("z", 400), 400);
+        assert!(!a.has("engine"));
+    }
+}

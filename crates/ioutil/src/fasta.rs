@@ -1,0 +1,125 @@
+//! FASTA parsing and writing.
+//!
+//! Accepts standard FASTA (`>name`) and the AGAThA artifact's input format
+//! (`>>> 1` headers; Appendix A.2.5). Sequence lines may wrap.
+
+use std::io::{BufRead, Write};
+use std::path::Path;
+
+use agatha_align::PackedSeq;
+
+/// One FASTA record.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FastaRecord {
+    /// Header text (without the marker).
+    pub name: String,
+    /// Packed sequence.
+    pub seq: PackedSeq,
+}
+
+/// Parse FASTA from a string.
+pub fn read_fasta_str(content: &str) -> Result<Vec<FastaRecord>, String> {
+    let mut records = Vec::new();
+    let mut name: Option<String> = None;
+    let mut seq = String::new();
+    let flush = |name: &mut Option<String>, seq: &mut String, out: &mut Vec<FastaRecord>| {
+        if let Some(n) = name.take() {
+            out.push(FastaRecord { name: n, seq: PackedSeq::from_str_seq(seq) });
+            seq.clear();
+        }
+    };
+    for (lineno, line) in content.lines().enumerate() {
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix(">>>").or_else(|| line.strip_prefix('>')) {
+            flush(&mut name, &mut seq, &mut records);
+            name = Some(rest.trim().to_string());
+        } else {
+            if name.is_none() {
+                return Err(format!("line {}: sequence data before any header", lineno + 1));
+            }
+            seq.push_str(line);
+        }
+    }
+    flush(&mut name, &mut seq, &mut records);
+    Ok(records)
+}
+
+/// Read FASTA from a file.
+pub fn read_fasta(path: &Path) -> Result<Vec<FastaRecord>, String> {
+    let file = std::fs::File::open(path).map_err(|e| format!("open {}: {e}", path.display()))?;
+    let mut content = String::new();
+    let mut reader = std::io::BufReader::new(file);
+    loop {
+        let mut line = String::new();
+        let n = reader.read_line(&mut line).map_err(|e| format!("read {}: {e}", path.display()))?;
+        if n == 0 {
+            break;
+        }
+        content.push_str(&line);
+    }
+    read_fasta_str(&content)
+}
+
+/// Write records as standard FASTA (60-column wrapping).
+pub fn write_fasta(path: &Path, records: &[FastaRecord]) -> Result<(), String> {
+    let mut f = std::fs::File::create(path).map_err(|e| format!("create {}: {e}", path.display()))?;
+    for r in records {
+        writeln!(f, ">{}", r.name).map_err(|e| e.to_string())?;
+        let s = r.seq.to_string_seq();
+        for chunk in s.as_bytes().chunks(60) {
+            f.write_all(chunk).map_err(|e| e.to_string())?;
+            f.write_all(b"\n").map_err(|e| e.to_string())?;
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn standard_fasta() {
+        let recs = read_fasta_str(">a\nACGT\nACGT\n>b\nTTTT\n").unwrap();
+        assert_eq!(recs.len(), 2);
+        assert_eq!(recs[0].name, "a");
+        assert_eq!(recs[0].seq.to_string_seq(), "ACGTACGT");
+        assert_eq!(recs[1].seq.len(), 4);
+    }
+
+    #[test]
+    fn artifact_format() {
+        // The format from Appendix A.2.5.
+        let recs = read_fasta_str(">>> 1\nATGCN\n>>> 2\nTCGGA\n").unwrap();
+        assert_eq!(recs.len(), 2);
+        assert_eq!(recs[0].name, "1");
+        assert_eq!(recs[0].seq.to_string_seq(), "ATGCN");
+    }
+
+    #[test]
+    fn rejects_headerless_data() {
+        assert!(read_fasta_str("ACGT\n").is_err());
+    }
+
+    #[test]
+    fn empty_input_ok() {
+        assert!(read_fasta_str("").unwrap().is_empty());
+    }
+
+    #[test]
+    fn roundtrip_via_file() {
+        let dir = std::env::temp_dir().join("agatha_fasta_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("t.fasta");
+        let recs = vec![
+            FastaRecord { name: "r1".into(), seq: PackedSeq::from_str_seq(&"ACGT".repeat(40)) },
+            FastaRecord { name: "r2".into(), seq: PackedSeq::from_str_seq("NNNACGT") },
+        ];
+        write_fasta(&path, &recs).unwrap();
+        let back = read_fasta(&path).unwrap();
+        assert_eq!(back, recs);
+    }
+}

@@ -1,0 +1,14 @@
+//! # agatha-io
+//!
+//! File formats and small host utilities: FASTA reading/writing (both
+//! standard `>`-headers and the AGAThA artifact's `>>> n` variant), the
+//! artifact's `score.log` / `time.json` outputs (Appendix A), and a
+//! dependency-free command-line flag parser.
+
+pub mod args;
+pub mod fasta;
+pub mod output;
+
+pub use args::Args;
+pub use fasta::{read_fasta, read_fasta_str, write_fasta, FastaRecord};
+pub use output::{write_score_log, write_time_json};

@@ -1,0 +1,155 @@
+//! Property-based tests over the core invariants (proptest).
+
+use proptest::prelude::*;
+
+use agatha_suite::align::banded::banded_align;
+use agatha_suite::align::block::block_grid_align;
+use agatha_suite::align::guided::guided_align;
+use agatha_suite::align::matrix::full_align;
+use agatha_suite::align::{PackedSeq, Scoring, Task};
+use agatha_suite::core::bucketing::{build_warps, OrderingStrategy};
+use agatha_suite::core::{kernel::run_task, AgathaConfig};
+use agatha_suite::gpu_sim::sched;
+
+fn dna(max_len: usize) -> impl Strategy<Value = Vec<u8>> {
+    proptest::collection::vec(0u8..5, 1..max_len)
+}
+
+fn scoring_strategy() -> impl Strategy<Value = Scoring> {
+    (1i32..6, 1i32..8, 0i32..10, 1i32..4, 1i32..80, 1i32..40).prop_map(
+        |(a, b, q, r, z, w)| Scoring::new(a, b, q, r, z, w),
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// 4-bit packing is lossless.
+    #[test]
+    fn packing_roundtrip(codes in dna(400)) {
+        let p = PackedSeq::from_codes(&codes);
+        prop_assert_eq!(p.to_codes(), codes);
+    }
+
+    /// The guided reference with banding/termination disabled equals the
+    /// full-table DP.
+    #[test]
+    fn unguided_equals_full_table(r in dna(80), q in dna(80)) {
+        let s = Scoring::new(2, 4, 4, 2, Scoring::NO_ZDROP, Scoring::NO_BAND);
+        let (rp, qp) = (PackedSeq::from_codes(&r), PackedSeq::from_codes(&q));
+        let g = guided_align(&rp, &qp, &s);
+        let f = full_align(&rp, &qp, &s);
+        prop_assert_eq!(g.score, f.score);
+        prop_assert_eq!((g.max.i, g.max.j), (f.max.i, f.max.j));
+    }
+
+    /// Row-major banded filling equals anti-diagonal filling.
+    #[test]
+    fn banded_row_major_equals_antidiagonal(r in dna(120), q in dna(120), w in 1i32..24) {
+        let s = Scoring::new(2, 4, 4, 2, Scoring::NO_ZDROP, w);
+        let (rp, qp) = (PackedSeq::from_codes(&r), PackedSeq::from_codes(&q));
+        let a = guided_align(&rp, &qp, &s);
+        let b = banded_align(&rp, &qp, &s);
+        prop_assert!(a.same_alignment(&b), "a={a:?} b={b:?}");
+    }
+
+    /// The block-grid driver is exact for arbitrary scoring.
+    #[test]
+    fn block_grid_exact(r in dna(150), q in dna(150), s in scoring_strategy()) {
+        let (rp, qp) = (PackedSeq::from_codes(&r), PackedSeq::from_codes(&q));
+        let want = guided_align(&rp, &qp, &s);
+        let got = block_grid_align(&rp, &qp, &s);
+        prop_assert!(got.same_alignment(&want), "got={got:?} want={want:?}");
+    }
+
+    /// The AGAThA kernel is exact for arbitrary scoring and slice widths.
+    #[test]
+    fn kernel_exact(
+        r in dna(150),
+        q in dna(150),
+        s in scoring_strategy(),
+        slice in 1usize..20,
+        subwarp_pow in 0u32..3,
+    ) {
+        let (rp, qp) = (PackedSeq::from_codes(&r), PackedSeq::from_codes(&q));
+        let want = guided_align(&rp, &qp, &s);
+        let task = Task { id: 0, reference: rp, query: qp };
+        let cfg = AgathaConfig::agatha()
+            .with_slice_width(slice)
+            .with_subwarp(8 << subwarp_pow);
+        let got = run_task(&task, &s, &cfg);
+        prop_assert!(got.result.same_alignment(&want), "got={:?} want={want:?}", got.result);
+        // Run-ahead never loses reference cells.
+        prop_assert!(got.computed_cells() + 64 >= want.cells);
+    }
+
+    /// The guided score is monotone in the band width (a wider band can
+    /// only see more alignments) when termination is disabled.
+    #[test]
+    fn band_monotonicity(r in dna(100), q in dna(100), w in 1i32..16) {
+        let s1 = Scoring::new(2, 4, 4, 2, Scoring::NO_ZDROP, w);
+        let s2 = s1.with_band(w * 2);
+        let (rp, qp) = (PackedSeq::from_codes(&r), PackedSeq::from_codes(&q));
+        let narrow = guided_align(&rp, &qp, &s1);
+        let wide = guided_align(&rp, &qp, &s2);
+        prop_assert!(wide.score >= narrow.score);
+    }
+
+    /// Every bucketing strategy is a permutation: each task assigned
+    /// exactly once.
+    #[test]
+    fn bucketing_partitions(
+        workloads in proptest::collection::vec(1u64..10_000, 1..200),
+        n_pow in 0u32..3,
+        g in 1usize..4,
+    ) {
+        let n = 1usize << n_pow;
+        for strat in [
+            OrderingStrategy::Original,
+            OrderingStrategy::Sorted,
+            OrderingStrategy::UnevenBucketing,
+        ] {
+            let warps = build_warps(&workloads, n, g, strat);
+            let mut seen = vec![false; workloads.len()];
+            for w in &warps {
+                for i in w.task_indices() {
+                    prop_assert!(!seen[i], "{strat:?}: task {i} twice");
+                    seen[i] = true;
+                }
+            }
+            prop_assert!(seen.iter().all(|&x| x), "{strat:?}: unassigned task");
+        }
+    }
+
+    /// List-scheduling makespan respects the classic bounds.
+    #[test]
+    fn makespan_bounds(
+        lats in proptest::collection::vec(0.0f64..1e6, 1..200),
+        slots in 1usize..64,
+    ) {
+        let m = sched::makespan_cycles(&lats, slots);
+        let total: f64 = lats.iter().sum();
+        let max = lats.iter().copied().fold(0.0, f64::max);
+        prop_assert!(m <= total + 1e-6);
+        prop_assert!(m >= max - 1e-6);
+        prop_assert!(m >= total / slots as f64 - 1e-6);
+    }
+
+    /// Z-drop can only ever reduce computed work, never change the scores'
+    /// validity: the terminated score equals the untermiated score whenever
+    /// no termination fired.
+    #[test]
+    fn zdrop_consistency(r in dna(100), q in dna(100), z in 1i32..200) {
+        let with = Scoring::new(2, 4, 4, 2, z, 24);
+        let without = with.with_zdrop(Scoring::NO_ZDROP);
+        let (rp, qp) = (PackedSeq::from_codes(&r), PackedSeq::from_codes(&q));
+        let a = guided_align(&rp, &qp, &with);
+        let b = guided_align(&rp, &qp, &without);
+        prop_assert!(a.cells <= b.cells);
+        if !a.stop.z_dropped() {
+            prop_assert_eq!(a.score, b.score);
+        } else {
+            prop_assert!(a.score <= b.score);
+        }
+    }
+}
