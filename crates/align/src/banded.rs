@@ -56,7 +56,8 @@ pub fn banded_align(reference: &PackedSeq, query: &PackedSeq, scoring: &Scoring)
             left_f = NEG_INF;
             // (i-1, j_lo-1): |i-1 - (j_lo-1)| = |i - j_lo| <= w → in band,
             // so read it from the previous row (or border when i == 0).
-            diag = if i == 0 { no_term.border((j_lo - 1) as i32) } else { h_row[(j_lo - 1) as usize] };
+            diag =
+                if i == 0 { no_term.border((j_lo - 1) as i32) } else { h_row[(j_lo - 1) as usize] };
         }
         for j in j_lo..=j_hi {
             let ju = j as usize;

@@ -102,11 +102,7 @@ pub fn codes_to_string(codes: &[u8]) -> String {
 
 /// Reverse complement of a code slice.
 pub fn reverse_complement(codes: &[u8]) -> Vec<u8> {
-    codes
-        .iter()
-        .rev()
-        .map(|&c| Base::from_code(c).complement().code())
-        .collect()
+    codes.iter().rev().map(|&c| Base::from_code(c).complement().code()).collect()
 }
 
 #[cfg(test)]

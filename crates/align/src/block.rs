@@ -238,8 +238,17 @@ pub fn block_grid_align(
             // Corner for the *next* block in this sweep, read before overwrite.
             let next_corner = north_h[BLOCK - 1];
             compute_block(
-                &ctx, i0, j0, &rblock, &qblock, corner, &mut west_h, &mut west_e, &mut north_h,
-                &mut north_f, &mut tracker,
+                &ctx,
+                i0,
+                j0,
+                &rblock,
+                &qblock,
+                corner,
+                &mut west_h,
+                &mut west_e,
+                &mut north_h,
+                &mut north_f,
+                &mut tracker,
             );
             row_h[i0 as usize..i0 as usize + BLOCK].copy_from_slice(&north_h);
             row_f[i0 as usize..i0 as usize + BLOCK].copy_from_slice(&north_f);
@@ -292,11 +301,7 @@ mod tests {
         let s = Scoring::new(2, 4, 4, 2, Scoring::NO_ZDROP, 3);
         check("ACGTACGTACGTACGTACGTACGT", "ACGTACGTTCGTACGTACGAACGT", &s);
         let s = Scoring::new(2, 4, 4, 2, Scoring::NO_ZDROP, 5);
-        check(
-            "ACGTACGTACGTACGTACGTACGTACGTACGTACGT",
-            "ACGTACGTACGTACG",
-            &s,
-        );
+        check("ACGTACGTACGTACGTACGTACGTACGTACGTACGT", "ACGTACGTACGTACG", &s);
     }
 
     #[test]

@@ -265,10 +265,7 @@ mod tests {
             }
         }
         let got = tracker.result();
-        assert!(
-            got.same_alignment(&reference),
-            "tracker {got:?} vs reference {reference:?}"
-        );
+        assert!(got.same_alignment(&reference), "tracker {got:?} vs reference {reference:?}");
         got
     }
 
@@ -295,7 +292,8 @@ mod tests {
                 } else {
                     NEG_INF
                 };
-                let up_e = if i == 0 || (i - 1 - j).abs() > w { NEG_INF } else { e[idx - m as usize] };
+                let up_e =
+                    if i == 0 || (i - 1 - j).abs() > w { NEG_INF } else { e[idx - m as usize] };
                 let left_h = if j == 0 {
                     scoring.border(i as i32)
                 } else if (i - (j - 1)).abs() <= w {
@@ -343,11 +341,7 @@ mod tests {
     #[test]
     fn order_independent_with_zdrop() {
         let s = Scoring::new(2, 4, 4, 2, 10, 5);
-        tracker_replay(
-            "ACGTACGTACGTGGGGGGGGGGGGGGGG",
-            "ACGTACGTACGTCCCCCCCCCCCCCCCC",
-            &s,
-        );
+        tracker_replay("ACGTACGTACGTGGGGGGGGGGGGGGGG", "ACGTACGTACGTCCCCCCCCCCCCCCCC", &s);
     }
 
     #[test]

@@ -88,8 +88,7 @@ pub fn zdrop_triggered(global: MaxCell, local: MaxCell, zdrop: i32, gap_extend: 
         return false;
     }
     let diag_gap = ((local.i - global.i) - (local.j - global.j)).abs();
-    (global.score as i64 - local.score as i64)
-        > zdrop as i64 + gap_extend as i64 * diag_gap as i64
+    (global.score as i64 - local.score as i64) > zdrop as i64 + gap_extend as i64 * diag_gap as i64
 }
 
 /// Align `query` against `reference` under `scoring`, allocating internal
@@ -259,8 +258,8 @@ mod tests {
 
     #[test]
     fn single_insertion_uses_affine_cost() {
-        let s = Scoring::figure1(); // α=4, β=2 → 1-gap costs 6
         // query has one extra base
+        let s = Scoring::figure1(); // α=4, β=2 → 1-gap costs 6
         let r = guided_align(&seq("AAAAAAAA"), &seq("AAAATAAAA"), &s);
         // 8 matches (16) minus gap(1) = 6 → 10
         assert_eq!(r.score, 10);
@@ -325,11 +324,8 @@ mod tests {
         let tail = "G".repeat(40);
         let tail_q = "C".repeat(40);
         let s = Scoring::figure1();
-        let r = guided_align(
-            &seq(&format!("{prefix}{tail}")),
-            &seq(&format!("{prefix}{tail_q}")),
-            &s,
-        );
+        let r =
+            guided_align(&seq(&format!("{prefix}{tail}")), &seq(&format!("{prefix}{tail_q}")), &s);
         assert_eq!(r.stop, StopReason::Completed);
         assert_eq!(r.score, 32);
     }

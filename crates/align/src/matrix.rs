@@ -248,11 +248,7 @@ fn traceback(dir: &[u8], m: usize, start: MaxCell) -> Vec<AlignOp> {
 
 /// Post-process ops to distinguish matches from mismatches (traceback marks
 /// all diagonal moves as [`AlignOp::Match`]).
-pub fn classify_ops(
-    ops: &mut [AlignOp],
-    reference: &PackedSeq,
-    query: &PackedSeq,
-) {
+pub fn classify_ops(ops: &mut [AlignOp], reference: &PackedSeq, query: &PackedSeq) {
     let (mut i, mut j) = (0usize, 0usize);
     for op in ops.iter_mut() {
         match op {

@@ -201,4 +201,59 @@ mod tests {
         assert_eq!(p.code(0), Base::N.code());
         assert_eq!(p.code(1), Base::N.code());
     }
+
+    #[test]
+    fn empty_sequence() {
+        for p in
+            [PackedSeq::from_codes(&[]), PackedSeq::from_str_seq(""), PackedSeq::from_bases(&[])]
+        {
+            assert_eq!(p.len(), 0);
+            assert!(p.is_empty());
+            assert_eq!(p.num_words(), 0);
+            assert!(p.to_codes().is_empty());
+            assert_eq!(p.to_string_seq(), "");
+            // Whole-word loads past the end still read all-N filler.
+            assert_eq!(p.word_for(0), 0x44444444);
+            let mut out = [0u8; BLOCK];
+            p.unpack_block(0, &mut out);
+            assert!(out.iter().all(|&c| c == Base::N.code()));
+            assert_eq!(p.slice(0, 0).len(), 0);
+        }
+    }
+
+    #[test]
+    fn ambiguous_bases_roundtrip() {
+        // 'N', lowercase and unknown letters all pack as the N code and
+        // render back as 'N'.
+        let p = PackedSeq::from_str_seq("NnXacgt?RYSW");
+        assert_eq!(p.to_string_seq(), "NNNACGTNNNNN");
+        assert!(p.to_codes()[..3].iter().all(|&c| c == Base::N.code()));
+        // Interior N codes survive a code-level round trip unchanged.
+        let codes = [4u8, 0, 4, 1, 4, 2, 4, 3, 4];
+        assert_eq!(PackedSeq::from_codes(&codes).to_codes(), codes);
+    }
+
+    #[test]
+    fn non_multiple_of_word_lengths_roundtrip() {
+        // Every length around the 8-base word boundary packs losslessly and
+        // pads its final word with N.
+        for len in 0..=33usize {
+            let codes: Vec<u8> = (0..len).map(|i| (i % 5) as u8).collect();
+            let p = PackedSeq::from_codes(&codes);
+            assert_eq!(p.len(), len);
+            assert_eq!(p.num_words(), len.div_ceil(BASES_PER_WORD));
+            assert_eq!(p.to_codes(), codes, "len {len}");
+            let tail = len % BASES_PER_WORD;
+            if tail != 0 {
+                let w = p.words()[p.num_words() - 1];
+                for k in tail..BASES_PER_WORD {
+                    assert_eq!(
+                        (w >> (BITS_PER_BASE * k as u32)) & BASE_MASK,
+                        Base::N.code() as u32,
+                        "len {len}, nibble {k}"
+                    );
+                }
+            }
+        }
+    }
 }

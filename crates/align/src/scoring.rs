@@ -49,15 +49,8 @@ impl Scoring {
         zdrop: i32,
         band_width: i32,
     ) -> Scoring {
-        let s = Scoring {
-            match_score,
-            mismatch,
-            gap_open,
-            gap_extend,
-            zdrop,
-            band_width,
-            ambig: 1,
-        };
+        let s =
+            Scoring { match_score, mismatch, gap_open, gap_extend, zdrop, band_width, ambig: 1 };
         s.validate().expect("invalid scoring parameters");
         s
     }
@@ -252,11 +245,9 @@ mod tests {
 
     #[test]
     fn invalid_scoring_rejected() {
-        let mut s = Scoring::default();
-        s.match_score = 0;
+        let s = Scoring { match_score: 0, ..Scoring::default() };
         assert!(s.validate().is_err());
-        let mut s = Scoring::default();
-        s.gap_extend = 0;
+        let s = Scoring { gap_extend: 0, ..Scoring::default() };
         assert!(s.validate().is_err());
     }
 

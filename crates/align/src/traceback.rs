@@ -148,8 +148,11 @@ pub fn guided_align_traced(
 
             let (ev, e_ext) =
                 if up_h - oe >= up_e - ext { (up_h - oe, false) } else { (up_e - ext, true) };
-            let (fv, f_ext) =
-                if left_h - oe >= left_f - ext { (left_h - oe, false) } else { (left_f - ext, true) };
+            let (fv, f_ext) = if left_h - oe >= left_f - ext {
+                (left_h - oe, false)
+            } else {
+                (left_f - ext, true)
+            };
             let sub = scoring.substitution(rc[iu], qc[j as usize]);
             let dh = dgh.saturating_add(sub);
             let (hv, src) = if dh >= ev && dh >= fv {
@@ -210,11 +213,7 @@ pub fn guided_align_traced(
         cells,
     };
 
-    let ops = if global.score > 0 {
-        walk_back(&dirs, &lo_of, band, global)
-    } else {
-        Vec::new()
-    };
+    let ops = if global.score > 0 { walk_back(&dirs, &lo_of, band, global) } else { Vec::new() };
     let mut traced = TracedAlignment { result, ops };
     crate::matrix::classify_ops(&mut traced.ops, reference, query);
     traced

@@ -109,7 +109,8 @@ pub fn xdrop_align(
             } else {
                 prev2[iu - 1]
             };
-            let sub = crate::scoring::Scoring::substitution(scoring, rcodes[iu], qcodes[j as usize]);
+            let sub =
+                crate::scoring::Scoring::substitution(scoring, rcodes[iu], qcodes[j as usize]);
             let h = up.max(left).max(dg.saturating_add(sub));
             cur[iu] = h;
             cells += 1;
@@ -183,8 +184,8 @@ mod tests {
 
     #[test]
     fn mismatch_scoring_linear_gap() {
-        let s = Scoring::figure1(); // +2 / -4
         // One insertion with linear gap 3: 8*2 - 3 = 13
+        let s = Scoring::figure1(); // +2 / -4
         let r = xdrop_align(&seq("AAAACCCC"), &seq("AAAAGCCCC"), &s, &params(100, 3));
         assert_eq!(r.score, 13);
     }

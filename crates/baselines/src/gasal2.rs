@@ -48,10 +48,8 @@ pub fn run(tasks: &[Task], scoring: &Scoring, spec: &GpuSpec, mm2_target: bool) 
         .collect();
 
     // 32 alignments per warp, incoming order; warp latency = slowest lane.
-    let warp_cycles: Vec<f64> = lane_cycles
-        .chunks(WARP_LANES)
-        .map(|c| c.iter().copied().fold(0.0, f64::max))
-        .collect();
+    let warp_cycles: Vec<f64> =
+        lane_cycles.chunks(WARP_LANES).map(|c| c.iter().copied().fold(0.0, f64::max)).collect();
 
     let makespan = sched::makespan_cycles(&warp_cycles, spec.warp_slots());
     EngineReport {

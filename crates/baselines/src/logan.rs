@@ -93,8 +93,7 @@ mod tests {
         let with_junk = run(&mk_tasks(4, true), &s, &GpuSpec::rtx_a6000());
         let clean = run(&mk_tasks(4, false), &s, &GpuSpec::rtx_a6000());
         // Junk adds 200 bases each side but X-drop stops within ~Z of it.
-        let per_task_extra =
-            (with_junk.total_cells as f64 - clean.total_cells as f64) / 4.0;
+        let per_task_extra = (with_junk.total_cells as f64 - clean.total_cells as f64) / 4.0;
         assert!(
             per_task_extra < 20_000.0,
             "adaptive band should prune most of the junk, extra {per_task_extra}"

@@ -49,7 +49,8 @@ pub fn run(tasks: &[Task], scoring: &Scoring, spec: &GpuSpec, mm2_target: bool) 
             let rounds = (r.cells as f64 / WARP_LANES as f64).max(diags); // >= 1 round per diag
             let compute = rounds * WARP_LANES as f64 * cost.effective_cell_cycles();
             let sync = diags * cost.sync_cycles;
-            let exchange = diags * 6.0 * cost.sync_cycles; // boundary shuffles per diagonal
+            // boundary shuffles per diagonal
+            let exchange = diags * 6.0 * cost.sync_cycles;
             // MM2-Target keeps the GMB in a register and checks with one
             // warp reduction per anti-diagonal; the original (Diff-Target)
             // check reads its max buffer from global memory every 8th
@@ -67,8 +68,7 @@ pub fn run(tasks: &[Task], scoring: &Scoring, spec: &GpuSpec, mm2_target: bool) 
 
     let makespan = sched::makespan_cycles(&warp_cycles, spec.warp_slots());
     EngineReport {
-        name: if mm2_target { "Manymap (MM2-Target)" } else { "Manymap (Diff-Target)" }
-            .to_string(),
+        name: if mm2_target { "Manymap (MM2-Target)" } else { "Manymap (Diff-Target)" }.to_string(),
         scores: results.iter().map(|r| r.score).collect(),
         elapsed_ms: spec.cycles_to_ms(makespan),
         total_cells: results.iter().map(|r| r.cells).sum(),
@@ -251,10 +251,8 @@ mod tests {
         let s = Scoring::new(2, 4, 4, 2, 40, 12);
         let tasks = mk_tasks(6);
         let rep = run(&tasks, &s, &GpuSpec::rtx_a6000(), true);
-        let expect: u64 = tasks
-            .iter()
-            .map(|t| guided_align(&t.reference, &t.query, &s).cells)
-            .sum();
+        let expect: u64 =
+            tasks.iter().map(|t| guided_align(&t.reference, &t.query, &s).cells).sum();
         assert_eq!(rep.total_cells, expect);
     }
 }

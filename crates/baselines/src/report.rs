@@ -81,7 +81,10 @@ impl Baseline {
     pub fn is_exact(self) -> bool {
         matches!(
             self,
-            Baseline::CpuSse4 | Baseline::CpuAvx512 | Baseline::Gasal2Mm2 | Baseline::SalobaMm2
+            Baseline::CpuSse4
+                | Baseline::CpuAvx512
+                | Baseline::Gasal2Mm2
+                | Baseline::SalobaMm2
                 | Baseline::ManymapMm2
         )
     }
@@ -95,7 +98,9 @@ pub fn run_baseline(
     spec: &GpuSpec,
 ) -> EngineReport {
     match which {
-        Baseline::CpuSse4 => crate::cpu::run(tasks, scoring, &agatha_gpu_sim::CpuSpec::sse4_16c32t()),
+        Baseline::CpuSse4 => {
+            crate::cpu::run(tasks, scoring, &agatha_gpu_sim::CpuSpec::sse4_16c32t())
+        }
         Baseline::CpuAvx512 => {
             crate::cpu::run(tasks, scoring, &agatha_gpu_sim::CpuSpec::avx512_48c96t())
         }

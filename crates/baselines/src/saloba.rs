@@ -24,8 +24,7 @@ use crate::report::EngineReport;
 pub fn run(tasks: &[Task], scoring: &Scoring, spec: &GpuSpec, mm2_target: bool) -> EngineReport {
     let cfg = AgathaConfig::baseline();
     let cost = CostModel::for_spec(spec);
-    let scoring_eff =
-        if mm2_target { *scoring } else { scoring.with_zdrop(Scoring::NO_ZDROP) };
+    let scoring_eff = if mm2_target { *scoring } else { scoring.with_zdrop(Scoring::NO_ZDROP) };
 
     let runs =
         host::parallel_map(tasks.len(), 0, |i| kernel::run_task(&tasks[i], &scoring_eff, &cfg));
@@ -35,10 +34,7 @@ pub fn run(tasks: &[Task], scoring: &Scoring, spec: &GpuSpec, mm2_target: bool) 
     let task_cycles: Vec<f64> = runs
         .iter()
         .map(|r| {
-            r.units
-                .iter()
-                .map(|u| unit_cost_with(u, lanes, &cfg, &cost, mm2_target).cycles)
-                .sum()
+            r.units.iter().map(|u| unit_cost_with(u, lanes, &cfg, &cost, mm2_target).cycles).sum()
         })
         .collect();
 

@@ -29,9 +29,9 @@ fn main() {
         rows[0].1.push(run_baseline(Baseline::CpuSse4, &d.tasks, &d.scoring, &spec).elapsed_ms);
         rows[1].1.push(run_baseline(Baseline::SalobaDiff, &d.tasks, &d.scoring, &spec).elapsed_ms);
         rows[2].1.push(run_baseline(Baseline::SalobaMm2, &d.tasks, &d.scoring, &spec).elapsed_ms);
-        rows[3]
-            .1
-            .push(Pipeline::new(d.scoring, AgathaConfig::agatha()).align_batch(&d.tasks).elapsed_ms);
+        rows[3].1.push(
+            Pipeline::new(d.scoring, AgathaConfig::agatha()).align_batch(&d.tasks).elapsed_ms,
+        );
     }
     println!("{}", dataset_header(&datasets));
     for (name, ms) in &rows {
@@ -39,9 +39,7 @@ fn main() {
         println!("{}", row(name, &cells));
     }
     let cpu = &rows[0].1;
-    let sp = |ms: &Vec<f64>| {
-        geomean(&cpu.iter().zip(ms).map(|(c, m)| c / m).collect::<Vec<_>>())
-    };
+    let sp = |ms: &Vec<f64>| geomean(&cpu.iter().zip(ms).map(|(c, m)| c / m).collect::<Vec<_>>());
     println!();
     println!(
         "geomean speedup over CPU: Diff-Target {:.2}x (paper 5.3x) | MM2-Target {:.2}x (paper 2.0x) | AGAThA {:.2}x (paper 18.8x)",
@@ -50,11 +48,14 @@ fn main() {
         sp(&rows[3].1)
     );
 
-    banner("Figure 3(b)", "workload distribution: anti-diagonal histogram (first dataset of each tech)");
+    banner(
+        "Figure 3(b)",
+        "workload distribution: anti-diagonal histogram (first dataset of each tech)",
+    );
     for d in [&datasets[0], &datasets[3], &datasets[6]] {
         println!("\n{} — bins of 2000 anti-diagonals:", d.name);
         println!("{:>12} {:>12} {:>18}", "bin", "alignments", "workload (M diag)");
-        let mut counts = vec![0u64; 16];
+        let mut counts = [0u64; 16];
         let mut work = vec![0u64; 16];
         for t in &d.tasks {
             let a = t.antidiags() as u64;

@@ -33,10 +33,8 @@ fn main() {
         // Cell counts from the kernel runs (reference semantics).
         let p0 = Pipeline::new(d.scoring, AgathaConfig::baseline());
         let runs = p0.execute_tasks(&d.tasks);
-        let warps: Vec<Vec<u64>> = runs
-            .chunks(4)
-            .map(|c| c.iter().map(|r| r.result.cells).collect())
-            .collect();
+        let warps: Vec<Vec<u64>> =
+            runs.chunks(4).map(|c| c.iter().map(|r| r.result.cells).collect()).collect();
         let base_model = predict(&rows[0], &warps, &params);
         let base_sim =
             Pipeline::new(d.scoring, configs[0].clone()).align_batch(&d.tasks).elapsed_ms;

@@ -8,8 +8,9 @@
 //!   sequential assignment; the "simple and intuitive" comparison of §5.6.
 //! * `UnevenBucketing` — the paper's scheme: sort, pick the longest `1/N`
 //!   tasks (`N` = subwarps per warp), and redistribute them one per warp so
-//!   no warp holds two extreme tasks; the rest fill the remaining slots in
-//!   original order.
+//!   no subwarp queue serialises two extreme tasks; the rest flow to the
+//!   least-loaded warps, so bucket *sizes* end up uneven while bucket
+//!   *workloads* equalise.
 
 /// Ordering strategy for building warp assignments.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -26,7 +27,11 @@ pub enum OrderingStrategy {
 /// processes in generation `g`.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct WarpAssignment {
-    /// Per-subwarp task queues (inner length ≤ `tasks_per_subwarp`).
+    /// Per-subwarp task queues. `Original` and `Sorted` bound every queue at
+    /// `tasks_per_subwarp` entries; `UnevenBucketing` deliberately does not —
+    /// queues piled with short tasks run extra generations, so consumers
+    /// must iterate depths dynamically rather than assume the configured
+    /// bound.
     pub queues: Vec<Vec<usize>>,
 }
 
@@ -87,8 +92,17 @@ fn sequential_fill(order: &[usize], n: usize, num_warps: usize, g: usize) -> Vec
 }
 
 /// §4.4: the longest `1/N` of the tasks (= one per warp per generation) go
-/// to subwarp 0 of distinct warps; the remaining tasks fill subwarps `1..N`
-/// in their original incoming order.
+/// to distinct warps so no subwarp queue serialises two extremes; the
+/// remaining tasks fill largest-first into whichever warp currently has the
+/// *least total workload* (ties broken towards fewer tasks, then lower
+/// index, keeping the fill deterministic).
+///
+/// This is what makes the buckets *uneven*: a warp that holds an extreme
+/// task receives few fillers, while warps of short tasks take deep queues —
+/// task counts differ, a-priori workloads equalise. A count-balanced fill
+/// would hand every extreme-holding warp a full complement of short tasks
+/// on top of its straggler, recreating the inter-warp imbalance the scheme
+/// exists to remove.
 fn uneven_bucketing(
     workloads: &[u64],
     n: usize,
@@ -102,11 +116,16 @@ fn uneven_bucketing(
     let long_count = (num_warps * g).min(t);
     let long: Vec<usize> = idx[..long_count].to_vec();
     let long_set: std::collections::HashSet<usize> = long.iter().copied().collect();
-    // Everything else in original order.
-    let rest: Vec<usize> = (0..t).filter(|i| !long_set.contains(i)).collect();
+    // Everything else, largest first (LPT): big fillers place at shallow
+    // queue depths where they overlap the warp's other work, and the tail
+    // of short tasks stacks into deep, cheap generations. Ties keep the
+    // incoming order (`idx` is a stable sort of `0..t`).
+    let rest: Vec<usize> = idx.iter().copied().filter(|i| !long_set.contains(i)).collect();
 
     let mut warps: Vec<WarpAssignment> =
         (0..num_warps).map(|_| WarpAssignment { queues: vec![Vec::new(); n] }).collect();
+    // Per-queue a-priori workload totals for the within-warp placement.
+    let mut queue_load: Vec<Vec<u64>> = vec![vec![0u64; n]; num_warps];
     // Long tasks: one per warp per generation, rotated across subwarps so a
     // warp's long tasks land in *different* subwarps — they overlap instead
     // of serialising in one queue.
@@ -114,26 +133,30 @@ fn uneven_bucketing(
         let w = k % num_warps;
         let gen = k / num_warps;
         warps[w].queues[gen % n].push(task);
+        queue_load[w][gen % n] += workloads[task];
     }
-    // Short tasks: round-robin over warps, each filling its currently
-    // shortest subwarp queue (up to the generation depth `g`).
-    let mut w = 0usize;
+    // Remaining tasks: each goes to the least-loaded warp (ties towards
+    // fewer tasks, then lower index), and within it to the least-loaded
+    // subwarp queue. Queue depths are unbounded — the warp simply runs more
+    // generations where the bucketing piled short tasks together. The warp
+    // ordering lives in a BTreeSet keyed by (load, task count, index) — the
+    // single source of per-warp totals — so each placement is
+    // O(log warps + n), not a rescan of every warp.
+    let mut by_load: std::collections::BTreeSet<(u64, usize, usize)> = (0..num_warps)
+        .map(|w| {
+            let load = queue_load[w].iter().sum::<u64>();
+            let count = warps[w].queues.iter().map(Vec::len).sum::<usize>();
+            (load, count, w)
+        })
+        .collect();
     for &task in &rest {
-        // Find a warp with spare capacity, starting from the cursor.
-        for _ in 0..num_warps {
-            let total: usize = warps[w].queues.iter().map(Vec::len).sum();
-            if total < n * g {
-                break;
-            }
-            w = (w + 1) % num_warps;
-        }
-        let queue = warps[w]
-            .queues
-            .iter_mut()
-            .min_by_key(|q| q.len())
-            .expect("warps have at least one subwarp");
-        queue.push(task);
-        w = (w + 1) % num_warps;
+        let (load, count, w) = by_load.pop_first().expect("at least one warp");
+        let s = (0..n)
+            .min_by_key(|&s| (queue_load[w][s], warps[w].queues[s].len(), s))
+            .expect("at least one subwarp");
+        warps[w].queues[s].push(task);
+        queue_load[w][s] += workloads[task];
+        by_load.insert((load + workloads[task], count + 1, w));
     }
     warps
 }
@@ -205,8 +228,8 @@ mod tests {
     #[test]
     fn uneven_with_generations() {
         let mut wl = vec![5u64; 32];
-        for i in 0..8 {
-            wl[i] = 500;
+        for w in wl.iter_mut().take(8) {
+            *w = 500;
         }
         // 4 warps × 4 subwarps × 2 generations = 32 slots.
         let warps = build_warps(&wl, 4, 2, OrderingStrategy::UnevenBucketing);
@@ -216,12 +239,8 @@ mod tests {
             let longs = w.task_indices().filter(|&i| wl[i] == 500).count();
             assert_eq!(longs, 2, "one long task per generation");
             // The two long tasks sit in different subwarps so they overlap.
-            let in_one_queue = w
-                .queues
-                .iter()
-                .map(|q| q.iter().filter(|&&i| wl[i] == 500).count())
-                .max()
-                .unwrap();
+            let in_one_queue =
+                w.queues.iter().map(|q| q.iter().filter(|&&i| wl[i] == 500).count()).max().unwrap();
             assert_eq!(in_one_queue, 1, "long tasks must not share a queue: {w:?}");
         }
     }

@@ -106,8 +106,7 @@ pub fn run_task(task: &Task, scoring: &Scoring, cfg: &AgathaConfig) -> TaskRun {
     let mut row_f = vec![NEG_INF; padded_n];
     let mut carries: Vec<RowCarry> = vec![RowCarry::fresh(); qb as usize];
 
-    let lmb_fits =
-        cfg.sliced_diagonal && BLOCK * cfg.slice_width + BLOCK - 1 <= cfg.lmb_max_diags;
+    let lmb_fits = cfg.sliced_diagonal && BLOCK * cfg.slice_width + BLOCK - 1 <= cfg.lmb_max_diags;
 
     let mut units: Vec<SliceUnit> = Vec::new();
     let mut blocks_total: u64 = 0;

@@ -75,7 +75,7 @@ pub fn table1_rows(band_width: u32) -> Vec<DesignRow> {
         },
         DesignRow {
             name: "+RW+SD",
-            ar_anti: anti0 / 64.0, // window fits the LMB: no spills
+            ar_anti: anti0 / 64.0,  // window fits the LMB: no spills
             ar_inter: inter0 * 1.5, // slice-boundary reads/writes (the trade-off)
             ar_term: term0 / 4.0,
             runahead: 1.0 + 0.5 / bw.sqrt(), // bounded by s × band_width
@@ -124,8 +124,7 @@ impl Default for ModelParams {
 pub fn predict(row: &DesignRow, warps: &[Vec<u64>], p: &ModelParams) -> f64 {
     let per_cell = 1.0 / p.comp_tp + (row.ar_anti + row.ar_inter + row.ar_term) / p.mem_tp;
     row.warp_agg.apply(warps.iter().map(|subwarps| {
-        row.subwarp_agg
-            .apply(subwarps.iter().map(|&cells| cells as f64 * row.runahead * per_cell))
+        row.subwarp_agg.apply(subwarps.iter().map(|&cells| cells as f64 * row.runahead * per_cell))
     }))
 }
 

@@ -97,7 +97,7 @@ impl AgathaConfig {
     /// Set the subwarp size (Fig. 14).
     pub fn with_subwarp(mut self, lanes: usize) -> AgathaConfig {
         assert!(
-            lanes >= 1 && lanes <= WARP_LANES && WARP_LANES % lanes == 0,
+            (1..=WARP_LANES).contains(&lanes) && WARP_LANES.is_multiple_of(lanes),
             "subwarp must divide the warp"
         );
         self.subwarp_lanes = lanes;

@@ -255,8 +255,7 @@ mod tests {
         let scoring = Scoring::new(2, 4, 4, 2, 60, 16);
         let tasks = mk_tasks(64, 100, 5);
         let one = Pipeline::new(scoring, AgathaConfig::agatha()).align_batch(&tasks);
-        let four =
-            Pipeline::new(scoring, AgathaConfig::agatha()).with_gpus(4).align_batch(&tasks);
+        let four = Pipeline::new(scoring, AgathaConfig::agatha()).with_gpus(4).align_batch(&tasks);
         assert!(four.elapsed_ms <= one.elapsed_ms);
     }
 

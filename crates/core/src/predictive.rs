@@ -214,9 +214,6 @@ mod tests {
 
         let apriori = makespan(&predict_workloads(&tasks, None, Predictor::AntiDiags));
         let oracle = makespan(&predict_workloads(&tasks, Some(&runs), Predictor::Oracle));
-        assert!(
-            oracle <= apriori * 1.001,
-            "oracle bucketing must not lose: {oracle} vs {apriori}"
-        );
+        assert!(oracle <= apriori * 1.001, "oracle bucketing must not lose: {oracle} vs {apriori}");
     }
 }

@@ -75,12 +75,7 @@ pub struct UnitCost {
 }
 
 /// Evaluate one unit's latency for a subwarp of `lanes` threads.
-pub fn unit_cost(
-    unit: &SliceUnit,
-    lanes: usize,
-    cfg: &AgathaConfig,
-    cost: &CostModel,
-) -> UnitCost {
+pub fn unit_cost(unit: &SliceUnit, lanes: usize, cfg: &AgathaConfig, cost: &CostModel) -> UnitCost {
     unit_cost_with(unit, lanes, cfg, cost, true)
 }
 

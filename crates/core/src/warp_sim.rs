@@ -250,8 +250,12 @@ mod tests {
         let big = mk_run(400, 3, &cfg);
         let small = mk_run(80, 5, &cfg);
         // Two generations: [big, small] / [small, small] etc.
-        let queues =
-            vec![vec![&big, &small], vec![&small, &small], vec![&small, &big], vec![&small, &small]];
+        let queues = vec![
+            vec![&big, &small],
+            vec![&small, &small],
+            vec![&small, &big],
+            vec![&small, &small],
+        ];
         let out = simulate_warp(&queues, &cfg, &cost());
         // Lower bound: each generation costs at least the merged-execution
         // time of its biggest task.

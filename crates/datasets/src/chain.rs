@@ -44,7 +44,10 @@ impl Chain {
     /// Reference span covered by the chain (start, end-exclusive of k-mers'
     /// starts).
     pub fn ref_span(&self) -> (u32, u32) {
-        (self.anchors.first().map_or(0, |a| a.ref_pos), self.anchors.last().map_or(0, |a| a.ref_pos))
+        (
+            self.anchors.first().map_or(0, |a| a.ref_pos),
+            self.anchors.last().map_or(0, |a| a.ref_pos),
+        )
     }
 
     /// Read span covered by the chain.
@@ -239,8 +242,8 @@ mod tests {
 
     #[test]
     fn index_finds_planted_kmer() {
-        let mut genome = vec![0u8; 200]; // all A
-        // Plant a distinctive 12-mer at position 100.
+        // All-A genome with a distinctive 12-mer planted at position 100.
+        let mut genome = vec![0u8; 200];
         let motif = [1u8, 2, 3, 1, 2, 3, 0, 1, 2, 3, 1, 2];
         genome[100..112].copy_from_slice(&motif);
         let idx = KmerIndex::build(&genome, 12, 16);

@@ -47,12 +47,7 @@ pub fn apply_errors(template: &[u8], profile: &TechProfile, rng: &mut StdRng) ->
 /// breakpoint is random sequence (the alignment should Z-drop near the
 /// breakpoint); with probability `divergent_fraction` a divergence burst is
 /// inserted mid-read instead.
-pub fn sample_task(
-    id: u32,
-    genome: &[u8],
-    profile: &TechProfile,
-    rng: &mut StdRng,
-) -> Task {
+pub fn sample_task(id: u32, genome: &[u8], profile: &TechProfile, rng: &mut StdRng) -> Task {
     let len = sample_length(profile, rng).min(genome.len() / 2);
     let start = rng.gen_range(0..genome.len() - len);
     let template = &genome[start..start + len];
@@ -73,8 +68,7 @@ pub fn sample_task(
         for slot in read.iter_mut().skip(bp) {
             *slot = rng.gen_range(0..4);
         }
-    } else if kind < profile.junk_fraction + profile.chimera_fraction + profile.divergent_fraction
-    {
+    } else if kind < profile.junk_fraction + profile.chimera_fraction + profile.divergent_fraction {
         // Divergence burst: heavy substitutions over a mid-read window.
         let wlen = (read.len() / 8).max(16).min(read.len());
         let wstart = rng.gen_range(0..read.len() - wlen + 1);
@@ -91,11 +85,7 @@ pub fn sample_task(
     let ref_end = (start + len + margin).min(genome.len());
     let reference = &genome[start..ref_end];
 
-    Task {
-        id,
-        reference: PackedSeq::from_codes(reference),
-        query: PackedSeq::from_codes(&read),
-    }
+    Task { id, reference: PackedSeq::from_codes(reference), query: PackedSeq::from_codes(&read) }
 }
 
 #[cfg(test)]
@@ -159,11 +149,7 @@ mod tests {
             // A clean HiFi read must align nearly end-to-end: score close to
             // match_score × len.
             let ideal = scoring.match_score * t.query_len() as i32;
-            assert!(
-                r.score > ideal * 8 / 10,
-                "task {id}: score {} vs ideal {ideal}",
-                r.score
-            );
+            assert!(r.score > ideal * 8 / 10, "task {id}: score {} vs ideal {ideal}", r.score);
         }
     }
 

@@ -72,11 +72,8 @@ impl CostModel {
     /// Memory-side cycles for a set of counted transactions.
     #[inline]
     pub fn mem_cycles(&self, mem: &MemCounters) -> f64 {
-        let reduce_cost = if self.has_warp_reduce {
-            self.reduce_cycles
-        } else {
-            self.reduce_fallback_cycles
-        };
+        let reduce_cost =
+            if self.has_warp_reduce { self.reduce_cycles } else { self.reduce_fallback_cycles };
         mem.global_total() as f64 * self.global_tx_cycles
             + mem.shared as f64 * self.shared_cycles
             + mem.reduce as f64 * reduce_cost

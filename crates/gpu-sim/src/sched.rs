@@ -142,7 +142,7 @@ mod tests {
         let mut lats = vec![1.0; 63];
         lats.push(1000.0);
         let m = makespan_cycles(&lats, 8);
-        assert!(m >= 1000.0 && m < 1100.0);
+        assert!((1000.0..1100.0).contains(&m));
     }
 
     #[test]

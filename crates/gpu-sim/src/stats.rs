@@ -72,7 +72,8 @@ mod tests {
     #[test]
     fn add_accumulates() {
         let mut a = KernelStats { computed_cells: 1, tasks: 1, ..Default::default() };
-        let b = KernelStats { computed_cells: 2, zdropped_tasks: 1, tasks: 1, ..Default::default() };
+        let b =
+            KernelStats { computed_cells: 2, zdropped_tasks: 1, tasks: 1, ..Default::default() };
         a.add(&b);
         assert_eq!(a.computed_cells, 3);
         assert_eq!(a.tasks, 2);

@@ -32,7 +32,9 @@ impl Args {
                     let v = if take { iter.next().unwrap() } else { String::new() };
                     flags.insert(body.to_string(), v);
                 }
-            } else if arg.starts_with('-') && arg.len() >= 2 && !arg[1..2].chars().next().unwrap().is_ascii_digit() {
+            } else if arg.starts_with('-')
+                && arg[1..].chars().next().is_some_and(|c| !c.is_ascii_digit())
+            {
                 let k = arg[1..].to_string();
                 let take = iter.peek().is_some_and(|n| {
                     !n.starts_with('-') || n[1..].chars().next().is_some_and(|c| c.is_ascii_digit())

@@ -65,7 +65,8 @@ pub fn read_fasta(path: &Path) -> Result<Vec<FastaRecord>, String> {
 
 /// Write records as standard FASTA (60-column wrapping).
 pub fn write_fasta(path: &Path, records: &[FastaRecord]) -> Result<(), String> {
-    let mut f = std::fs::File::create(path).map_err(|e| format!("create {}: {e}", path.display()))?;
+    let mut f =
+        std::fs::File::create(path).map_err(|e| format!("create {}: {e}", path.display()))?;
     for r in records {
         writeln!(f, ">{}", r.name).map_err(|e| e.to_string())?;
         let s = r.seq.to_string_seq();
@@ -121,5 +122,57 @@ mod tests {
         write_fasta(&path, &recs).unwrap();
         let back = read_fasta(&path).unwrap();
         assert_eq!(back, recs);
+    }
+
+    /// Per-process-unique scratch dir so concurrent test runs (two
+    /// checkouts, parallel CI jobs) never race on the same files.
+    fn scratch_dir(name: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join(format!("agatha_fasta_{name}_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    #[test]
+    fn roundtrip_wrapping_and_edge_records() {
+        // Records exercising the writer's 60-column wrapping (155 bases →
+        // three lines), an empty sequence, a single base, and interior Ns.
+        let dir = scratch_dir("edge");
+        let path = dir.join("edge.fasta");
+        let long: String = (0..155).map(|i| ['A', 'C', 'G', 'T', 'N'][i % 5]).collect::<String>();
+        let recs = vec![
+            FastaRecord { name: "wrapped read".into(), seq: PackedSeq::from_str_seq(&long) },
+            FastaRecord { name: "empty".into(), seq: PackedSeq::from_str_seq("") },
+            FastaRecord { name: "single".into(), seq: PackedSeq::from_str_seq("G") },
+            FastaRecord { name: "n-run".into(), seq: PackedSeq::from_str_seq("ACNNNNNNGT") },
+        ];
+        write_fasta(&path, &recs).unwrap();
+        let back = read_fasta(&path).unwrap();
+        assert_eq!(back, recs);
+        // The writer must actually have wrapped the long record.
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert!(text.lines().all(|l| l.len() <= 60));
+        assert_eq!(text.lines().filter(|l| !l.starts_with('>')).count(), 3 + 1 + 1);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn crlf_and_blank_lines_tolerated() {
+        let recs = read_fasta_str(">a\r\nAC\r\n\r\nGT\r\n\n>b\r\nTT\r\n").unwrap();
+        assert_eq!(recs.len(), 2);
+        assert_eq!(recs[0].seq.to_string_seq(), "ACGT");
+        assert_eq!(recs[1].seq.to_string_seq(), "TT");
+    }
+
+    #[test]
+    fn string_roundtrip_preserves_ambiguity() {
+        // Unknown letters normalise to N on parse; a second round trip is
+        // then exact.
+        let first = read_fasta_str(">r\nACGTRYKMacgt\n").unwrap();
+        assert_eq!(first[0].seq.to_string_seq(), "ACGTNNNNACGT");
+        let dir = scratch_dir("ambig");
+        let path = dir.join("ambig.fasta");
+        write_fasta(&path, &first).unwrap();
+        assert_eq!(read_fasta(&path).unwrap(), first);
+        let _ = std::fs::remove_dir_all(&dir);
     }
 }

@@ -48,5 +48,7 @@ fn main() {
         );
     }
     println!();
-    println!("RW removes global anti-diagonal traffic; SD bounds run-ahead; SR/UB lift utilization.");
+    println!(
+        "RW removes global anti-diagonal traffic; SD bounds run-ahead; SR/UB lift utilization."
+    );
 }

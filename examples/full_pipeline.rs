@@ -7,13 +7,13 @@
 //! ```
 
 use agatha_suite::align::traceback::guided_align_traced;
+use agatha_suite::align::PackedSeq;
 use agatha_suite::core::{AgathaConfig, Pipeline};
 use agatha_suite::datasets::chain::{precompute_task, ChainParams, KmerIndex};
 use agatha_suite::datasets::genome::generate_genome;
 use agatha_suite::datasets::profiles::Tech;
 use agatha_suite::datasets::reads::apply_errors;
 use agatha_suite::io::{read_fasta, write_fasta, FastaRecord};
-use agatha_suite::align::PackedSeq;
 
 use rand::{rngs::StdRng, Rng, SeedableRng};
 
@@ -87,6 +87,11 @@ fn abbreviate(cigar: &str) -> String {
     if cigar.len() <= 60 {
         cigar.to_string()
     } else {
-        format!("{}…{} ({} runs)", &cigar[..40], &cigar[cigar.len() - 12..], cigar.matches(|c: char| c.is_ascii_alphabetic() || c == '=').count())
+        format!(
+            "{}…{} ({} runs)",
+            &cigar[..40],
+            &cigar[cigar.len() - 12..],
+            cigar.matches(|c: char| c.is_ascii_alphabetic() || c == '=').count()
+        )
     }
 }

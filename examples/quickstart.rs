@@ -15,7 +15,10 @@ fn main() {
     let scoring = Scoring::figure1(); // match +2, mismatch -4, gap 4+2k
 
     let result = guided_align(&reference, &query, &scoring);
-    println!("Figure 1 pair: score {}, max cell ({}, {})", result.score, result.max.i, result.max.j);
+    println!(
+        "Figure 1 pair: score {}, max cell ({}, {})",
+        result.score, result.max.i, result.max.j
+    );
 
     let full = full_align_classified(&reference, &query, &scoring);
     println!("alignment ({}):\n{}", full.cigar(), full.pretty(&reference, &query));

@@ -102,9 +102,8 @@ fn scores_stable_across_devices_and_strategies() {
     let d = dataset(Tech::Ont, 23, 60);
     let base = Pipeline::new(d.scoring, AgathaConfig::agatha()).align_batch(&d.tasks);
     for spec in [GpuSpec::a100(), GpuSpec::rtx_2080ti(), GpuSpec::hopper_like()] {
-        let rep = Pipeline::new(d.scoring, AgathaConfig::agatha())
-            .with_spec(spec)
-            .align_batch(&d.tasks);
+        let rep =
+            Pipeline::new(d.scoring, AgathaConfig::agatha()).with_spec(spec).align_batch(&d.tasks);
         assert_eq!(rep.results, base.results, "scores must not depend on the device");
     }
     for strat in [OrderingStrategy::Sorted, OrderingStrategy::UnevenBucketing] {

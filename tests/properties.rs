@@ -16,9 +16,8 @@ fn dna(max_len: usize) -> impl Strategy<Value = Vec<u8>> {
 }
 
 fn scoring_strategy() -> impl Strategy<Value = Scoring> {
-    (1i32..6, 1i32..8, 0i32..10, 1i32..4, 1i32..80, 1i32..40).prop_map(
-        |(a, b, q, r, z, w)| Scoring::new(a, b, q, r, z, w),
-    )
+    (1i32..6, 1i32..8, 0i32..10, 1i32..4, 1i32..80, 1i32..40)
+        .prop_map(|(a, b, q, r, z, w)| Scoring::new(a, b, q, r, z, w))
 }
 
 proptest! {

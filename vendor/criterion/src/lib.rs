@@ -1,0 +1,347 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! The build environment has no crates.io access, so this vendored shim
+//! implements the benchmark API the workspace uses — `criterion_group!` /
+//! `criterion_main!`, `Criterion::benchmark_group`, `bench_function`,
+//! `bench_with_input`, `Throughput`, `BenchmarkId` and `Bencher::iter` —
+//! backed by a simple wall-clock timer: warm-up, then timed batches, then
+//! a mean/min/max report to stdout. It honors `--bench` (ignored) and
+//! filters positional arguments like the real harness, so
+//! `cargo bench -- <filter>` works.
+
+use std::fmt::Display;
+use std::hint::black_box as std_black_box;
+use std::time::{Duration, Instant};
+
+/// Re-exported so benches can `criterion::black_box` values.
+pub fn black_box<T>(x: T) -> T {
+    std_black_box(x)
+}
+
+/// Throughput annotation; recorded and echoed in the report.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    Elements(u64),
+    Bytes(u64),
+}
+
+/// Identifier for parameterized benchmarks.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    pub fn new(function_name: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId { id: format!("{}/{}", function_name.into(), parameter) }
+    }
+
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId { id: parameter.to_string() }
+    }
+}
+
+impl Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.id)
+    }
+}
+
+/// Timing loop handed to the bench closure.
+pub struct Bencher<'a> {
+    cfg: &'a Config,
+    /// Mean/min/max nanoseconds per iteration, filled by `iter`.
+    report: Option<(f64, f64, f64)>,
+}
+
+impl Bencher<'_> {
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        // Warm-up: run until the warm-up budget elapses.
+        let warm_deadline = Instant::now() + self.cfg.warm_up_time;
+        while Instant::now() < warm_deadline {
+            std_black_box(routine());
+        }
+
+        // Calibrate a batch size that takes roughly 1/sample_size of the
+        // measurement budget.
+        let t0 = Instant::now();
+        std_black_box(routine());
+        let once = t0.elapsed().max(Duration::from_nanos(1));
+        let per_sample = self.cfg.measurement_time / self.cfg.sample_size as u32;
+        let batch = (per_sample.as_nanos() / once.as_nanos()).clamp(1, 1_000_000) as usize;
+
+        let mut samples = Vec::with_capacity(self.cfg.sample_size);
+        let deadline = Instant::now() + self.cfg.measurement_time;
+        for _ in 0..self.cfg.sample_size {
+            let start = Instant::now();
+            for _ in 0..batch {
+                std_black_box(routine());
+            }
+            samples.push(start.elapsed().as_secs_f64() * 1e9 / batch as f64);
+            if Instant::now() > deadline {
+                break;
+            }
+        }
+
+        let mean = samples.iter().sum::<f64>() / samples.len() as f64;
+        let min = samples.iter().copied().fold(f64::INFINITY, f64::min);
+        let max = samples.iter().copied().fold(0.0f64, f64::max);
+        self.report = Some((mean, min, max));
+    }
+}
+
+#[derive(Debug, Clone)]
+struct Config {
+    sample_size: usize,
+    measurement_time: Duration,
+    warm_up_time: Duration,
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        Config {
+            sample_size: 10,
+            measurement_time: Duration::from_secs(2),
+            warm_up_time: Duration::from_millis(300),
+        }
+    }
+}
+
+/// Top-level harness state.
+#[derive(Default)]
+pub struct Criterion {
+    cfg: Config,
+    filter: Option<String>,
+}
+
+impl Criterion {
+    pub fn sample_size(mut self, n: usize) -> Self {
+        assert!(n >= 2, "sample_size must be >= 2");
+        self.cfg.sample_size = n;
+        self
+    }
+
+    pub fn measurement_time(mut self, t: Duration) -> Self {
+        self.cfg.measurement_time = t;
+        self
+    }
+
+    pub fn warm_up_time(mut self, t: Duration) -> Self {
+        self.cfg.warm_up_time = t;
+        self
+    }
+
+    /// Parse the CLI arguments cargo-bench passes through: `--bench` (noise
+    /// from the harness protocol) and an optional positional name filter.
+    pub fn configure_from_args(mut self) -> Self {
+        let mut args = std::env::args().skip(1).peekable();
+        while let Some(a) = args.next() {
+            match a.as_str() {
+                "--bench" | "--test" => {}
+                s if s.starts_with("--") => {
+                    // Swallow `--flag value` pairs we don't implement.
+                    if let Some(v) = args.peek() {
+                        if !v.starts_with("--") {
+                            args.next();
+                        }
+                    }
+                }
+                s => self.filter = Some(s.to_string()),
+            }
+        }
+        self
+    }
+
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            throughput: None,
+            overridden: Config::default(),
+            use_override: false,
+        }
+    }
+
+    pub fn bench_function<F: FnMut(&mut Bencher<'_>)>(&mut self, name: &str, f: F) -> &mut Self {
+        let cfg = self.cfg.clone();
+        let filter = self.filter.clone();
+        run_one(&cfg, &filter, name, None, f);
+        self
+    }
+}
+
+/// A named group of related benchmarks sharing throughput annotations.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+    overridden: Config,
+    use_override: bool,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.overridden = self.effective();
+        self.overridden.sample_size = n;
+        self.use_override = true;
+        self
+    }
+
+    pub fn measurement_time(&mut self, t: Duration) -> &mut Self {
+        self.overridden = self.effective();
+        self.overridden.measurement_time = t;
+        self.use_override = true;
+        self
+    }
+
+    fn effective(&self) -> Config {
+        if self.use_override {
+            self.overridden.clone()
+        } else {
+            self.criterion.cfg.clone()
+        }
+    }
+
+    pub fn bench_function<F>(&mut self, id: impl Display, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher<'_>),
+    {
+        let full = format!("{}/{}", self.name, id);
+        run_one(&self.effective(), &self.criterion.filter, &full, self.throughput, f);
+        self
+    }
+
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher<'_>, &I),
+    {
+        let full = format!("{}/{}", self.name, id);
+        run_one(&self.effective(), &self.criterion.filter, &full, self.throughput, |b| f(b, input));
+        self
+    }
+
+    pub fn finish(self) {}
+}
+
+fn run_one<F: FnMut(&mut Bencher<'_>)>(
+    cfg: &Config,
+    filter: &Option<String>,
+    name: &str,
+    throughput: Option<Throughput>,
+    mut f: F,
+) {
+    if let Some(pat) = filter {
+        if !name.contains(pat.as_str()) {
+            return;
+        }
+    }
+    let mut b = Bencher { cfg, report: None };
+    f(&mut b);
+    match b.report {
+        Some((mean, min, max)) => {
+            let rate = match throughput {
+                Some(Throughput::Elements(n)) => {
+                    format!("  {:>12.0} elem/s", n as f64 / (mean * 1e-9) / 1.0)
+                }
+                Some(Throughput::Bytes(n)) => {
+                    format!("  {:>12.0} B/s", n as f64 / (mean * 1e-9))
+                }
+                None => String::new(),
+            };
+            println!(
+                "bench {name:<48} mean {:>12} min {:>12} max {:>12}{rate}",
+                fmt_ns(mean),
+                fmt_ns(min),
+                fmt_ns(max)
+            );
+        }
+        None => println!("bench {name:<48} (no measurement: Bencher::iter never called)"),
+    }
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns < 1e3 {
+        format!("{ns:.1} ns")
+    } else if ns < 1e6 {
+        format!("{:.2} µs", ns / 1e3)
+    } else if ns < 1e9 {
+        format!("{:.2} ms", ns / 1e6)
+    } else {
+        format!("{:.3} s", ns / 1e9)
+    }
+}
+
+/// Declare a group of benchmark functions. Both the simple list form and
+/// the `name/config/targets` form are supported.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion: $crate::Criterion = $config;
+            criterion = criterion.configure_from_args();
+            $($target(&mut criterion);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group! {
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        }
+    };
+}
+
+/// Entry point: run every declared group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_produces_a_report() {
+        let cfg = Config {
+            sample_size: 3,
+            measurement_time: Duration::from_millis(30),
+            warm_up_time: Duration::from_millis(5),
+        };
+        let mut b = Bencher { cfg: &cfg, report: None };
+        b.iter(|| 1u64 + 1);
+        let (mean, min, max) = b.report.expect("report filled");
+        assert!(mean > 0.0 && min > 0.0 && max >= min);
+    }
+
+    #[test]
+    fn group_runs_and_respects_filter() {
+        let mut c = Criterion::default()
+            .sample_size(2)
+            .measurement_time(Duration::from_millis(20))
+            .warm_up_time(Duration::from_millis(1));
+        c.filter = Some("nomatch".into());
+        let mut ran = false;
+        let mut g = c.benchmark_group("g");
+        g.bench_function("skipped", |b| {
+            ran = true;
+            b.iter(|| 0u8);
+        });
+        g.finish();
+        assert!(!ran, "filtered-out benchmark must not run");
+    }
+}

@@ -1,0 +1,405 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! Implements the subset the workspace's property tests use: range and
+//! collection strategies, tuple composition, `prop_map`, the `proptest!`
+//! macro with `#![proptest_config(...)]`, and the `prop_assert*` macros.
+//!
+//! Sampling is **fully deterministic**: each test's RNG is seeded from a
+//! fixed workspace seed (overridable with `PROPTEST_SEED`) hashed with the
+//! test name, so `cargo test -q` is reproducible in CI by construction.
+//! Failures found while exploring other seeds are pinned in the checked-in
+//! `proptest-regressions/` corpus, which [`run_proptest`] replays before
+//! the randomized cases (see that directory's README). There is no
+//! shrinking: a failing case reports its seed so it can be replayed and
+//! pinned exactly.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::ops::Range;
+
+/// The RNG handed to strategies.
+pub type TestRng = StdRng;
+
+/// Error type carried by `prop_assert*` failures.
+#[derive(Debug, Clone)]
+pub struct TestCaseError {
+    pub message: String,
+}
+
+impl TestCaseError {
+    pub fn fail(message: impl Into<String>) -> Self {
+        TestCaseError { message: message.into() }
+    }
+}
+
+impl std::fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.message)
+    }
+}
+
+/// Mirror of `proptest::test_runner::Config` — only the knobs we use.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 256 }
+    }
+}
+
+/// Workspace-wide base seed; override with `PROPTEST_SEED=<u64>` to explore
+/// a different deterministic universe.
+pub fn base_seed() -> u64 {
+    match std::env::var("PROPTEST_SEED") {
+        Ok(s) => s.parse().expect("PROPTEST_SEED must be a u64"),
+        Err(_) => 0xA6A7_0001,
+    }
+}
+
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h = 0xcbf29ce484222325u64;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x100000001b3);
+    }
+    h
+}
+
+/// Per-case RNG seeds pinned in a checked-in regression file. Mirrors real
+/// proptest's `proptest-regressions/` corpus: every line of
+/// `proptest-regressions/<test_name>.txt` (resolved against the test
+/// binary's working directory, i.e. the package root) that parses as a
+/// decimal or `0x`-prefixed `u64` is replayed *before* the randomized
+/// cases. Blank lines and `#` comments are ignored.
+pub fn regression_seeds(test_name: &str) -> Vec<u64> {
+    let path = std::path::Path::new("proptest-regressions").join(format!("{test_name}.txt"));
+    let Ok(content) = std::fs::read_to_string(path) else {
+        return Vec::new();
+    };
+    parse_regression_seeds(&content)
+}
+
+fn parse_regression_seeds(content: &str) -> Vec<u64> {
+    content
+        .lines()
+        .map(str::trim)
+        .filter(|l| !l.is_empty() && !l.starts_with('#'))
+        .filter_map(|l| match l.strip_prefix("0x") {
+            Some(hex) => u64::from_str_radix(hex, 16).ok(),
+            None => l.parse().ok(),
+        })
+        .collect()
+}
+
+/// Drive one property: first replay any checked-in regression seeds, then
+/// run `cases` deterministic samples, panicking with a replayable case
+/// seed on the first failure.
+pub fn run_proptest<F>(config: &ProptestConfig, test_name: &str, mut case: F)
+where
+    F: FnMut(&mut TestRng) -> Result<(), TestCaseError>,
+{
+    for seed in regression_seeds(test_name) {
+        let mut rng = TestRng::seed_from_u64(seed);
+        if let Err(e) = case(&mut rng) {
+            panic!(
+                "proptest regression in `{test_name}` (pinned seed {seed:#x} from \
+                 proptest-regressions/{test_name}.txt): {}",
+                e.message
+            );
+        }
+    }
+    let seed = base_seed() ^ fnv1a(test_name.as_bytes());
+    for i in 0..config.cases {
+        let case_seed = seed.wrapping_add(i as u64);
+        let mut rng = TestRng::seed_from_u64(case_seed);
+        if let Err(e) = case(&mut rng) {
+            panic!(
+                "proptest failure in `{test_name}` (case {i}/{}, case seed {case_seed:#x}): {} \
+                 — pin it by adding the case seed to proptest-regressions/{test_name}.txt",
+                config.cases, e.message
+            );
+        }
+    }
+}
+
+/// A generator of values. Unlike real proptest there is no value tree /
+/// shrinking; `generate` samples one value.
+pub trait Strategy {
+    type Value;
+
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> O,
+    {
+        Map { inner: self, f }
+    }
+
+    fn prop_filter<F>(self, _whence: &'static str, f: F) -> Filter<Self, F>
+    where
+        Self: Sized,
+        F: Fn(&Self::Value) -> bool,
+    {
+        Filter { inner: self, f }
+    }
+}
+
+impl<S: Strategy + ?Sized> Strategy for &S {
+    type Value = S::Value;
+    fn generate(&self, rng: &mut TestRng) -> Self::Value {
+        (**self).generate(rng)
+    }
+}
+
+/// `prop_map` adapter.
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+    type Value = O;
+    fn generate(&self, rng: &mut TestRng) -> O {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+/// `prop_filter` adapter: rejection-samples with a bounded retry budget.
+pub struct Filter<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, F: Fn(&S::Value) -> bool> Strategy for Filter<S, F> {
+    type Value = S::Value;
+    fn generate(&self, rng: &mut TestRng) -> S::Value {
+        for _ in 0..1000 {
+            let v = self.inner.generate(rng);
+            if (self.f)(&v) {
+                return v;
+            }
+        }
+        panic!("prop_filter: rejected 1000 consecutive samples");
+    }
+}
+
+/// A fixed value is a strategy (`Just`).
+#[derive(Clone, Debug)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+macro_rules! range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+        impl Strategy for std::ops::RangeInclusive<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+    )*};
+}
+range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, f32, f64);
+
+macro_rules! tuple_strategy {
+    ($($name:ident),+) => {
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+            #[allow(non_snake_case)]
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                let ($($name,)+) = self;
+                ($($name.generate(rng),)+)
+            }
+        }
+    };
+}
+tuple_strategy!(A);
+tuple_strategy!(A, B);
+tuple_strategy!(A, B, C);
+tuple_strategy!(A, B, C, D);
+tuple_strategy!(A, B, C, D, E);
+tuple_strategy!(A, B, C, D, E, F);
+tuple_strategy!(A, B, C, D, E, F, G);
+tuple_strategy!(A, B, C, D, E, F, G, H);
+
+pub mod collection {
+    use super::{Strategy, TestRng};
+    use rand::Rng;
+    use std::ops::Range;
+
+    /// Strategy for `Vec`s with a length drawn from `size`.
+    pub struct VecStrategy<S> {
+        element: S,
+        size: Range<usize>,
+    }
+
+    pub fn vec<S: Strategy>(element: S, size: Range<usize>) -> VecStrategy<S> {
+        assert!(size.start < size.end, "collection::vec: empty size range");
+        VecStrategy { element, size }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let len = rng.gen_range(self.size.clone());
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+pub mod prelude {
+    pub use crate::collection;
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, proptest, Just, ProptestConfig, Strategy,
+        TestCaseError, TestRng,
+    };
+    pub use rand::{Rng, RngCore, SeedableRng};
+}
+
+/// The subset of the `proptest!` macro grammar the workspace uses: an
+/// optional `#![proptest_config(..)]` header followed by `#[test]` fns whose
+/// arguments are `ident in strategy` bindings.
+#[macro_export]
+macro_rules! proptest {
+    (
+        #![proptest_config($cfg:expr)]
+        $(
+            $(#[$meta:meta])*
+            fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block
+        )*
+    ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::ProptestConfig = $cfg;
+                $crate::run_proptest(&config, stringify!($name), |__proptest_rng| {
+                    $(let $arg = $crate::Strategy::generate(&($strat), __proptest_rng);)+
+                    let mut __proptest_case =
+                        || -> ::core::result::Result<(), $crate::TestCaseError> {
+                            $body
+                            ::core::result::Result::Ok(())
+                        };
+                    __proptest_case()
+                });
+            }
+        )*
+    };
+    (
+        $(
+            $(#[$meta:meta])*
+            fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block
+        )*
+    ) => {
+        $crate::proptest! {
+            #![proptest_config($crate::ProptestConfig::default())]
+            $(
+                $(#[$meta])*
+                fn $name($($arg in $strat),+) $body
+            )*
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        if !$cond {
+            return ::core::result::Result::Err($crate::TestCaseError::fail(concat!(
+                "assertion failed: ",
+                stringify!($cond)
+            )));
+        }
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            return ::core::result::Result::Err($crate::TestCaseError::fail(format!($($fmt)*)));
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let left = $left;
+        let right = $right;
+        if left != right {
+            return ::core::result::Result::Err($crate::TestCaseError::fail(format!(
+                "assertion failed: `{:?}` == `{:?}`",
+                left, right
+            )));
+        }
+    }};
+}
+
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let left = $left;
+        let right = $right;
+        if left == right {
+            return ::core::result::Result::Err($crate::TestCaseError::fail(format!(
+                "assertion failed: `{:?}` != `{:?}`",
+                left, right
+            )));
+        }
+    }};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn regression_file_format() {
+        let seeds = super::parse_regression_seeds(
+            "# pinned failures\n\n42\n0xdeadbeef\nnot a seed\n  7  \n",
+        );
+        assert_eq!(seeds, vec![42, 0xdeadbeef, 7]);
+        assert!(super::regression_seeds("no_such_test_anywhere").is_empty());
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let strat = (0u8..5, collection::vec(0u64..100, 1..10));
+        let mut a = TestRng::seed_from_u64(9);
+        let mut b = TestRng::seed_from_u64(9);
+        for _ in 0..32 {
+            assert_eq!(strat.generate(&mut a), strat.generate(&mut b));
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn macro_roundtrip(v in collection::vec(0u8..4, 1..50), x in 1i32..10) {
+            prop_assert!(!v.is_empty());
+            prop_assert!(v.iter().all(|&b| b < 4));
+            prop_assert!((1..10).contains(&x));
+            prop_assert_eq!(x, x);
+            prop_assert_ne!(x, x + 1);
+        }
+    }
+}
