@@ -58,6 +58,34 @@ pub struct DiagTracker {
 impl DiagTracker {
     /// New tracker for an `n × m` task under `scoring`.
     pub fn new(n: usize, m: usize, scoring: &Scoring) -> DiagTracker {
+        let mut t = DiagTracker {
+            n: 0,
+            m: 0,
+            w: 0,
+            zdrop: 0,
+            gap_extend: 0,
+            zdrop_enabled: false,
+            seen: Vec::new(),
+            local_score: Vec::new(),
+            local_i: Vec::new(),
+            qend: Vec::new(),
+            next: 0,
+            cutoff: 0,
+            total: 0,
+            global: MaxCell::ORIGIN,
+            qend_best: None,
+            finished: None,
+            cells: 0,
+        };
+        t.reset(n, m, scoring);
+        t
+    }
+
+    /// Reinitialize for a new `n × m` task, reusing the scratch vectors.
+    /// After `reset` the tracker is indistinguishable from a fresh
+    /// [`DiagTracker::new`]; allocations are grow-only, so steady-state
+    /// reuse across a task stream performs no heap allocation.
+    pub fn reset(&mut self, n: usize, m: usize, scoring: &Scoring) {
         let (ni, mi) = (n as i64, m as i64);
         let w = if scoring.banded() { scoring.band_width as i64 } else { ni + mi };
         let total = if n == 0 || m == 0 { 0 } else { n + m - 1 };
@@ -72,25 +100,27 @@ impl DiagTracker {
                 break;
             }
         }
-        DiagTracker {
-            n: ni,
-            m: mi,
-            w,
-            zdrop: scoring.zdrop,
-            gap_extend: scoring.gap_extend,
-            zdrop_enabled: scoring.zdrop_enabled(),
-            seen: vec![0; total],
-            local_score: vec![NEG_INF; total],
-            local_i: vec![-1; total],
-            qend: vec![NEG_INF; total],
-            next: 0,
-            cutoff,
-            total,
-            global: MaxCell::ORIGIN,
-            qend_best: None,
-            finished: if total == 0 { Some(StopReason::Completed) } else { None },
-            cells: 0,
-        }
+        self.n = ni;
+        self.m = mi;
+        self.w = w;
+        self.zdrop = scoring.zdrop;
+        self.gap_extend = scoring.gap_extend;
+        self.zdrop_enabled = scoring.zdrop_enabled();
+        self.seen.clear();
+        self.seen.resize(total, 0);
+        self.local_score.clear();
+        self.local_score.resize(total, NEG_INF);
+        self.local_i.clear();
+        self.local_i.resize(total, -1);
+        self.qend.clear();
+        self.qend.resize(total, NEG_INF);
+        self.next = 0;
+        self.cutoff = cutoff;
+        self.total = total;
+        self.global = MaxCell::ORIGIN;
+        self.qend_best = None;
+        self.finished = if total == 0 { Some(StopReason::Completed) } else { None };
+        self.cells = 0;
     }
 
     /// Record one computed in-band cell. Cells may arrive in any order;
@@ -207,6 +237,14 @@ impl DiagTracker {
     /// [`DiagTracker::advance`] reported a stop reason (engines that filled
     /// the whole table can call `advance` first).
     pub fn result(mut self) -> GuidedResult {
+        self.take_result()
+    }
+
+    /// Like [`DiagTracker::result`] but keeps the tracker (and its
+    /// allocations) alive so it can be [`DiagTracker::reset`] for the next
+    /// task. The tracker's state is unspecified afterwards except that
+    /// `reset` restores it fully.
+    pub fn take_result(&mut self) -> GuidedResult {
         let stop = self.advance().expect(
             "DiagTracker::result called before the alignment was decided \
              (some anti-diagonal never completed)",
@@ -363,6 +401,38 @@ mod tests {
         }
         let got = tracker.result();
         assert!(got.same_alignment(&reference), "{got:?} vs {reference:?}");
+    }
+
+    #[test]
+    fn reset_matches_fresh_tracker() {
+        // A tracker reused across tasks of different geometry (including a
+        // z-dropping one) must be indistinguishable from a fresh tracker.
+        let cases = [
+            ("AGATAGAT", "AGACTATC", Scoring::figure1()),
+            ("ACGTACGTGGGGGGGG", "ACGTACGTCCCCCCCC", Scoring::new(2, 4, 4, 2, 4, Scoring::NO_BAND)),
+            ("ACGT", "ACGTACGTACGT", Scoring::new(2, 4, 4, 2, Scoring::NO_BAND, 3)),
+        ];
+        let mut reused = DiagTracker::new(0, 0, &Scoring::figure1());
+        for (r, q, s) in &cases {
+            let (rp, qp) = (seq(r), seq(q));
+            let dense = dense_banded(&rp, &qp, &s.with_zdrop(Scoring::NO_ZDROP));
+            let n = rp.len() as i64;
+            let m = qp.len() as i64;
+            let w = if s.banded() { s.band_width as i64 } else { n + m };
+            let mut fresh = DiagTracker::new(rp.len(), qp.len(), s);
+            reused.reset(rp.len(), qp.len(), s);
+            for c in 0..(n + m - 1) {
+                let Some((lo, hi)) = diag_range(c, n, m, w) else { continue };
+                for i in lo..=hi {
+                    let h = dense[(i * m + (c - i)) as usize];
+                    fresh.on_cell(i as i32, (c - i) as i32, h);
+                    reused.on_cell(i as i32, (c - i) as i32, h);
+                }
+            }
+            let want = fresh.result();
+            let got = reused.take_result();
+            assert_eq!(got, want, "reused tracker diverged on ({r}, {q})");
+        }
     }
 
     #[test]

@@ -8,7 +8,10 @@ use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Through
 
 use agatha_align::guided::guided_align;
 use agatha_align::{block::block_grid_align, PackedSeq, Scoring, Task};
-use agatha_core::{kernel::run_task, AgathaConfig};
+use agatha_core::{
+    kernel::{run_task, run_task_ws, KernelWorkspace},
+    AgathaConfig,
+};
 
 fn pseudo_seq(len: usize, seed: u64, mutate_every: usize) -> (String, String) {
     let mut r = String::new();
@@ -64,6 +67,31 @@ fn bench_kernel_configs(c: &mut Criterion) {
     g.finish();
 }
 
+fn bench_workspace_reuse(c: &mut Criterion) {
+    // The streaming engine's core claim: reusing one KernelWorkspace across
+    // a stream of tasks beats reallocating every DP buffer per call. The
+    // gap is widest on seed-sized microtasks, where allocation is a real
+    // fraction of kernel time; O(n²) compute swamps it on long reads.
+    let mut g = c.benchmark_group("workspace_reuse");
+    let s = Scoring::new(2, 4, 4, 2, 200, 100);
+    let cfg = AgathaConfig::agatha();
+    let tasks: Vec<Task> = (0..512)
+        .map(|i| {
+            let (r, q) = pseudo_seq(8 + (i as usize * 5) % 13, i + 1, 11);
+            Task::from_strs(i as u32, &r, &q)
+        })
+        .collect();
+    g.throughput(Throughput::Elements(tasks.len() as u64));
+    g.bench_function("fresh_alloc", |b| {
+        b.iter(|| tasks.iter().map(|t| run_task(t, &s, &cfg).blocks).sum::<u64>())
+    });
+    g.bench_function("reused_workspace", |b| {
+        let mut ws = KernelWorkspace::new();
+        b.iter(|| tasks.iter().map(|t| run_task_ws(&mut ws, t, &s, &cfg).blocks).sum::<u64>())
+    });
+    g.finish();
+}
+
 fn bench_packing(c: &mut Criterion) {
     let mut g = c.benchmark_group("packing");
     let (r, _) = pseudo_seq(1 << 16, 41, 0);
@@ -78,6 +106,6 @@ fn bench_packing(c: &mut Criterion) {
 criterion_group! {
     name = benches;
     config = Criterion::default().sample_size(20).measurement_time(std::time::Duration::from_secs(3)).warm_up_time(std::time::Duration::from_millis(500));
-    targets = bench_guided_reference, bench_block_kernel, bench_kernel_configs, bench_packing
+    targets = bench_guided_reference, bench_block_kernel, bench_kernel_configs, bench_workspace_reuse, bench_packing
 }
 criterion_main!(benches);

@@ -1,0 +1,109 @@
+//! Host-throughput harness for the batch pipeline: measures real wall-time
+//! tasks/sec of (a) the whole-batch path, (b) the chunked streaming engine,
+//! and (c) single-threaded kernel execution with fresh vs reused
+//! workspaces, on a fixed-seed dataset. Writes `BENCH_pipeline.json` so CI
+//! tracks the perf trajectory run over run.
+//!
+//! Run with `cargo run --release -p agatha-bench --bin pipeline_bench`.
+
+use std::time::Instant;
+
+use agatha_core::{kernel::run_task, run_task_ws, AgathaConfig, KernelWorkspace, Pipeline};
+use agatha_datasets::{generate, DatasetSpec, Tech};
+
+const SEED: u64 = 1234;
+const READS: usize = 1200;
+const CHUNK: usize = 128;
+const REPS: usize = 3;
+
+/// Best-of-`REPS` wall time, in seconds, of `f`.
+fn best_of<F: FnMut() -> u64>(mut f: F) -> (f64, u64) {
+    let mut best = f64::INFINITY;
+    let mut checksum = 0;
+    for _ in 0..REPS {
+        let t0 = Instant::now();
+        checksum = f();
+        best = best.min(t0.elapsed().as_secs_f64());
+    }
+    (best, checksum)
+}
+
+fn main() {
+    let ds = generate(&DatasetSpec {
+        name: "pipeline bench".to_string(),
+        tech: Tech::Clr,
+        seed: SEED,
+        reads: READS,
+    });
+    let tasks = ds.tasks;
+    let pipeline = Pipeline::new(ds.scoring, AgathaConfig::agatha());
+
+    let (whole_s, whole_sum) = best_of(|| {
+        let rep = pipeline.align_batch(&tasks);
+        rep.results.iter().map(|r| r.score.unsigned_abs() as u64).sum()
+    });
+
+    let mut engine = pipeline.engine();
+    let (stream_s, stream_sum) = best_of(|| {
+        let mut sum = 0u64;
+        let mut run = engine.align_stream(tasks.iter().cloned(), CHUNK);
+        for chunk in run.by_ref() {
+            sum += chunk.report.results.iter().map(|r| r.score.unsigned_abs() as u64).sum::<u64>();
+        }
+        run.finish();
+        sum
+    });
+    assert_eq!(whole_sum, stream_sum, "streaming must score identically to whole-batch");
+
+    // Kernel-only, single thread: isolates the workspace-reuse effect from
+    // threading and simulation. Seed-sized microtasks (8–20 bp, the k-mer
+    // hit verification regime), where per-call allocation is a meaningful
+    // fraction of the kernel time; for longer tasks the O(n²) cell compute
+    // dominates and the reuse gain tends to zero (Amdahl).
+    let kernel_tasks: Vec<agatha_align::Task> = (0..20000u64)
+        .map(|i| {
+            let mut x = SEED.wrapping_add(i * 2654435761) | 1;
+            let len = 8 + (i as usize % 13);
+            let mut r = String::new();
+            let mut q = String::new();
+            for k in 0..len {
+                x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                let c = ['A', 'C', 'G', 'T'][(x >> 33) as usize % 4];
+                r.push(c);
+                q.push(if k % 23 == 0 { 'T' } else { c });
+            }
+            agatha_align::Task::from_strs(i as u32, &r, &q)
+        })
+        .collect();
+    let kernel_tasks = &kernel_tasks[..];
+    let (fresh_s, fresh_sum) = best_of(|| {
+        kernel_tasks.iter().map(|t| run_task(t, &pipeline.scoring, &pipeline.config).blocks).sum()
+    });
+    let mut ws = KernelWorkspace::new();
+    let (reused_s, reused_sum) = best_of(|| {
+        kernel_tasks
+            .iter()
+            .map(|t| run_task_ws(&mut ws, t, &pipeline.scoring, &pipeline.config).blocks)
+            .sum()
+    });
+    assert_eq!(fresh_sum, reused_sum, "workspace reuse must not change the work done");
+
+    let tps = |secs: f64, n: usize| n as f64 / secs;
+    let json = format!(
+        "{{\n  \"bench\": \"pipeline\",\n  \"seed\": {SEED},\n  \"tasks\": {},\n  \
+         \"chunk\": {CHUNK},\n  \
+         \"whole_batch_tasks_per_sec\": {:.1},\n  \
+         \"streaming_tasks_per_sec\": {:.1},\n  \
+         \"kernel_fresh_alloc_tasks_per_sec\": {:.1},\n  \
+         \"kernel_reused_ws_tasks_per_sec\": {:.1},\n  \
+         \"workspace_reuse_speedup\": {:.3}\n}}\n",
+        tasks.len(),
+        tps(whole_s, tasks.len()),
+        tps(stream_s, tasks.len()),
+        tps(fresh_s, kernel_tasks.len()),
+        tps(reused_s, kernel_tasks.len()),
+        fresh_s / reused_s,
+    );
+    std::fs::write("BENCH_pipeline.json", &json).expect("write BENCH_pipeline.json");
+    print!("{json}");
+}

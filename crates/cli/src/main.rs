@@ -3,13 +3,18 @@
 //!
 //! ```text
 //! agatha align [-a M] [-b X] [-q O] [-r E] [-z Z] [-w W] \
-//!              [--engine NAME] [--gpus N] [-o DIR] REF.fasta QUERY.fasta
+//!              [--engine NAME] [--gpus N] [--threads N] [--chunk N] \
+//!              [-o DIR] REF.fasta QUERY.fasta
 //! agatha demo  [--tech hifi|clr|ont] [--reads N] [-o DIR]
 //! agatha engines
 //! ```
 //!
 //! `align` scores each pair `(REF[i], QUERY[i])` and writes `score.log`
 //! plus `time.json` (simulated kernel time) into the output directory.
+//! With the default `agatha` engine the input files are *streamed*: tasks
+//! are read, aligned on a persistent worker pool (one reusable kernel
+//! workspace per thread) and released chunk by chunk, so memory stays
+//! bounded by `--chunk` regardless of input size.
 
 use std::path::PathBuf;
 use std::process::ExitCode;
@@ -19,7 +24,10 @@ use agatha_baselines::{run_baseline, Baseline};
 use agatha_core::{AgathaConfig, Pipeline};
 use agatha_datasets::{generate, DatasetSpec, Tech};
 use agatha_gpu_sim::GpuSpec;
-use agatha_io::{read_fasta, write_score_log, write_time_json, Args};
+use agatha_io::{open_fasta_pairs, write_score_log, write_time_json, Args};
+
+/// Default `--chunk`: tasks held in memory at once when streaming.
+const DEFAULT_CHUNK: usize = 4096;
 
 fn main() -> ExitCode {
     let argv: Vec<String> = std::env::args().skip(1).collect();
@@ -67,19 +75,37 @@ alignment options (AGAThA.sh compatible):
 common options:
   --engine NAME   agatha (default) or a baseline (see `agatha engines`)
   --gpus N        simulate N GPUs (agatha engine only, default 1)
+  --threads N     host worker threads (default: all cores)
+  --chunk N       streaming chunk size in tasks (align + agatha engine
+                  only, default 4096; 0 = whole batch in one chunk)
   -o DIR          output directory (default ./output)
   --tech T        demo technology: hifi | clr | ont (default clr)
   --reads N       demo task count (default 160)";
 
-fn scoring_from_args(args: &Args) -> Scoring {
-    Scoring::new(
-        args.get_num("a", 2),
-        args.get_num("b", 4),
-        args.get_num("q", 4),
-        args.get_num("r", 2),
-        args.get_num("z", 400),
-        args.get_num("w", 400),
-    )
+fn scoring_from_args(args: &Args) -> Result<Scoring, String> {
+    Ok(Scoring::new(
+        args.get_num_checked("a", 2)?,
+        args.get_num_checked("b", 4)?,
+        args.get_num_checked("q", 4)?,
+        args.get_num_checked("r", 2)?,
+        args.get_num_checked("z", 400)?,
+        args.get_num_checked("w", 400)?,
+    ))
+}
+
+/// Numeric knobs shared by `align` and `demo`.
+struct HostOpts {
+    gpus: usize,
+    threads: usize,
+    chunk: usize,
+}
+
+fn host_opts(args: &Args) -> Result<HostOpts, String> {
+    Ok(HostOpts {
+        gpus: args.get_num_checked("gpus", 1usize)?.max(1),
+        threads: args.get_num_checked("threads", 0usize)?,
+        chunk: args.get_num_checked("chunk", DEFAULT_CHUNK)?,
+    })
 }
 
 fn out_dir(args: &Args) -> Result<PathBuf, String> {
@@ -88,15 +114,35 @@ fn out_dir(args: &Args) -> Result<PathBuf, String> {
     Ok(dir)
 }
 
+/// Build the AGAThA pipeline for the requested host options.
+fn agatha_pipeline(scoring: &Scoring, opts: &HostOpts) -> Pipeline {
+    let mut p = Pipeline::new(*scoring, AgathaConfig::agatha()).with_gpus(opts.gpus);
+    p.host_threads = opts.threads;
+    p
+}
+
+/// Reject `--gpus N>1` for engines that silently ignored it before: the
+/// baselines model fixed published hardware setups, so pretending the flag
+/// took effect would misreport their simulated time.
+fn check_baseline_gpus(engine: &str, opts: &HostOpts) -> Result<(), String> {
+    if opts.gpus > 1 {
+        return Err(format!(
+            "--gpus {} is only supported by the agatha engine; baseline '{engine}' models \
+             a fixed device setup (drop --gpus or use --engine agatha)",
+            opts.gpus
+        ));
+    }
+    Ok(())
+}
+
 fn run_engine(
     engine: &str,
     tasks: &[Task],
     scoring: &Scoring,
-    gpus: usize,
+    opts: &HostOpts,
 ) -> Result<(String, Vec<i32>, f64), String> {
     if engine.eq_ignore_ascii_case("agatha") {
-        let p = Pipeline::new(*scoring, AgathaConfig::agatha()).with_gpus(gpus);
-        let rep = p.align_batch(tasks);
+        let rep = agatha_pipeline(scoring, opts).align_batch(tasks);
         let scores = rep.results.iter().map(|r| r.score).collect();
         return Ok(("AGAThA".to_string(), scores, rep.elapsed_ms));
     }
@@ -112,6 +158,7 @@ fn run_engine(
         "logan" => Baseline::Logan,
         other => return Err(format!("unknown engine '{other}' (try `agatha engines`)")),
     };
+    check_baseline_gpus(engine, opts)?;
     let rep = run_baseline(which, tasks, scoring, &GpuSpec::rtx_a6000());
     Ok((rep.name, rep.scores, rep.elapsed_ms))
 }
@@ -121,32 +168,44 @@ fn cmd_align(args: &Args) -> Result<(), String> {
     if pos.len() != 2 {
         return Err(format!("align needs REF.fasta and QUERY.fasta\n{USAGE}"));
     }
-    let refs = read_fasta(&PathBuf::from(&pos[0]))?;
-    let queries = read_fasta(&PathBuf::from(&pos[1]))?;
-    if refs.len() != queries.len() {
-        return Err(format!(
-            "reference and query files must pair up ({} vs {} records); \
-             'each input file should have an equal number of reference and query strings'",
-            refs.len(),
-            queries.len()
-        ));
-    }
-    let tasks: Vec<Task> = refs
-        .into_iter()
-        .zip(queries)
-        .enumerate()
-        .map(|(id, (r, q))| Task { id: id as u32, reference: r.seq, query: q.seq })
-        .collect();
-
-    let scoring = scoring_from_args(args);
+    let scoring = scoring_from_args(args)?;
     let engine = args.get("engine").filter(|s| !s.is_empty()).unwrap_or("agatha");
-    let gpus = args.get_num("gpus", 1usize).max(1);
-    let (name, scores, ms) = run_engine(engine, &tasks, &scoring, gpus)?;
+    let opts = host_opts(args)?;
+    let pairs = open_fasta_pairs(&PathBuf::from(&pos[0]), &PathBuf::from(&pos[1]))?;
+
+    let (name, scores, ms, tasks) = if engine.eq_ignore_ascii_case("agatha") {
+        // Streaming path: tasks flow straight from the files into the
+        // persistent worker pool, one `--chunk` at a time.
+        let mut pool = agatha_pipeline(&scoring, &opts).engine();
+        let mut io_err: Option<String> = None;
+        let task_iter = pairs.map_while(|t| match t {
+            Ok(task) => Some(task),
+            Err(e) => {
+                io_err = Some(e);
+                None
+            }
+        });
+        let mut scores = Vec::new();
+        let mut run = pool.align_stream(task_iter, opts.chunk);
+        for chunk in run.by_ref() {
+            scores.extend(chunk.report.results.iter().map(|r| r.score));
+        }
+        let summary = run.finish();
+        if let Some(e) = io_err {
+            return Err(e);
+        }
+        ("AGAThA".to_string(), scores, summary.elapsed_ms, summary.tasks)
+    } else {
+        // Baselines execute whole-batch reference schedules; collect.
+        let tasks: Vec<Task> = pairs.collect::<Result<_, _>>()?;
+        let (name, scores, ms) = run_engine(engine, &tasks, &scoring, &opts)?;
+        (name, scores, ms, tasks.len())
+    };
 
     let dir = out_dir(args)?;
     write_score_log(&dir.join("score.log"), &scores)?;
-    write_time_json(&dir.join("time.json"), &name, ms, tasks.len())?;
-    println!("{name}: {} pairs, simulated kernel time {ms:.3} ms", tasks.len());
+    write_time_json(&dir.join("time.json"), &name, ms, tasks)?;
+    println!("{name}: {tasks} pairs, simulated kernel time {ms:.3} ms");
     println!("wrote {}/score.log and {}/time.json", dir.display(), dir.display());
     Ok(())
 }
@@ -158,12 +217,12 @@ fn cmd_demo(args: &Args) -> Result<(), String> {
         "ont" => Tech::Ont,
         other => return Err(format!("unknown tech '{other}'")),
     };
-    let reads = args.get_num("reads", 160usize).max(1);
+    let reads = args.get_num_checked("reads", 160usize)?.max(1);
     let spec = DatasetSpec { name: format!("{} demo", tech.name()), tech, seed: 1234, reads };
     let ds = generate(&spec);
     let engine = args.get("engine").filter(|s| !s.is_empty()).unwrap_or("agatha");
-    let gpus = args.get_num("gpus", 1usize).max(1);
-    let (name, scores, ms) = run_engine(engine, &ds.tasks, &ds.scoring, gpus)?;
+    let opts = host_opts(args)?;
+    let (name, scores, ms) = run_engine(engine, &ds.tasks, &ds.scoring, &opts)?;
 
     let dir = out_dir(args)?;
     write_score_log(&dir.join("score.log"), &scores)?;

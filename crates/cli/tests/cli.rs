@@ -75,6 +75,87 @@ fn align_rejects_mismatched_files() {
 }
 
 #[test]
+fn malformed_numeric_flag_is_an_error() {
+    // `-z abc` used to silently align with the default threshold (400).
+    let dir = std::env::temp_dir().join(format!("agatha_cli_badnum_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let refs = dir.join("ref.fasta");
+    let queries = dir.join("query.fasta");
+    std::fs::write(&refs, ">1\nACGT\n").unwrap();
+    std::fs::write(&queries, ">1\nACGT\n").unwrap();
+    let out = agatha()
+        .args(["align", "-z", "abc"])
+        .args(["-o", dir.join("out").to_str().unwrap()])
+        .arg(refs.to_str().unwrap())
+        .arg(queries.to_str().unwrap())
+        .output()
+        .unwrap();
+    assert!(!out.status.success(), "malformed -z must not fall back silently");
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("'abc'") && err.contains("-z"), "stderr: {err}");
+    // `demo` rejects malformed flags it consumes, too.
+    let out = agatha().args(["demo", "--reads", "4x"]).output().unwrap();
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("'4x'"));
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn gpus_flag_rejected_for_baseline_engines() {
+    // `--gpus` used to be silently ignored for baselines.
+    let out = agatha()
+        .args(["demo", "--reads", "4", "--engine", "saloba", "--gpus", "2"])
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("agatha engine"), "stderr: {err}");
+    // --gpus 1 is the no-op default and stays accepted.
+    let dir = std::env::temp_dir().join(format!("agatha_cli_g1_{}", std::process::id()));
+    let out = agatha()
+        .args(["demo", "--reads", "4", "--engine", "saloba", "--gpus", "1"])
+        .args(["-o", dir.to_str().unwrap()])
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "stderr: {}", String::from_utf8_lossy(&out.stderr));
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn chunked_streaming_scores_match_whole_batch() {
+    let dir = std::env::temp_dir().join(format!("agatha_cli_chunk_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let refs = dir.join("ref.fasta");
+    let queries = dir.join("query.fasta");
+    let mut rf = String::new();
+    let mut qf = String::new();
+    for i in 0..9 {
+        rf.push_str(&format!(">r{i}\n{}\n", "ACGTACGTACGTACGT".repeat(i % 3 + 1)));
+        qf.push_str(&format!(">q{i}\n{}\n", "ACGTACGTACGTACGT".repeat(i % 3 + 1)));
+    }
+    std::fs::write(&refs, rf).unwrap();
+    std::fs::write(&queries, qf).unwrap();
+    let run = |extra: &[&str], out: &str| {
+        let out_dir = dir.join(out);
+        let st = agatha()
+            .args(["align", "-w", "100"])
+            .args(extra)
+            .args(["-o", out_dir.to_str().unwrap()])
+            .arg(refs.to_str().unwrap())
+            .arg(queries.to_str().unwrap())
+            .output()
+            .unwrap();
+        assert!(st.status.success(), "stderr: {}", String::from_utf8_lossy(&st.stderr));
+        std::fs::read_to_string(out_dir.join("score.log")).unwrap()
+    };
+    let whole = run(&["--chunk", "0"], "whole");
+    let chunked = run(&["--chunk", "2", "--threads", "2"], "chunked");
+    assert_eq!(whole, chunked, "chunked streaming must score identically");
+    assert_eq!(whole.lines().count(), 9);
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
 fn demo_runs_with_baseline_engine() {
     let dir = std::env::temp_dir().join(format!("agatha_cli_demo_{}", std::process::id()));
     let out = agatha()

@@ -1,0 +1,342 @@
+//! Streaming batch engine: a persistent host worker pool with per-worker
+//! reusable [`KernelWorkspace`]s, processing task streams in bounded-memory
+//! chunks.
+//!
+//! [`Pipeline::align_batch`] materialises every [`TaskRun`] for a batch it
+//! borrows; that is fine for figure reproduction but not for serving
+//! traffic. [`BatchEngine`] instead owns its worker threads for its whole
+//! lifetime: workers pull owned tasks from a shared queue, execute them
+//! with [`run_task_ws`] into their private workspace (zero steady-state
+//! allocation on the kernel hot path), and only one chunk of runs is alive
+//! at a time. Chunk results are yielded as they complete and the
+//! per-chunk [`KernelStats`] / warp latencies are folded incrementally into
+//! a [`StreamSummary`].
+
+use std::sync::mpsc::{channel, Receiver, Sender};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+
+use agatha_align::Task;
+use agatha_gpu_sim::{DeviceReport, KernelStats};
+
+use crate::bucketing::OrderingStrategy;
+use crate::kernel::{run_task_ws, KernelWorkspace, TaskRun};
+use crate::pipeline::{BatchReport, Pipeline};
+
+struct Job {
+    /// Chunk generation the job belongs to; results from an older
+    /// generation (e.g. after a caught worker panic aborted a chunk) are
+    /// discarded instead of corrupting the next chunk.
+    gen: u64,
+    idx: usize,
+    task: Task,
+}
+
+/// A persistent alignment worker pool for one [`Pipeline`] configuration.
+///
+/// Dropping the engine shuts the pool down and joins every worker.
+pub struct BatchEngine {
+    pipeline: Pipeline,
+    threads: usize,
+    gen: u64,
+    job_tx: Option<Sender<Job>>,
+    result_rx: Receiver<(u64, usize, std::thread::Result<TaskRun>)>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl BatchEngine {
+    /// Spawn the worker pool (`pipeline.host_threads`, or all available
+    /// cores when 0). Each worker owns one [`KernelWorkspace`] for its
+    /// entire lifetime.
+    pub fn new(pipeline: Pipeline) -> BatchEngine {
+        let threads = pipeline.worker_threads().max(1);
+        let (job_tx, job_rx) = channel::<Job>();
+        let job_rx = Arc::new(Mutex::new(job_rx));
+        let (result_tx, result_rx) = channel();
+        let workers = (0..threads)
+            .map(|_| {
+                let job_rx = Arc::clone(&job_rx);
+                let result_tx = result_tx.clone();
+                let scoring = pipeline.scoring;
+                let config = pipeline.config.clone();
+                std::thread::spawn(move || {
+                    let mut ws = KernelWorkspace::new();
+                    loop {
+                        // Hold the queue lock only while drawing a job, not
+                        // while executing it.
+                        let job = { job_rx.lock().expect("queue lock poisoned").recv() };
+                        let Ok(Job { gen, idx, task }) = job else { break };
+                        // Catch panics so the collector can re-raise them
+                        // instead of deadlocking on a result that never
+                        // arrives. The workspace is safe to reuse after a
+                        // panic: every run fully reinitialises it.
+                        let run = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                            run_task_ws(&mut ws, &task, &scoring, &config)
+                        }));
+                        if result_tx.send((gen, idx, run)).is_err() {
+                            break;
+                        }
+                    }
+                })
+            })
+            .collect();
+        BatchEngine { pipeline, threads, gen: 0, job_tx: Some(job_tx), result_rx, workers }
+    }
+
+    /// The pipeline configuration this engine serves.
+    pub fn pipeline(&self) -> &Pipeline {
+        &self.pipeline
+    }
+
+    /// Worker threads in the pool.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Execute one chunk of owned tasks on the pool, returning the runs in
+    /// input order. Deterministic: results are reassembled by index, so
+    /// worker interleaving never changes the output.
+    pub fn run_tasks(&mut self, tasks: Vec<Task>) -> Vec<TaskRun> {
+        let count = tasks.len();
+        self.gen += 1;
+        let gen = self.gen;
+        let job_tx = self.job_tx.as_ref().expect("engine pool is live until drop");
+        for (idx, task) in tasks.into_iter().enumerate() {
+            job_tx.send(Job { gen, idx, task }).expect("worker pool alive");
+        }
+        let mut out: Vec<Option<TaskRun>> = (0..count).map(|_| None).collect();
+        let mut received = 0;
+        while received < count {
+            let (g, idx, run) = self.result_rx.recv().expect("worker pool alive");
+            if g != gen {
+                // Leftover from a chunk aborted by a re-raised panic.
+                continue;
+            }
+            received += 1;
+            match run {
+                Ok(run) => out[idx] = Some(run),
+                // Re-raise a worker panic on the calling thread.
+                Err(payload) => std::panic::resume_unwind(payload),
+            }
+        }
+        out.into_iter().map(|r| r.expect("every task executed")).collect()
+    }
+
+    /// Align one owned chunk end to end (kernel runs → warp assignment →
+    /// simulation → device scheduling), with the configuration's implied
+    /// ordering strategy. Bit-identical to [`Pipeline::align_batch`] on the
+    /// same tasks.
+    pub fn align_chunk(&mut self, tasks: Vec<Task>) -> BatchReport {
+        let strategy = self.pipeline.default_strategy();
+        self.align_chunk_with_strategy(tasks, strategy)
+    }
+
+    /// [`BatchEngine::align_chunk`] with an explicit ordering strategy.
+    pub fn align_chunk_with_strategy(
+        &mut self,
+        tasks: Vec<Task>,
+        strategy: OrderingStrategy,
+    ) -> BatchReport {
+        let workloads: Vec<u64> = tasks.iter().map(|t| t.antidiags() as u64).collect();
+        let runs = self.run_tasks(tasks);
+        self.pipeline.assemble_report(&workloads, runs, strategy)
+    }
+
+    /// Stream `tasks` through the pool in chunks of `chunk_size`
+    /// (`0` = the whole stream as one chunk). Only one chunk of tasks and
+    /// runs is in memory at a time; iterate the returned [`StreamRun`] for
+    /// per-chunk reports, then call [`StreamRun::finish`] for the folded
+    /// totals.
+    pub fn align_stream<I>(&mut self, tasks: I, chunk_size: usize) -> StreamRun<'_, I::IntoIter>
+    where
+        I: IntoIterator<Item = Task>,
+    {
+        StreamRun {
+            engine: self,
+            tasks: tasks.into_iter(),
+            chunk_size,
+            offset: 0,
+            chunks: 0,
+            stats: KernelStats::new(),
+            warp_cycles: Vec::new(),
+        }
+    }
+}
+
+impl Drop for BatchEngine {
+    fn drop(&mut self) {
+        // Closing the job channel makes every worker's recv fail and exit.
+        drop(self.job_tx.take());
+        for w in self.workers.drain(..) {
+            let _ = w.join();
+        }
+    }
+}
+
+/// One chunk's worth of output from [`BatchEngine::align_stream`].
+#[derive(Debug, Clone)]
+pub struct ChunkReport {
+    /// Index of the chunk's first task within the stream.
+    pub offset: usize,
+    /// Full batch report for the chunk alone.
+    pub report: BatchReport,
+}
+
+/// Folded totals of a finished stream.
+#[derive(Debug, Clone)]
+pub struct StreamSummary {
+    /// Tasks processed.
+    pub tasks: usize,
+    /// Chunks processed.
+    pub chunks: usize,
+    /// Aggregate execution statistics (identical to a whole-batch run's).
+    pub stats: KernelStats,
+    /// Per-warp latencies across all chunks, in submission order.
+    pub warp_cycles: Vec<f64>,
+    /// Straggler-device schedule of all the stream's warps as one pooled
+    /// submission sequence on the configured device(s) — a chunk's warps
+    /// may start in slots freed mid-way through the previous chunk, which
+    /// is why `chunk_size = 0` reproduces `align_batch` exactly.
+    pub device: DeviceReport,
+    /// Simulated kernel time of the whole stream in milliseconds.
+    pub elapsed_ms: f64,
+}
+
+/// Lazy chunk-by-chunk driver returned by [`BatchEngine::align_stream`].
+pub struct StreamRun<'e, I: Iterator<Item = Task>> {
+    engine: &'e mut BatchEngine,
+    tasks: I,
+    chunk_size: usize,
+    offset: usize,
+    chunks: usize,
+    stats: KernelStats,
+    warp_cycles: Vec<f64>,
+}
+
+impl<I: Iterator<Item = Task>> Iterator for StreamRun<'_, I> {
+    type Item = ChunkReport;
+
+    fn next(&mut self) -> Option<ChunkReport> {
+        let take = if self.chunk_size == 0 { usize::MAX } else { self.chunk_size };
+        let mut chunk = Vec::new();
+        while chunk.len() < take {
+            match self.tasks.next() {
+                Some(t) => chunk.push(t),
+                None => break,
+            }
+        }
+        if chunk.is_empty() {
+            return None;
+        }
+        let offset = self.offset;
+        self.offset += chunk.len();
+        self.chunks += 1;
+        let report = self.engine.align_chunk(chunk);
+        self.stats.add(&report.stats);
+        self.warp_cycles.extend_from_slice(&report.warp_cycles);
+        Some(ChunkReport { offset, report })
+    }
+}
+
+impl<I: Iterator<Item = Task>> StreamRun<'_, I> {
+    /// Drain any unprocessed chunks, then fold the totals. The final device
+    /// schedule treats all warps of the stream as one submission sequence on
+    /// the pipeline's device(s).
+    pub fn finish(mut self) -> StreamSummary {
+        while self.next().is_some() {}
+        let pipeline = &self.engine.pipeline;
+        let (_, device) = pipeline.schedule_devices(&self.warp_cycles);
+        StreamSummary {
+            tasks: self.offset,
+            chunks: self.chunks,
+            stats: self.stats,
+            elapsed_ms: pipeline.spec.cycles_to_ms(device.makespan_cycles),
+            device,
+            warp_cycles: self.warp_cycles,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::options::AgathaConfig;
+    use agatha_align::Scoring;
+
+    fn mk_tasks(count: usize, len_base: usize, seed: u64) -> Vec<Task> {
+        let mut tasks = Vec::new();
+        let mut x = seed | 1;
+        for id in 0..count {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            let len = len_base + (x >> 33) as usize % len_base;
+            let mut r = String::new();
+            let mut q = String::new();
+            for k in 0..len {
+                x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                let c = ['A', 'C', 'G', 'T'][(x >> 33) as usize % 4];
+                r.push(c);
+                q.push(if k % 19 == 0 { 'T' } else { c });
+            }
+            tasks.push(Task::from_strs(id as u32, &r, &q));
+        }
+        tasks
+    }
+
+    fn pipeline() -> Pipeline {
+        Pipeline::new(Scoring::new(2, 4, 4, 2, 60, 16), AgathaConfig::agatha())
+    }
+
+    #[test]
+    fn chunked_stream_matches_whole_batch() {
+        let tasks = mk_tasks(30, 110, 41);
+        let whole = pipeline().align_batch(&tasks);
+        for chunk_size in [1, 7, 30, 0] {
+            let mut engine = pipeline().engine();
+            let mut results = Vec::new();
+            let mut run = engine.align_stream(tasks.iter().cloned(), chunk_size);
+            for chunk in run.by_ref() {
+                assert_eq!(chunk.offset, results.len());
+                results.extend(chunk.report.results);
+            }
+            let summary = run.finish();
+            assert_eq!(results, whole.results, "chunk_size {chunk_size}");
+            assert_eq!(summary.stats, whole.stats, "chunk_size {chunk_size}");
+            assert_eq!(summary.tasks, tasks.len());
+        }
+    }
+
+    #[test]
+    fn whole_stream_is_bit_identical_including_schedule() {
+        // chunk_size 0: one chunk spanning the stream — even the warp
+        // latencies and the device schedule must match align_batch exactly.
+        let tasks = mk_tasks(18, 90, 7);
+        let whole = pipeline().align_batch(&tasks);
+        let mut engine = pipeline().engine();
+        let summary = engine.align_stream(tasks.iter().cloned(), 0).finish();
+        assert_eq!(summary.warp_cycles, whole.warp_cycles);
+        assert_eq!(summary.device, whole.device);
+        assert_eq!(summary.elapsed_ms, whole.elapsed_ms);
+        assert_eq!(summary.chunks, 1);
+    }
+
+    #[test]
+    fn engine_survives_many_chunks() {
+        let mut engine = pipeline().engine();
+        let tasks = mk_tasks(12, 70, 3);
+        let a = engine.align_chunk(tasks.clone());
+        let b = engine.align_chunk(tasks.clone());
+        assert_eq!(a.results, b.results);
+        let c = engine.align_chunk(Vec::new());
+        assert!(c.results.is_empty());
+        assert_eq!(c.elapsed_ms, 0.0);
+    }
+
+    #[test]
+    fn empty_stream() {
+        let mut engine = pipeline().engine();
+        let summary = engine.align_stream(std::iter::empty(), 8).finish();
+        assert_eq!(summary.tasks, 0);
+        assert_eq!(summary.chunks, 0);
+        assert_eq!(summary.elapsed_ms, 0.0);
+    }
+}

@@ -17,7 +17,7 @@ use crate::options::AgathaConfig;
 use crate::trace::{unit_cost, SliceUnit};
 
 /// Output of executing one task through the kernel.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct TaskRun {
     /// Task identifier (copied from the input).
     pub id: u32,
@@ -87,24 +87,90 @@ struct RowSeg {
     bi_to: i64,
 }
 
+/// Reusable per-worker scratch for [`run_task_ws`]: the DP row buffers, the
+/// per-row carries, the unit-schedule staging area and the align-layer
+/// [`DiagTracker`]. All of these are grow-only, so a workspace reused across
+/// a task stream reaches a steady state in which executing a task performs
+/// no heap allocation on the kernel hot path (the returned [`TaskRun`]'s
+/// cost descriptors are output, not scratch).
+///
+/// This is the `block-aligner` idiom: build one long-lived aligner object
+/// and feed it tasks, instead of reallocating per call.
+#[derive(Debug, Clone)]
+pub struct KernelWorkspace {
+    row_h: Vec<i32>,
+    row_f: Vec<i32>,
+    carries: Vec<RowCarry>,
+    unit_rows: Vec<RowSeg>,
+    tracker: DiagTracker,
+}
+
+impl KernelWorkspace {
+    /// Empty workspace; buffers grow on first use.
+    pub fn new() -> KernelWorkspace {
+        KernelWorkspace {
+            row_h: Vec::new(),
+            row_f: Vec::new(),
+            carries: Vec::new(),
+            unit_rows: Vec::new(),
+            tracker: DiagTracker::new(0, 0, &Scoring::default()),
+        }
+    }
+
+    /// Total capacity currently held by the DP row buffers, in cells.
+    /// Exposed so tests can assert that steady-state reuse stops growing.
+    pub fn row_capacity(&self) -> usize {
+        self.row_h.capacity()
+    }
+}
+
+impl Default for KernelWorkspace {
+    fn default() -> KernelWorkspace {
+        KernelWorkspace::new()
+    }
+}
+
 /// Execute one task under `cfg`, producing the exact result plus cost
-/// descriptors.
+/// descriptors. Thin wrapper over [`run_task_ws`] with a throwaway
+/// workspace; batch and streaming callers should hold a [`KernelWorkspace`]
+/// per worker and call [`run_task_ws`] directly.
 pub fn run_task(task: &Task, scoring: &Scoring, cfg: &AgathaConfig) -> TaskRun {
+    run_task_ws(&mut KernelWorkspace::new(), task, scoring, cfg)
+}
+
+/// Execute one task under `cfg` reusing `ws` for every piece of scratch
+/// state. Results are bit-identical to [`run_task`] regardless of what the
+/// workspace was previously used for.
+pub fn run_task_ws(
+    ws: &mut KernelWorkspace,
+    task: &Task,
+    scoring: &Scoring,
+    cfg: &AgathaConfig,
+) -> TaskRun {
     let n = task.ref_len();
     let m = task.query_len();
     let ctx = BlockCtx::new(n, m, scoring);
-    let mut tracker = DiagTracker::new(n, m, scoring);
+    let KernelWorkspace { row_h, row_f, carries, unit_rows, tracker } = ws;
+    tracker.reset(n, m, scoring);
     if n == 0 || m == 0 {
-        return TaskRun { id: task.id, result: tracker.result(), units: Vec::new(), blocks: 0 };
+        return TaskRun {
+            id: task.id,
+            result: tracker.take_result(),
+            units: Vec::new(),
+            blocks: 0,
+        };
     }
 
     let b = BLOCK as i64;
     let qb = ctx.query_blocks();
     let rb = ctx.ref_blocks();
     let padded_n = (rb * b) as usize;
-    let mut row_h = vec![NEG_INF; padded_n];
-    let mut row_f = vec![NEG_INF; padded_n];
-    let mut carries: Vec<RowCarry> = vec![RowCarry::fresh(); qb as usize];
+    row_h.clear();
+    row_h.resize(padded_n, NEG_INF);
+    row_f.clear();
+    row_f.resize(padded_n, NEG_INF);
+    carries.clear();
+    carries.resize(qb as usize, RowCarry::fresh());
 
     let lmb_fits = cfg.sliced_diagonal && BLOCK * cfg.slice_width + BLOCK - 1 <= cfg.lmb_max_diags;
 
@@ -157,46 +223,24 @@ pub fn run_task(task: &Task, scoring: &Scoring, cfg: &AgathaConfig) -> TaskRun {
         blocks
     };
 
-    // Build the unit schedule: each inner Vec is one checkpoint unit.
-    let schedule: Vec<Vec<RowSeg>> = if cfg.sliced_diagonal {
-        let s = cfg.slice_width as i64;
-        let total_bd = rb + qb - 1;
-        let nslices = (total_bd + s - 1) / s;
-        (0..nslices)
-            .map(|k| {
-                let mut rows = Vec::new();
-                for bj in 0..qb {
-                    let Some((rlo, rhi)) = ctx.row_block_range(bj) else { continue };
-                    let w_lo = (k * s - bj).max(rlo);
-                    let w_hi = (k * s + s - 1 - bj).min(rhi);
-                    if w_lo <= w_hi {
-                        rows.push(RowSeg { bj, bi_from: w_lo, bi_to: w_hi });
-                    }
-                }
-                rows
-            })
-            .filter(|rows| !rows.is_empty())
-            .collect()
-    } else {
-        // Horizontal mode: chunks of `subwarp_lanes` full-band rows.
-        let mut all_rows = Vec::new();
-        for bj in 0..qb {
-            if let Some((rlo, rhi)) = ctx.row_block_range(bj) {
-                all_rows.push(RowSeg { bj, bi_from: rlo, bi_to: rhi });
-            }
-        }
-        all_rows.chunks(cfg.subwarp_lanes).map(|c| c.to_vec()).collect()
-    };
-
-    for unit_rows in schedule {
+    // Execute one checkpoint unit (a staged set of row segments), record its
+    // cost descriptor and advance the tracker. Returns true on termination.
+    let mut run_unit = |rows: &[RowSeg],
+                        tracker: &mut DiagTracker,
+                        row_h: &mut [i32],
+                        row_f: &mut [i32],
+                        carries: &mut [RowCarry],
+                        units: &mut Vec<SliceUnit>,
+                        blocks_total: &mut u64|
+     -> bool {
         let mut unit_blocks = 0u64;
-        let mut row_cols = Vec::with_capacity(unit_rows.len());
-        for seg in &unit_rows {
-            let blocks = exec_segment(*seg, &mut tracker, &mut row_h, &mut row_f, &mut carries);
+        let mut row_cols = Vec::with_capacity(rows.len());
+        for seg in rows {
+            let blocks = exec_segment(*seg, tracker, row_h, row_f, carries);
             unit_blocks += blocks;
             row_cols.push(blocks as u16);
         }
-        blocks_total += unit_blocks;
+        *blocks_total += unit_blocks;
         let before = tracker.frontier();
         let stop = tracker.advance();
         let completed = (tracker.frontier() - before) as u32;
@@ -206,12 +250,60 @@ pub fn run_task(task: &Task, scoring: &Scoring, cfg: &AgathaConfig) -> TaskRun {
             diags_completed: completed,
             lmb_fits,
         });
-        if stop.is_some() {
-            break;
+        stop.is_some()
+    };
+
+    // Stage the unit schedule into the reusable `unit_rows` buffer, one
+    // checkpoint unit at a time (no per-task schedule materialisation).
+    if cfg.sliced_diagonal {
+        let s = cfg.slice_width as i64;
+        let nslices = (rb + qb - 1 + s - 1) / s;
+        for k in 0..nslices {
+            unit_rows.clear();
+            for bj in 0..qb {
+                let Some((rlo, rhi)) = ctx.row_block_range(bj) else { continue };
+                let w_lo = (k * s - bj).max(rlo);
+                let w_hi = (k * s + s - 1 - bj).min(rhi);
+                if w_lo <= w_hi {
+                    unit_rows.push(RowSeg { bj, bi_from: w_lo, bi_to: w_hi });
+                }
+            }
+            if unit_rows.is_empty() {
+                continue;
+            }
+            if run_unit(unit_rows, tracker, row_h, row_f, carries, &mut units, &mut blocks_total) {
+                break;
+            }
+        }
+    } else {
+        // Horizontal mode: chunks of `subwarp_lanes` full-band rows.
+        unit_rows.clear();
+        let mut stopped = false;
+        for bj in 0..qb {
+            let Some((rlo, rhi)) = ctx.row_block_range(bj) else { continue };
+            unit_rows.push(RowSeg { bj, bi_from: rlo, bi_to: rhi });
+            if unit_rows.len() == cfg.subwarp_lanes {
+                if run_unit(
+                    unit_rows,
+                    tracker,
+                    row_h,
+                    row_f,
+                    carries,
+                    &mut units,
+                    &mut blocks_total,
+                ) {
+                    stopped = true;
+                    break;
+                }
+                unit_rows.clear();
+            }
+        }
+        if !stopped && !unit_rows.is_empty() {
+            run_unit(unit_rows, tracker, row_h, row_f, carries, &mut units, &mut blocks_total);
         }
     }
 
-    TaskRun { id: task.id, result: tracker.result(), units, blocks: blocks_total }
+    TaskRun { id: task.id, result: tracker.take_result(), units, blocks: blocks_total }
 }
 
 #[cfg(test)]
@@ -394,5 +486,62 @@ mod tests {
         assert_eq!(run.result.score, 0);
         assert_eq!(run.blocks, 0);
         assert!(run.units.is_empty());
+    }
+
+    /// Tasks of deliberately varying geometry, including a z-dropping one
+    /// in the middle and an empty one, to stress workspace reuse.
+    fn mixed_tasks() -> (Vec<Task>, Scoring) {
+        let s = Scoring::new(2, 4, 4, 2, 20, 16);
+        let (r1, q1) = pseudo_seq(350, 7, 13);
+        let (mut r2, _) = pseudo_seq(150, 11, 0);
+        let (tail_r, _) = pseudo_seq(200, 13, 0);
+        let (tail_q, _) = pseudo_seq(200, 17, 0);
+        let mut q2 = r2.clone();
+        r2.push_str(&tail_r);
+        q2.push_str(&tail_q);
+        let (r3, q3) = pseudo_seq(40, 19, 5);
+        let (r4, q4) = pseudo_seq(700, 23, 29);
+        let tasks = vec![
+            Task::from_strs(0, &r1, &q1),
+            Task::from_strs(1, &r2, &q2), // z-drops under this scoring
+            Task::from_strs(2, "", &q3),
+            Task::from_strs(3, &r3, &q3),
+            Task::from_strs(4, &r4, &q4),
+        ];
+        (tasks, s)
+    }
+
+    #[test]
+    fn workspace_reuse_matches_fresh_allocation() {
+        let (tasks, s) = mixed_tasks();
+        for cfg in all_configs() {
+            let mut ws = KernelWorkspace::new();
+            for t in &tasks {
+                let fresh = run_task(t, &s, &cfg);
+                let reused = run_task_ws(&mut ws, t, &s, &cfg);
+                assert_eq!(reused, fresh, "config {cfg:?}, task {}", t.id);
+            }
+        }
+        // The z-drop input really exercised the early-termination path.
+        let zdropped = run_task(&tasks[1], &s, &AgathaConfig::agatha());
+        assert!(zdropped.result.stop.z_dropped());
+    }
+
+    #[test]
+    fn workspace_reaches_allocation_steady_state() {
+        let (tasks, s) = mixed_tasks();
+        let cfg = AgathaConfig::agatha();
+        let mut ws = KernelWorkspace::new();
+        for t in &tasks {
+            run_task_ws(&mut ws, t, &s, &cfg);
+        }
+        let cap = ws.row_capacity();
+        assert!(cap > 0);
+        for _ in 0..3 {
+            for t in &tasks {
+                run_task_ws(&mut ws, t, &s, &cfg);
+            }
+        }
+        assert_eq!(ws.row_capacity(), cap, "steady-state reuse must not regrow buffers");
     }
 }

@@ -18,9 +18,13 @@
 //!
 //! [`pipeline::Pipeline`] ties everything into a batch aligner; every
 //! feature can be toggled independently through [`options::AgathaConfig`]
-//! for the ablation study (Fig. 9).
+//! for the ablation study (Fig. 9). [`engine::BatchEngine`] wraps the
+//! pipeline in a persistent worker pool with per-worker reusable
+//! [`kernel::KernelWorkspace`]s for bounded-memory streaming
+//! ([`engine::BatchEngine::align_stream`]).
 
 pub mod bucketing;
+pub mod engine;
 pub mod kernel;
 pub mod model;
 pub mod options;
@@ -30,6 +34,7 @@ pub mod trace;
 pub mod warp_sim;
 
 pub use bucketing::OrderingStrategy;
-pub use kernel::{run_task, TaskRun};
+pub use engine::{BatchEngine, ChunkReport, StreamRun, StreamSummary};
+pub use kernel::{run_task, run_task_ws, KernelWorkspace, TaskRun};
 pub use options::AgathaConfig;
 pub use pipeline::{BatchReport, Pipeline};

@@ -12,7 +12,8 @@ use agatha_align::{GuidedResult, Scoring, Task};
 use agatha_gpu_sim::{sched, CostModel, DeviceReport, GpuSpec, KernelStats};
 
 use crate::bucketing::{build_warps, OrderingStrategy, WarpAssignment};
-use crate::kernel::{run_task, TaskRun};
+use crate::engine::BatchEngine;
+use crate::kernel::{run_task_ws, KernelWorkspace, TaskRun};
 use crate::options::AgathaConfig;
 use crate::warp_sim::simulate_warp;
 
@@ -40,8 +41,11 @@ pub struct BatchReport {
     pub results: Vec<GuidedResult>,
     /// Simulated kernel time in milliseconds (max across GPUs).
     pub elapsed_ms: f64,
-    /// Scheduling detail of the (first) device.
+    /// Scheduling detail of the straggler device — the one whose makespan
+    /// determines `elapsed_ms` (with one GPU, simply that device).
     pub device: DeviceReport,
+    /// Per-GPU scheduling reports, in device order (`gpus` entries).
+    pub devices: Vec<DeviceReport>,
     /// Aggregate execution statistics.
     pub stats: KernelStats,
     /// Per-warp latencies in submission order (cycles).
@@ -98,11 +102,31 @@ impl Pipeline {
         strategy: OrderingStrategy,
     ) -> BatchReport {
         let runs = self.execute_tasks(tasks);
-
         // A-priori workload estimate: number of anti-diagonals (§5.6).
         let workloads: Vec<u64> = tasks.iter().map(|t| t.antidiags() as u64).collect();
+        self.assemble_report(&workloads, runs, strategy)
+    }
+
+    /// Spin up a persistent streaming engine for this configuration. The
+    /// engine owns a worker pool whose threads each reuse a
+    /// [`KernelWorkspace`] across every task they ever execute — the
+    /// entry point for bounded-memory [`BatchEngine::align_stream`] runs.
+    pub fn engine(&self) -> BatchEngine {
+        BatchEngine::new(self.clone())
+    }
+
+    /// Turn warp latencies plus executed runs into a full [`BatchReport`]
+    /// (warp assignment → warp simulation → device scheduling → stats).
+    /// Shared by the borrowed batch path and [`BatchEngine`]'s streaming
+    /// chunks so both produce bit-identical reports for the same tasks.
+    pub(crate) fn assemble_report(
+        &self,
+        workloads: &[u64],
+        runs: Vec<TaskRun>,
+        strategy: OrderingStrategy,
+    ) -> BatchReport {
         let warps = build_warps(
-            &workloads,
+            workloads,
             self.config.subwarps_per_warp(),
             self.config.tasks_per_subwarp,
             strategy,
@@ -110,12 +134,8 @@ impl Pipeline {
 
         let (warp_cycles, subwarp_blocks) = self.simulate_warps(&runs, &warps);
 
-        let device = sched::schedule(&warp_cycles, self.spec.warp_slots());
-        let makespan = if self.gpus == 1 {
-            device.makespan_cycles
-        } else {
-            sched::multi_gpu_makespan(&warp_cycles, self.spec.warp_slots(), self.gpus)
-        };
+        let (devices, device) = self.schedule_devices(&warp_cycles);
+        let makespan = device.makespan_cycles;
 
         let mut stats = KernelStats::new();
         for r in &runs {
@@ -127,25 +147,54 @@ impl Pipeline {
             results,
             elapsed_ms: self.spec.cycles_to_ms(makespan),
             device,
+            devices,
             stats,
             warp_cycles,
             subwarp_blocks,
         }
     }
 
-    /// Execute the kernels for all tasks in parallel on the host.
-    pub fn execute_tasks(&self, tasks: &[Task]) -> Vec<TaskRun> {
-        let threads = if self.host_threads > 0 {
+    /// Schedule warp latencies onto the configured device(s): one report
+    /// per GPU, plus the straggler whose makespan bounds the launch —
+    /// `device`/`elapsed_ms` in every report derive from this one place.
+    pub(crate) fn schedule_devices(
+        &self,
+        warp_cycles: &[f64],
+    ) -> (Vec<DeviceReport>, DeviceReport) {
+        let devices = if self.gpus == 1 {
+            vec![sched::schedule(warp_cycles, self.spec.warp_slots())]
+        } else {
+            sched::multi_gpu_schedule(warp_cycles, self.spec.warp_slots(), self.gpus)
+        };
+        let straggler = devices
+            .iter()
+            .max_by(|a, b| a.makespan_cycles.total_cmp(&b.makespan_cycles))
+            .cloned()
+            .expect("at least one device");
+        (devices, straggler)
+    }
+
+    /// Number of host worker threads implied by the configuration.
+    pub(crate) fn worker_threads(&self) -> usize {
+        if self.host_threads > 0 {
             self.host_threads
         } else {
             std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
         }
-        .min(tasks.len().max(1));
+    }
+
+    /// Execute the kernels for all tasks in parallel on the host. Each
+    /// worker reuses one [`KernelWorkspace`] across all tasks it draws from
+    /// the shared queue, so only the first few tasks per worker pay
+    /// allocation cost.
+    pub fn execute_tasks(&self, tasks: &[Task]) -> Vec<TaskRun> {
+        let threads = self.worker_threads().min(tasks.len().max(1));
 
         let mut out: Vec<Option<TaskRun>> = (0..tasks.len()).map(|_| None).collect();
         if threads <= 1 {
+            let mut ws = KernelWorkspace::new();
             for (i, t) in tasks.iter().enumerate() {
-                out[i] = Some(run_task(t, &self.scoring, &self.config));
+                out[i] = Some(run_task_ws(&mut ws, t, &self.scoring, &self.config));
             }
         } else {
             let next = AtomicUsize::new(0);
@@ -154,13 +203,17 @@ impl Pipeline {
                     .map(|_| {
                         let next = &next;
                         scope.spawn(move || {
+                            let mut ws = KernelWorkspace::new();
                             let mut local = Vec::new();
                             loop {
                                 let i = next.fetch_add(1, Ordering::Relaxed);
                                 if i >= tasks.len() {
                                     break;
                                 }
-                                local.push((i, run_task(&tasks[i], &self.scoring, &self.config)));
+                                local.push((
+                                    i,
+                                    run_task_ws(&mut ws, &tasks[i], &self.scoring, &self.config),
+                                ));
                             }
                             local
                         })
@@ -257,6 +310,22 @@ mod tests {
         let one = Pipeline::new(scoring, AgathaConfig::agatha()).align_batch(&tasks);
         let four = Pipeline::new(scoring, AgathaConfig::agatha()).with_gpus(4).align_batch(&tasks);
         assert!(four.elapsed_ms <= one.elapsed_ms);
+    }
+
+    #[test]
+    fn multi_gpu_device_report_agrees_with_elapsed() {
+        let scoring = Scoring::new(2, 4, 4, 2, 60, 16);
+        let tasks = mk_tasks(64, 100, 5);
+        let p = Pipeline::new(scoring, AgathaConfig::agatha()).with_gpus(4);
+        let rep = p.align_batch(&tasks);
+        assert_eq!(rep.devices.len(), 4, "one report per GPU");
+        // `device` is the straggler shard, so its makespan IS the elapsed
+        // time (the old code reported the single-device schedule here).
+        assert!((rep.elapsed_ms - rep.device.ms(&p.spec)).abs() < 1e-12);
+        let worst = rep.devices.iter().map(|d| d.makespan_cycles).fold(0.0, f64::max);
+        assert_eq!(rep.device.makespan_cycles, worst);
+        let warps: usize = rep.devices.iter().map(|d| d.warps).sum();
+        assert_eq!(warps, rep.warp_cycles.len());
     }
 
     #[test]

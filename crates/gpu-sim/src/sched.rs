@@ -83,12 +83,25 @@ pub fn split_even(items: usize, gpus: usize) -> Vec<std::ops::Range<usize>> {
     out
 }
 
+/// Schedule each device's contiguous share separately, returning one
+/// [`DeviceReport`] per GPU (in device order).
+pub fn multi_gpu_schedule(
+    latencies: &[f64],
+    slots_per_gpu: usize,
+    gpus: usize,
+) -> Vec<DeviceReport> {
+    split_even(latencies.len(), gpus)
+        .into_iter()
+        .map(|r| schedule(&latencies[r], slots_per_gpu))
+        .collect()
+}
+
 /// Multi-GPU makespan: each device schedules its contiguous share; the
 /// kernel finishes when the slowest device does.
 pub fn multi_gpu_makespan(latencies: &[f64], slots_per_gpu: usize, gpus: usize) -> f64 {
-    split_even(latencies.len(), gpus)
-        .into_iter()
-        .map(|r| makespan_cycles(&latencies[r], slots_per_gpu))
+    multi_gpu_schedule(latencies, slots_per_gpu, gpus)
+        .iter()
+        .map(|d| d.makespan_cycles)
         .fold(0.0, f64::max)
 }
 
@@ -167,6 +180,17 @@ mod tests {
         assert_eq!(parts[1], 3..6);
         assert_eq!(parts[2], 6..8);
         assert_eq!(parts[3], 8..10);
+    }
+
+    #[test]
+    fn multi_gpu_schedule_agrees_with_makespan() {
+        let lats: Vec<f64> = (1..=37).map(|x| (x % 11) as f64 + 1.0).collect();
+        let reports = multi_gpu_schedule(&lats, 4, 3);
+        assert_eq!(reports.len(), 3);
+        let worst = reports.iter().map(|d| d.makespan_cycles).fold(0.0, f64::max);
+        assert_eq!(worst, multi_gpu_makespan(&lats, 4, 3));
+        let warps: usize = reports.iter().map(|d| d.warps).sum();
+        assert_eq!(warps, lats.len());
     }
 
     #[test]

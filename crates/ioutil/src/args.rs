@@ -63,9 +63,28 @@ impl Args {
         self.flags.get(name).map(String::as_str)
     }
 
-    /// Parsed numeric value of a flag, or `default`.
+    /// Parsed numeric value of a flag, or `default`. Malformed values fall
+    /// back to the default silently — prefer [`Args::get_num_checked`]
+    /// anywhere a wrong number changes results.
     pub fn get_num<T: std::str::FromStr>(&self, name: &str, default: T) -> T {
         self.get(name).and_then(|v| v.parse().ok()).unwrap_or(default)
+    }
+
+    /// Parsed numeric value of a flag, or `default` when the flag is
+    /// absent. A flag that is present but malformed (including a bare flag
+    /// with no value) is an error: `-z abc` must not silently align with
+    /// the default termination threshold.
+    pub fn get_num_checked<T: std::str::FromStr>(&self, name: &str, default: T) -> Result<T, String>
+    where
+        T::Err: std::fmt::Display,
+    {
+        match self.get(name) {
+            None => Ok(default),
+            Some(v) => v.parse().map_err(|e| {
+                let dashes = if name.len() > 1 { "--" } else { "-" };
+                format!("invalid value '{v}' for {dashes}{name}: {e}")
+            }),
+        }
     }
 
     /// Positional arguments.
@@ -111,5 +130,28 @@ mod tests {
         let a = parse("");
         assert_eq!(a.get_num("z", 400), 400);
         assert!(!a.has("engine"));
+    }
+
+    #[test]
+    fn checked_accepts_valid_and_absent() {
+        let a = parse("-z 250 --reads 10");
+        assert_eq!(a.get_num_checked("z", 400), Ok(250));
+        assert_eq!(a.get_num_checked("reads", 0usize), Ok(10));
+        assert_eq!(a.get_num_checked("w", 400), Ok(400));
+    }
+
+    #[test]
+    fn checked_rejects_malformed_values() {
+        let a = parse("-z abc --reads 1x");
+        let err = a.get_num_checked("z", 400).unwrap_err();
+        assert!(err.contains("'abc'") && err.contains("-z"), "{err}");
+        let err = a.get_num_checked::<usize>("reads", 0).unwrap_err();
+        assert!(err.contains("'1x'") && err.contains("--reads"), "{err}");
+    }
+
+    #[test]
+    fn checked_rejects_bare_numeric_flag() {
+        let a = parse("--reads --verbose");
+        assert!(a.get_num_checked::<usize>("reads", 7).is_err());
     }
 }

@@ -2,11 +2,17 @@
 //!
 //! Accepts standard FASTA (`>name`) and the AGAThA artifact's input format
 //! (`>>> 1` headers; Appendix A.2.5). Sequence lines may wrap.
+//!
+//! Parsing is streaming-first: [`FastaReader`] yields one record at a time
+//! from any [`BufRead`] without ever holding the whole file, and
+//! [`FastaPairs`] zips two readers into alignment [`Task`]s so a pipeline
+//! can consume millions of pairs with bounded memory. The eager
+//! [`read_fasta`] / [`read_fasta_str`] helpers are thin collectors on top.
 
-use std::io::{BufRead, Write};
+use std::io::{BufRead, BufReader, Write};
 use std::path::Path;
 
-use agatha_align::PackedSeq;
+use agatha_align::{PackedSeq, Task};
 
 /// One FASTA record.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -17,50 +23,179 @@ pub struct FastaRecord {
     pub seq: PackedSeq,
 }
 
-/// Parse FASTA from a string.
-pub fn read_fasta_str(content: &str) -> Result<Vec<FastaRecord>, String> {
-    let mut records = Vec::new();
-    let mut name: Option<String> = None;
-    let mut seq = String::new();
-    let flush = |name: &mut Option<String>, seq: &mut String, out: &mut Vec<FastaRecord>| {
-        if let Some(n) = name.take() {
-            out.push(FastaRecord { name: n, seq: PackedSeq::from_str_seq(seq) });
-            seq.clear();
-        }
-    };
-    for (lineno, line) in content.lines().enumerate() {
-        let line = line.trim();
-        if line.is_empty() {
-            continue;
-        }
-        if let Some(rest) = line.strip_prefix(">>>").or_else(|| line.strip_prefix('>')) {
-            flush(&mut name, &mut seq, &mut records);
-            name = Some(rest.trim().to_string());
-        } else {
-            if name.is_none() {
-                return Err(format!("line {}: sequence data before any header", lineno + 1));
-            }
-            seq.push_str(line);
-        }
-    }
-    flush(&mut name, &mut seq, &mut records);
-    Ok(records)
+/// Incremental FASTA parser over any buffered reader. Yields records one at
+/// a time; a parse or I/O error ends the stream after being yielded once.
+pub struct FastaReader<B: BufRead> {
+    src: B,
+    /// Error-message prefix (the file path; empty for in-memory input).
+    label: String,
+    lineno: usize,
+    /// Header of the next record, consumed while finishing the previous one.
+    pending: Option<String>,
+    line: String,
+    finished: bool,
 }
 
-/// Read FASTA from a file.
-pub fn read_fasta(path: &Path) -> Result<Vec<FastaRecord>, String> {
-    let file = std::fs::File::open(path).map_err(|e| format!("open {}: {e}", path.display()))?;
-    let mut content = String::new();
-    let mut reader = std::io::BufReader::new(file);
-    loop {
-        let mut line = String::new();
-        let n = reader.read_line(&mut line).map_err(|e| format!("read {}: {e}", path.display()))?;
-        if n == 0 {
-            break;
-        }
-        content.push_str(&line);
+impl<B: BufRead> FastaReader<B> {
+    /// Stream records from `src`.
+    pub fn new(src: B) -> FastaReader<B> {
+        FastaReader::with_label(src, String::new())
     }
-    read_fasta_str(&content)
+
+    /// Stream records from `src`, prefixing errors with `label`.
+    pub fn with_label(src: B, label: String) -> FastaReader<B> {
+        FastaReader { src, label, lineno: 0, pending: None, line: String::new(), finished: false }
+    }
+
+    fn err(&self, msg: String) -> String {
+        if self.label.is_empty() {
+            msg
+        } else {
+            format!("{}: {msg}", self.label)
+        }
+    }
+
+    fn read_trimmed_line(&mut self) -> Result<Option<&str>, String> {
+        self.line.clear();
+        let n =
+            self.src.read_line(&mut self.line).map_err(|e| self.err(format!("read error: {e}")))?;
+        if n == 0 {
+            return Ok(None);
+        }
+        self.lineno += 1;
+        Ok(Some(self.line.trim()))
+    }
+}
+
+impl<B: BufRead> Iterator for FastaReader<B> {
+    type Item = Result<FastaRecord, String>;
+
+    fn next(&mut self) -> Option<Result<FastaRecord, String>> {
+        if self.finished {
+            return None;
+        }
+        let mut name = self.pending.take();
+        let mut seq = String::new();
+        loop {
+            let line = match self.read_trimmed_line() {
+                Ok(Some(l)) => l,
+                Ok(None) => {
+                    self.finished = true;
+                    break;
+                }
+                Err(e) => {
+                    self.finished = true;
+                    return Some(Err(e));
+                }
+            };
+            if line.is_empty() {
+                continue;
+            }
+            if let Some(rest) = line.strip_prefix(">>>").or_else(|| line.strip_prefix('>')) {
+                let next_name = rest.trim().to_string();
+                if name.is_some() {
+                    // Finish the open record; stash the header we just ate.
+                    self.pending = Some(next_name);
+                    break;
+                }
+                name = Some(next_name);
+            } else {
+                if name.is_none() {
+                    self.finished = true;
+                    let lineno = self.lineno;
+                    return Some(Err(
+                        self.err(format!("line {lineno}: sequence data before any header"))
+                    ));
+                }
+                seq.push_str(line);
+            }
+        }
+        name.map(|n| Ok(FastaRecord { name: n, seq: PackedSeq::from_str_seq(&seq) }))
+    }
+}
+
+/// Open a FASTA file as a streaming [`FastaReader`].
+pub fn open_fasta(path: &Path) -> Result<FastaReader<BufReader<std::fs::File>>, String> {
+    let file = std::fs::File::open(path).map_err(|e| format!("open {}: {e}", path.display()))?;
+    Ok(FastaReader::with_label(BufReader::new(file), path.display().to_string()))
+}
+
+/// Zips a reference and a query record stream into alignment [`Task`]s,
+/// with sequential ids. Errors if one stream ends before the other — 'each
+/// input file should have an equal number of reference and query strings'
+/// (Appendix A.2.5).
+pub struct FastaPairs<A: BufRead, B: BufRead> {
+    refs: FastaReader<A>,
+    queries: FastaReader<B>,
+    next_id: u32,
+    done: bool,
+}
+
+impl<A: BufRead, B: BufRead> FastaPairs<A, B> {
+    /// Pair up two record streams.
+    pub fn new(refs: FastaReader<A>, queries: FastaReader<B>) -> FastaPairs<A, B> {
+        FastaPairs { refs, queries, next_id: 0, done: false }
+    }
+}
+
+/// Open a reference/query FASTA file pair as a streaming task source.
+#[allow(clippy::type_complexity)]
+pub fn open_fasta_pairs(
+    refs: &Path,
+    queries: &Path,
+) -> Result<FastaPairs<BufReader<std::fs::File>, BufReader<std::fs::File>>, String> {
+    Ok(FastaPairs::new(open_fasta(refs)?, open_fasta(queries)?))
+}
+
+impl<A: BufRead, B: BufRead> Iterator for FastaPairs<A, B> {
+    type Item = Result<Task, String>;
+
+    fn next(&mut self) -> Option<Result<Task, String>> {
+        if self.done {
+            return None;
+        }
+        let item = match (self.refs.next(), self.queries.next()) {
+            (None, None) => None,
+            (Some(Ok(r)), Some(Ok(q))) => {
+                let id = self.next_id;
+                self.next_id += 1;
+                return Some(Ok(Task { id, reference: r.seq, query: q.seq }));
+            }
+            (Some(Err(e)), _) | (_, Some(Err(e))) => Some(Err(e)),
+            // Exactly one stream ended; name the short one.
+            (Some(_), None) => Some(Err(uneven_pair_error(
+                "query",
+                &self.queries.label,
+                "reference",
+                self.next_id,
+            ))),
+            (None, Some(_)) => {
+                Some(Err(uneven_pair_error("reference", &self.refs.label, "query", self.next_id)))
+            }
+        };
+        self.done = true;
+        item
+    }
+}
+
+fn uneven_pair_error(short_side: &str, short_label: &str, long_side: &str, records: u32) -> String {
+    let short =
+        if short_label.is_empty() { short_side.to_string() } else { short_label.to_string() };
+    format!(
+        "reference and query files must pair up: the {short_side} input ({short}) ended after \
+         {records} records while the {long_side} input has more; 'each input file should have \
+         an equal number of reference and query strings'"
+    )
+}
+
+/// Parse FASTA from a string.
+pub fn read_fasta_str(content: &str) -> Result<Vec<FastaRecord>, String> {
+    FastaReader::new(content.as_bytes()).collect()
+}
+
+/// Read FASTA from a file, materialising every record.
+pub fn read_fasta(path: &Path) -> Result<Vec<FastaRecord>, String> {
+    open_fasta(path)?.collect()
 }
 
 /// Write records as standard FASTA (60-column wrapping).
@@ -161,6 +296,58 @@ mod tests {
         assert_eq!(recs.len(), 2);
         assert_eq!(recs[0].seq.to_string_seq(), "ACGT");
         assert_eq!(recs[1].seq.to_string_seq(), "TT");
+    }
+
+    #[test]
+    fn streaming_reader_matches_eager_parse() {
+        let content = ">a\r\nAC\r\n\r\nGT\r\n\n>>> 2\nTTTT\nAAAA\n>c\n";
+        let eager = read_fasta_str(content).unwrap();
+        let streamed: Vec<FastaRecord> =
+            FastaReader::new(content.as_bytes()).map(|r| r.unwrap()).collect();
+        assert_eq!(streamed, eager);
+        assert_eq!(streamed.len(), 3);
+        assert_eq!(streamed[1].name, "2");
+        assert_eq!(streamed[2].seq.len(), 0, "trailing header yields an empty record");
+    }
+
+    #[test]
+    fn streaming_reader_reports_headerless_data_once() {
+        let mut r = FastaReader::new("ACGT\n>a\nAC\n".as_bytes());
+        let err = r.next().unwrap().unwrap_err();
+        assert!(err.contains("line 1"), "{err}");
+        assert!(r.next().is_none(), "stream must end after a parse error");
+    }
+
+    #[test]
+    fn pair_reader_builds_tasks_with_sequential_ids() {
+        let refs = FastaReader::new(">1\nACGT\n>2\nTTTT\n".as_bytes());
+        let queries = FastaReader::new(">1\nACGA\n>2\nTTTA\n".as_bytes());
+        let tasks: Vec<_> = FastaPairs::new(refs, queries).map(|t| t.unwrap()).collect();
+        assert_eq!(tasks.len(), 2);
+        assert_eq!(tasks[0].id, 0);
+        assert_eq!(tasks[1].id, 1);
+        assert_eq!(tasks[1].reference.to_string_seq(), "TTTT");
+        assert_eq!(tasks[1].query.to_string_seq(), "TTTA");
+    }
+
+    #[test]
+    fn pair_reader_rejects_uneven_streams() {
+        let refs = FastaReader::new(">1\nACGT\n>2\nTTTT\n".as_bytes());
+        let queries = FastaReader::new(">1\nACGA\n".as_bytes());
+        let mut pairs = FastaPairs::new(refs, queries);
+        assert!(pairs.next().unwrap().is_ok());
+        let err = pairs.next().unwrap().unwrap_err();
+        assert!(err.contains("equal number"), "{err}");
+        assert!(err.contains("query input"), "must name the short side: {err}");
+        assert!(pairs.next().is_none());
+
+        // The opposite direction names the reference side.
+        let refs = FastaReader::new(">1\nACGT\n".as_bytes());
+        let queries = FastaReader::new(">1\nACGA\n>2\nTTTA\n".as_bytes());
+        let mut pairs = FastaPairs::new(refs, queries);
+        assert!(pairs.next().unwrap().is_ok());
+        let err = pairs.next().unwrap().unwrap_err();
+        assert!(err.contains("reference input"), "{err}");
     }
 
     #[test]

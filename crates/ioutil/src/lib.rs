@@ -1,7 +1,8 @@
 //! # agatha-io
 //!
 //! File formats and small host utilities: FASTA reading/writing (both
-//! standard `>`-headers and the AGAThA artifact's `>>> n` variant), the
+//! standard `>`-headers and the AGAThA artifact's `>>> n` variant) with a
+//! streaming record/pair reader for bounded-memory ingestion, the
 //! artifact's `score.log` / `time.json` outputs (Appendix A), and a
 //! dependency-free command-line flag parser.
 
@@ -10,5 +11,8 @@ pub mod fasta;
 pub mod output;
 
 pub use args::Args;
-pub use fasta::{read_fasta, read_fasta_str, write_fasta, FastaRecord};
+pub use fasta::{
+    open_fasta, open_fasta_pairs, read_fasta, read_fasta_str, write_fasta, FastaPairs, FastaReader,
+    FastaRecord,
+};
 pub use output::{write_score_log, write_time_json};

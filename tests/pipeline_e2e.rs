@@ -68,6 +68,47 @@ fn multi_gpu_scales() {
 }
 
 #[test]
+fn chunked_streaming_is_bit_identical_to_whole_batch() {
+    // The tentpole equivalence: a real dataset driven through the
+    // persistent streaming engine in bounded chunks must reproduce the
+    // whole-batch results and aggregate stats exactly.
+    let d = dataset(Tech::Clr, 47, 150);
+    let p = Pipeline::new(d.scoring, AgathaConfig::agatha());
+    let whole = p.align_batch(&d.tasks);
+    for chunk_size in [11, 64, 0] {
+        let mut engine = p.engine();
+        let mut results = Vec::new();
+        let mut chunks = 0;
+        let mut run = engine.align_stream(d.tasks.iter().cloned(), chunk_size);
+        for chunk in run.by_ref() {
+            assert_eq!(chunk.offset, results.len());
+            assert!(chunk.report.elapsed_ms >= 0.0);
+            results.extend(chunk.report.results);
+            chunks += 1;
+        }
+        let summary = run.finish();
+        assert_eq!(results, whole.results, "chunk_size {chunk_size}");
+        assert_eq!(summary.stats, whole.stats, "chunk_size {chunk_size}");
+        assert_eq!(summary.tasks, d.tasks.len());
+        assert_eq!(summary.chunks, chunks);
+        assert!(summary.elapsed_ms > 0.0);
+    }
+}
+
+#[test]
+fn streaming_engine_reusable_across_datasets() {
+    // One engine, several independent streams: workspace reuse across
+    // heterogeneous workloads must not leak state between runs.
+    let p = Pipeline::new(dataset(Tech::Clr, 3, 40).scoring, AgathaConfig::agatha());
+    let mut engine = p.engine();
+    let d = dataset(Tech::Clr, 3, 40);
+    let first = engine.align_stream(d.tasks.iter().cloned(), 16).finish();
+    let second = engine.align_stream(d.tasks.iter().cloned(), 16).finish();
+    assert_eq!(first.stats, second.stats);
+    assert_eq!(first.elapsed_ms, second.elapsed_ms);
+}
+
+#[test]
 fn gpu_ordering_matches_paper() {
     // §5.8: A6000 > A100 > 2080Ti for this kernel.
     let d = dataset(Tech::HiFi, 9, 100);
