@@ -9,11 +9,27 @@
 //! (a real GPU block always executes all 64 cells) but **masked** to
 //! `-∞` before they feed neighbours or the [`DiagTracker`], which is what
 //! keeps tiled execution bit-identical to the scalar banded reference.
+//!
+//! ## Staged tracker updates
+//!
+//! Instead of a per-cell callback into the tracker (which serialises the
+//! inner loop), [`compute_block`] writes its 64 masked `H` values into a
+//! [`BlockCells`] staging buffer — anti-diagonal-major, one validity
+//! bitmask per block diagonal — and the caller folds the whole block with
+//! one [`DiagTracker::on_block`] call. With the callback gone the fill
+//! itself is free to vectorise: [`FillMode::Simd`] runs the wavefront
+//! kernel in [`crate::simd`] (AVX2 on x86-64, a portable wavefront
+//! elsewhere), bit-identical to [`FillMode::Scalar`] by construction.
+//!
+//! [`DiagTracker`]: crate::diag::DiagTracker
+//! [`DiagTracker::on_block`]: crate::diag::DiagTracker::on_block
 
-use crate::diag::DiagTracker;
 use crate::pack::PackedSeq;
 use crate::scoring::Scoring;
 use crate::{BLOCK, NEG_INF};
+
+/// Number of anti-diagonals crossing one `BLOCK × BLOCK` cell block.
+pub const BLOCK_DIAGS: usize = 2 * BLOCK - 1;
 
 /// Geometry and scoring context shared by all blocks of one task.
 #[derive(Debug, Clone, Copy)]
@@ -26,17 +42,44 @@ pub struct BlockCtx<'a> {
     pub w: i64,
     /// Scoring parameters.
     pub scoring: &'a Scoring,
+    /// Whether the wavefront (SIMD) fill is provably bit-identical to the
+    /// scalar fill for this task: every DP value stays far enough from the
+    /// `i32` limits that the scalar path's defensive `saturating_add` can
+    /// never actually saturate. When `false`, [`FillMode::Simd`] silently
+    /// degrades to the scalar fill.
+    pub simd_exact: bool,
+    /// Wavefront backend resolved once per task (CPU feature detection is
+    /// not free enough to repeat per block).
+    pub wavefront_backend: crate::simd::WavefrontBackend,
 }
 
 impl<'a> BlockCtx<'a> {
     /// Build from task dimensions and scoring.
     pub fn new(n: usize, m: usize, scoring: &'a Scoring) -> BlockCtx<'a> {
         let (ni, mi) = (n as i64, m as i64);
+        // Largest scoring increment that can be applied per DP step. Scores
+        // reachable from the borders are bounded by `steps × step`, so if
+        // that product stays well inside i32 range (and `NEG_INF` retains
+        // its 2^30 head-room below), wrapping and saturating arithmetic
+        // agree on every value the block DP can produce.
+        let step = [
+            scoring.gap_open as i64 + scoring.gap_extend as i64,
+            scoring.gap_extend as i64,
+            scoring.mismatch as i64,
+            scoring.ambig as i64,
+            scoring.match_score as i64,
+        ]
+        .into_iter()
+        .max()
+        .unwrap_or(0);
+        let simd_exact = step.saturating_mul(ni + mi + 2) < (1 << 29);
         BlockCtx {
             n: ni,
             m: mi,
             w: if scoring.banded() { scoring.band_width as i64 } else { ni + mi },
             scoring,
+            simd_exact,
+            wavefront_backend: crate::simd::backend(),
         }
     }
 
@@ -74,20 +117,138 @@ impl<'a> BlockCtx<'a> {
         }
         Some((i_lo / b, i_hi / b))
     }
+
+    /// Inclusive valid-lane range of block anti-diagonal `d` for the block
+    /// at `(i0, j0)`: lanes `l` (reference offset) whose cell
+    /// `(i0+l, j0+d-l)` is inside the table and the band, or `None` when the
+    /// diagonal has no valid cell. Shared by both fill paths so masking is
+    /// identical by construction.
+    #[inline]
+    pub fn lane_range(&self, i0: i64, j0: i64, d: usize) -> Option<(usize, usize)> {
+        let d = d as i64;
+        let b = BLOCK as i64;
+        let off = i0 - j0;
+        // l >= d - (m-1-j0)  (j < m);  l <= n-1-i0  (i < n);
+        // |off + 2l - d| <= w  (band);  max(0, d-7) <= l <= min(7, d)
+        // (block shape: 0 <= l < 8 and 0 <= d-l < 8).
+        let lo =
+            0.max(d - (b - 1)).max(d - (self.m - 1 - j0)).max((d - self.w - off + 1).div_euclid(2));
+        let hi = (b - 1).min(d).min(self.n - 1 - i0).min((d + self.w - off).div_euclid(2));
+        if lo <= hi {
+            Some((lo as usize, hi as usize))
+        } else {
+            None
+        }
+    }
+
+    /// Whether the whole block at `(i0, j0)` lies inside the table and the
+    /// band (every one of its 64 cells valid). The valid region is an
+    /// intersection of half-planes, so checking the four corners suffices.
+    #[inline]
+    pub fn block_interior(&self, i0: i64, j0: i64) -> bool {
+        let b = BLOCK as i64;
+        self.valid(i0 + b - 1, j0)
+            && self.valid(i0, j0 + b - 1)
+            && self.valid(i0 + b - 1, j0 + b - 1)
+    }
 }
 
 /// One boundary pair (`H` plus the direction-specific gap score) spanning
 /// `BLOCK` cells.
 pub type Boundary = [i32; BLOCK];
 
-/// Compute one block.
+/// Staging buffer for one computed block: the masked `H` value of every
+/// cell plus a per-block-anti-diagonal validity bitmask, laid out
+/// anti-diagonal-major so [`crate::diag::DiagTracker::on_block`] folds each
+/// diagonal's cells contiguously (and in ascending `i`, preserving the
+/// canonical tie-break).
+///
+/// `h[d][l]` holds `H(i0+l, j0+d-l)` masked to [`NEG_INF`] for out-of-band /
+/// out-of-table cells; bit `l` of `mask[d]` is set iff that cell is valid.
+/// Slots outside the block shape (`l > d` or `d - l >= BLOCK`) are
+/// unspecified — consumers must consult `mask`.
+#[derive(Debug, Clone)]
+pub struct BlockCells {
+    i0: i32,
+    j0: i32,
+    /// Masked `H` values, anti-diagonal-major.
+    pub h: [[i32; BLOCK]; BLOCK_DIAGS],
+    /// Valid-cell bitmask per block anti-diagonal (bit `l` = lane `l`).
+    pub mask: [u8; BLOCK_DIAGS],
+}
+
+impl BlockCells {
+    /// Empty staging buffer (no valid cells).
+    pub fn new() -> BlockCells {
+        BlockCells { i0: 0, j0: 0, h: [[NEG_INF; BLOCK]; BLOCK_DIAGS], mask: [0; BLOCK_DIAGS] }
+    }
+
+    /// Set the block origin with a *checked* narrowing from the engines'
+    /// `i64` geometry to the `i32` cell-coordinate width: this is the one
+    /// place block coordinates change width, and it refuses (loudly) to
+    /// truncate instead of wrapping. Task admission
+    /// ([`crate::task::check_dims`]) guarantees it never fires for admitted
+    /// tasks.
+    pub fn set_origin(&mut self, i0: i64, j0: i64) {
+        self.i0 = i32::try_from(i0)
+            .expect("block reference origin exceeds i32: task admission must reject such inputs");
+        self.j0 = i32::try_from(j0)
+            .expect("block query origin exceeds i32: task admission must reject such inputs");
+    }
+
+    /// Reference coordinate of the block's first row.
+    #[inline]
+    pub fn i0(&self) -> i32 {
+        self.i0
+    }
+
+    /// Query coordinate of the block's first column.
+    #[inline]
+    pub fn j0(&self) -> i32 {
+        self.j0
+    }
+}
+
+impl Default for BlockCells {
+    fn default() -> BlockCells {
+        BlockCells::new()
+    }
+}
+
+/// Which implementation fills a block's cells. Both produce bit-identical
+/// staging buffers and boundary updates; they differ only in speed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FillMode {
+    /// Row-major scalar fill (the reference implementation).
+    Scalar,
+    /// Anti-diagonal wavefront fill from [`crate::simd`]: AVX2 on x86-64
+    /// when available, a portable wavefront otherwise. Falls back to
+    /// `Scalar` for tasks where exactness cannot be guaranteed
+    /// ([`BlockCtx::simd_exact`]).
+    Simd,
+}
+
+/// The build-time default fill: `Simd` iff the `simd` cargo feature is
+/// enabled.
+#[inline]
+pub fn default_fill_mode() -> FillMode {
+    if cfg!(feature = "simd") {
+        FillMode::Simd
+    } else {
+        FillMode::Scalar
+    }
+}
+
+/// Compute one block with the build-time default [`FillMode`].
 ///
 /// * `rcodes`/`qcodes`: base codes for the block's reference/query spans
 ///   (N-padded past the sequence end, as [`PackedSeq::unpack_block`] yields).
 /// * `corner`: `H(i0-1, j0-1)` (already masked/bordered by the caller).
 /// * `west_h`/`west_e`: in `H/E(i0-1, j0+k)`; out `H/E(i0+BLOCK-1, j0+k)`.
 /// * `north_h`/`north_f`: in `H/F(i0+k, j0-1)`; out `H/F(i0+k, j0+BLOCK-1)`.
-/// * Every computed in-band cell is reported to `tracker`.
+/// * Every cell's masked `H` lands in `cells`; the caller feeds the whole
+///   block to the tracker at once via
+///   [`crate::diag::DiagTracker::on_block`].
 #[allow(clippy::too_many_arguments)]
 pub fn compute_block(
     ctx: &BlockCtx<'_>,
@@ -100,13 +261,73 @@ pub fn compute_block(
     west_e: &mut Boundary,
     north_h: &mut Boundary,
     north_f: &mut Boundary,
-    tracker: &mut DiagTracker,
+    cells: &mut BlockCells,
+) {
+    compute_block_mode(
+        default_fill_mode(),
+        ctx,
+        i0,
+        j0,
+        rcodes,
+        qcodes,
+        corner,
+        west_h,
+        west_e,
+        north_h,
+        north_f,
+        cells,
+    );
+}
+
+/// [`compute_block`] with an explicit [`FillMode`] (benchmarks and the
+/// kernel's configuration toggle select the mode per run).
+#[allow(clippy::too_many_arguments)]
+pub fn compute_block_mode(
+    mode: FillMode,
+    ctx: &BlockCtx<'_>,
+    i0: i64,
+    j0: i64,
+    rcodes: &[u8; BLOCK],
+    qcodes: &[u8; BLOCK],
+    corner: i32,
+    west_h: &mut Boundary,
+    west_e: &mut Boundary,
+    north_h: &mut Boundary,
+    north_f: &mut Boundary,
+    cells: &mut BlockCells,
+) {
+    cells.set_origin(i0, j0);
+    match mode {
+        FillMode::Simd if ctx.simd_exact => crate::simd::fill_wavefront(
+            ctx, i0, j0, rcodes, qcodes, corner, west_h, west_e, north_h, north_f, cells,
+        ),
+        _ => fill_scalar(
+            ctx, i0, j0, rcodes, qcodes, corner, west_h, west_e, north_h, north_f, cells,
+        ),
+    }
+}
+
+/// Row-major scalar reference fill.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn fill_scalar(
+    ctx: &BlockCtx<'_>,
+    i0: i64,
+    j0: i64,
+    rcodes: &[u8; BLOCK],
+    qcodes: &[u8; BLOCK],
+    corner: i32,
+    west_h: &mut Boundary,
+    west_e: &mut Boundary,
+    north_h: &mut Boundary,
+    north_f: &mut Boundary,
+    cells: &mut BlockCells,
 ) {
     let sc = ctx.scoring;
     let oe = sc.gap_open + sc.gap_extend;
     let ext = sc.gap_extend;
     let mut carry = corner; // H(i-1, j0-1) for the current column i
 
+    cells.mask = [0; BLOCK_DIAGS];
     for l in 0..BLOCK {
         let i = i0 + l as i64;
         let mut diag = carry; // H(i-1, j-1) as j advances
@@ -124,7 +345,7 @@ pub fn compute_block(
 
             let (mut ev, mut fv) = (e, f);
             if ctx.valid(i, j) {
-                tracker.on_cell(i as i32, j as i32, h);
+                cells.mask[l + k] |= 1 << l;
             } else {
                 // Masked: out-of-band / out-of-table cells must read as -∞
                 // to every neighbour, exactly like the scalar reference.
@@ -132,6 +353,7 @@ pub fn compute_block(
                 ev = NEG_INF;
                 fv = NEG_INF;
             }
+            cells.h[l + k][l] = h;
 
             diag = up_h;
             west_h[k] = h;
@@ -212,7 +434,7 @@ pub fn block_grid_align(
     scoring: &Scoring,
 ) -> crate::result::GuidedResult {
     let ctx = BlockCtx::new(reference.len(), query.len(), scoring);
-    let mut tracker = DiagTracker::new(reference.len(), query.len(), scoring);
+    let mut tracker = crate::diag::DiagTracker::new(reference.len(), query.len(), scoring);
     if reference.is_empty() || query.is_empty() {
         return tracker.result();
     }
@@ -223,6 +445,7 @@ pub fn block_grid_align(
 
     let mut rblock = [0u8; BLOCK];
     let mut qblock = [0u8; BLOCK];
+    let mut cells = BlockCells::new();
 
     'rows: for bj in 0..ctx.query_blocks() {
         let j0 = bj * b;
@@ -248,8 +471,9 @@ pub fn block_grid_align(
                 &mut west_e,
                 &mut north_h,
                 &mut north_f,
-                &mut tracker,
+                &mut cells,
             );
+            tracker.on_block(&cells);
             row_h[i0 as usize..i0 as usize + BLOCK].copy_from_slice(&north_h);
             row_f[i0 as usize..i0 as usize + BLOCK].copy_from_slice(&north_f);
             corner = next_corner;
@@ -353,5 +577,64 @@ mod tests {
         assert_eq!(ctx.row_block_range(3), Some((2, 4)));
         // beyond query
         assert_eq!(ctx.row_block_range(4), None);
+    }
+
+    #[test]
+    fn lane_range_agrees_with_valid() {
+        // Brute-force cross-check of the closed-form lane intervals against
+        // per-cell validity, over assorted block origins and bands.
+        let cases = [
+            (64usize, 32usize, 4i32),
+            (20, 20, 2),
+            (9, 40, 7),
+            (40, 9, Scoring::NO_BAND),
+            (8, 8, 1),
+        ];
+        for (n, m, w) in cases {
+            let sc = Scoring::new(1, 1, 1, 1, Scoring::NO_ZDROP, w);
+            let ctx = BlockCtx::new(n, m, &sc);
+            for bi in 0..ctx.ref_blocks() {
+                for bj in 0..ctx.query_blocks() {
+                    let (i0, j0) = (bi * BLOCK as i64, bj * BLOCK as i64);
+                    for d in 0..BLOCK_DIAGS {
+                        let mut want = 0u8;
+                        for l in 0..BLOCK.min(d + 1) {
+                            let k = d - l;
+                            if k < BLOCK && ctx.valid(i0 + l as i64, j0 + k as i64) {
+                                want |= 1 << l;
+                            }
+                        }
+                        let got = match ctx.lane_range(i0, j0, d) {
+                            None => 0u8,
+                            Some((lo, hi)) => ((1u16 << (hi + 1)) - (1 << lo)) as u8,
+                        };
+                        assert_eq!(
+                            got, want,
+                            "n={n} m={m} w={w} block ({i0},{j0}) diag {d}: \
+                             lane_range {got:#010b} vs per-cell {want:#010b}"
+                        );
+                    }
+                    // Interior check agrees with all-valid.
+                    let all_valid = (0..BLOCK_DIAGS).all(|d| {
+                        let full: u8 = (0..BLOCK.min(d + 1))
+                            .filter(|&l| d - l < BLOCK)
+                            .fold(0, |acc, l| acc | 1 << l);
+                        let got = match ctx.lane_range(i0, j0, d) {
+                            None => 0u8,
+                            Some((lo, hi)) => ((1u16 << (hi + 1)) - (1 << lo)) as u8,
+                        };
+                        got == full
+                    });
+                    assert_eq!(ctx.block_interior(i0, j0), all_valid, "({i0},{j0}) w={w}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "task admission")]
+    fn block_origin_narrowing_is_checked() {
+        let mut cells = BlockCells::new();
+        cells.set_origin(i32::MAX as i64 + 8, 0);
     }
 }

@@ -18,6 +18,7 @@
 //! their cost models for the corresponding accesses while delegating the
 //! *values* here.
 
+use crate::block::{BlockCells, BLOCK_DIAGS};
 use crate::guided::{diag_cells, zdrop_triggered};
 use crate::result::{GuidedResult, MaxCell, StopReason};
 use crate::scoring::Scoring;
@@ -86,6 +87,13 @@ impl DiagTracker {
     /// [`DiagTracker::new`]; allocations are grow-only, so steady-state
     /// reuse across a task stream performs no heap allocation.
     pub fn reset(&mut self, n: usize, m: usize, scoring: &Scoring) {
+        // Central admission chokepoint: every engine funnels its results
+        // through a tracker, and the tracker (like `MaxCell`) stores cell
+        // coordinates as `i32`. Refusing over-wide tasks here turns what
+        // would be silent coordinate truncation into a loud error.
+        if let Err(e) = crate::task::check_dims(n, m) {
+            panic!("DiagTracker: {e}");
+        }
         let (ni, mi) = (n as i64, m as i64);
         let w = if scoring.banded() { scoring.band_width as i64 } else { ni + mi };
         let total = if n == 0 || m == 0 { 0 } else { n + m - 1 };
@@ -121,6 +129,66 @@ impl DiagTracker {
         self.qend_best = None;
         self.finished = if total == 0 { Some(StopReason::Completed) } else { None };
         self.cells = 0;
+    }
+
+    /// Fold one computed block's staged cells in a single call — the
+    /// batch-update path used by every block engine (the per-cell
+    /// [`DiagTracker::on_cell`] remains for scalar row/diagonal engines and
+    /// tests, but is gone from the block hot loop).
+    ///
+    /// Semantics are exactly those of feeding every valid cell through
+    /// [`DiagTracker::on_cell`]: the ascending-`i` tie-break is preserved
+    /// (each block diagonal is scanned in ascending lane = ascending `i`
+    /// order against the carried-over maximum from other blocks), and cells
+    /// on already-finalized anti-diagonals (run-ahead past termination) are
+    /// skipped whole-diagonal at a time.
+    pub fn on_block(&mut self, cells: &BlockCells) {
+        let c0 = cells.i0() as usize + cells.j0() as usize;
+        for d in 0..BLOCK_DIAGS {
+            let m = cells.mask[d];
+            if m == 0 {
+                continue; // no valid cell on this block diagonal
+            }
+            let c = c0 + d;
+            if c < self.next {
+                continue; // run-ahead past a finalized diagonal
+            }
+            debug_assert!(c < self.total, "block diagonal {c} outside table");
+            self.seen[c] += m.count_ones();
+            let row = &cells.h[d];
+            // Fold the diagonal's local maximum with the canonical
+            // tie-break: smallest `i` wins equal scores. Valid lanes form a
+            // contiguous run, scanned in ascending `i`.
+            let lo = m.trailing_zeros() as usize;
+            let hi = 7 - m.leading_zeros() as usize;
+            debug_assert_eq!(m, ((1u16 << (hi + 1)) - (1 << lo)) as u8, "mask must be a run");
+            let mut best = self.local_score[c];
+            let mut best_i = self.local_i[c];
+            for (l, &h) in row.iter().enumerate().take(hi + 1).skip(lo) {
+                let i = cells.i0() + l as i32;
+                debug_assert!(
+                    (i as i64 - (c as i64 - i as i64)).abs() <= self.w,
+                    "out-of-band cell ({i},{}) staged for tracker (w = {})",
+                    c as i64 - i as i64,
+                    self.w
+                );
+                if h > best || (h == best && i < best_i) {
+                    best = h;
+                    best_i = i;
+                }
+            }
+            self.local_score[c] = best;
+            self.local_i[c] = best_i;
+            // At most one cell per anti-diagonal sits on the last query
+            // column (j == m-1): lane l = d - (m-1 - j0).
+            let kq = self.m - 1 - cells.j0() as i64;
+            if (0..crate::BLOCK as i64).contains(&kq) {
+                let lq = d as i64 - kq;
+                if (lo as i64..=hi as i64).contains(&lq) {
+                    self.qend[c] = row[lq as usize];
+                }
+            }
+        }
     }
 
     /// Record one computed in-band cell. Cells may arrive in any order;
@@ -433,6 +501,81 @@ mod tests {
             let got = reused.take_result();
             assert_eq!(got, want, "reused tracker diverged on ({r}, {q})");
         }
+    }
+
+    #[test]
+    fn on_block_equals_per_cell_feed() {
+        // Feed the same dense table to one tracker cell by cell and to
+        // another block by block (staged through BlockCells); every
+        // observable (result, frontier behaviour, run-ahead skips) must
+        // agree, including the ascending-i tie-break on equal scores.
+        use crate::block::{compute_block, corner_read, north_read, west_init, BlockCtx};
+        use crate::BLOCK;
+
+        let cases = [
+            ("AGATAGATAGA", "AGACTATCA", Scoring::figure1()),
+            ("ACGTACGTACGTACGTACGT", "ACGTACGTTCGTACGTACGA", Scoring::new(2, 4, 4, 2, 10, 3)),
+            ("AAAAAAAAAAAAAAAA", "AAAAAAAAAAAAAAAA", Scoring::figure1()), // many score ties
+        ];
+        for (r, q, s) in &cases {
+            let (rp, qp) = (seq(r), seq(q));
+            let ctx = BlockCtx::new(rp.len(), qp.len(), s);
+            let b = BLOCK as i64;
+            let padded_n = (ctx.ref_blocks() * b) as usize;
+            let mut row_h = vec![NEG_INF; padded_n];
+            let mut row_f = vec![NEG_INF; padded_n];
+            let (mut rb, mut qb) = ([0u8; BLOCK], [0u8; BLOCK]);
+            let mut cells = crate::block::BlockCells::new();
+            let mut per_cell = DiagTracker::new(rp.len(), qp.len(), s);
+            let mut per_block = DiagTracker::new(rp.len(), qp.len(), s);
+            for bj in 0..ctx.query_blocks() {
+                let j0 = bj * b;
+                let Some((lo, hi)) = ctx.row_block_range(bj) else { continue };
+                qp.unpack_block(j0 as usize, &mut qb);
+                let (mut wh, mut we) = west_init(&ctx, lo * b, j0);
+                let mut corner = corner_read(&ctx, lo * b, j0, &row_h);
+                for bi in lo..=hi {
+                    let i0 = bi * b;
+                    rp.unpack_block(i0 as usize, &mut rb);
+                    let (mut nh, mut nf) = north_read(&ctx, i0, j0, &row_h, &row_f);
+                    let next_corner = nh[BLOCK - 1];
+                    compute_block(
+                        &ctx, i0, j0, &rb, &qb, corner, &mut wh, &mut we, &mut nh, &mut nf,
+                        &mut cells,
+                    );
+                    per_block.on_block(&cells);
+                    for d in 0..crate::block::BLOCK_DIAGS {
+                        for l in 0..BLOCK {
+                            if cells.mask[d] & (1 << l) != 0 {
+                                let i = cells.i0() + l as i32;
+                                let j = cells.j0() + (d - l) as i32;
+                                per_cell.on_cell(i, j, cells.h[d][l]);
+                            }
+                        }
+                    }
+                    row_h[i0 as usize..i0 as usize + BLOCK].copy_from_slice(&nh);
+                    row_f[i0 as usize..i0 as usize + BLOCK].copy_from_slice(&nf);
+                    corner = next_corner;
+                }
+                // Advance both (mid-stream, to exercise run-ahead skips).
+                let a = per_cell.advance();
+                let bstop = per_block.advance();
+                assert_eq!(a, bstop, "case ({r},{q})");
+                assert_eq!(per_cell.frontier(), per_block.frontier());
+                if a.is_some() {
+                    break;
+                }
+            }
+            let want = per_cell.take_result();
+            let got = per_block.take_result();
+            assert_eq!(got, want, "case ({r},{q})");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "32 bits")]
+    fn oversized_task_rejected_at_reset() {
+        let _ = DiagTracker::new(crate::task::MAX_SEQ_LEN + 1, 4, &Scoring::figure1());
     }
 
     #[test]

@@ -32,15 +32,17 @@ pub mod matrix;
 pub mod pack;
 pub mod result;
 pub mod scoring;
+pub mod simd;
 pub mod task;
 pub mod traceback;
 pub mod xdrop;
 
 pub use base::Base;
+pub use block::{BlockCells, FillMode};
 pub use pack::PackedSeq;
 pub use result::{GuidedResult, MaxCell};
 pub use scoring::Scoring;
-pub use task::Task;
+pub use task::{check_dims, Task, MAX_SEQ_LEN};
 
 /// Sentinel for "minus infinity" in score space.
 ///

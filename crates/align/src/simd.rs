@@ -1,0 +1,630 @@
+//! Vectorised block fill: the 8×8 block DP recomputed as an anti-diagonal
+//! wavefront, which removes every intra-iteration dependency (cells on one
+//! block anti-diagonal depend only on the previous two), so each diagonal's
+//! eight lanes compute in parallel.
+//!
+//! Two backends share one algorithm:
+//!
+//! * [`fill_wavefront`] dispatches to an AVX2 kernel on x86-64 when the CPU
+//!   supports it (one 8×i32 vector per diagonal), and otherwise to a
+//!   portable fixed-lane wavefront that LLVM auto-vectorises.
+//! * Both are **bit-identical** to [`crate::block::fill_scalar`]: every
+//!   cell's `H/E/F` is computed from exactly the same inputs with exactly
+//!   the same integer operations — only the evaluation order differs, and
+//!   no reassociation of `max`/`+` takes place. The one scalar-path
+//!   difference, `saturating_add` on the diagonal term, is neutralised by
+//!   [`crate::block::BlockCtx::simd_exact`], which routes tasks whose
+//!   scores could approach the `i32` limits back to the scalar fill.
+//!
+//! ## Wavefront bookkeeping
+//!
+//! Lane `l` of diagonal `d` holds cell `(i0+l, j0+d-l)`. With that layout:
+//!
+//! * *left* (`H/F(i, j-1)`) is lane `l` of diagonal `d-1` — no shift;
+//! * *up* (`H/E(i-1, j)`) is lane `l-1` of diagonal `d-1` — shift one lane,
+//!   injecting the west boundary at lane 0;
+//! * *diag* (`H(i-1, j-1)`) is lane `l-1` of diagonal `d-2` — same shift,
+//!   injecting `corner`/west;
+//! * the north boundary is pre-seeded into lane `d+1` of diagonal `d`'s
+//!   state (an out-of-shape lane), so `left`/`diag` reads pick it up with
+//!   no per-lane patching.
+
+use crate::block::{BlockCells, BlockCtx, Boundary, BLOCK_DIAGS};
+use crate::{BLOCK, NEG_INF};
+
+/// Whether the AVX2 backend will be used on this machine.
+pub fn avx2_active() -> bool {
+    #[cfg(target_arch = "x86_64")]
+    {
+        std::arch::is_x86_feature_detected!("avx2")
+    }
+    #[cfg(not(target_arch = "x86_64"))]
+    {
+        false
+    }
+}
+
+/// Which wavefront implementation the dispatcher will run. Resolved once
+/// per task (stored in [`BlockCtx`]) so the per-block hot path pays no
+/// repeated feature-detection load.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WavefrontBackend {
+    /// One 8×i32 AVX2 vector per block diagonal (x86-64 with AVX2).
+    Avx2,
+    /// Fixed-lane portable wavefront.
+    Portable,
+}
+
+/// Resolve the backend for this machine (runtime CPU detection, cached by
+/// `std`; call once per task, not per block).
+pub fn backend() -> WavefrontBackend {
+    if avx2_active() {
+        WavefrontBackend::Avx2
+    } else {
+        WavefrontBackend::Portable
+    }
+}
+
+/// Wavefront fill (drop-in replacement for [`crate::block::fill_scalar`]),
+/// dispatching on the pre-resolved backend in `ctx`.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn fill_wavefront(
+    ctx: &BlockCtx<'_>,
+    i0: i64,
+    j0: i64,
+    rcodes: &[u8; BLOCK],
+    qcodes: &[u8; BLOCK],
+    corner: i32,
+    west_h: &mut Boundary,
+    west_e: &mut Boundary,
+    north_h: &mut Boundary,
+    north_f: &mut Boundary,
+    cells: &mut BlockCells,
+) {
+    #[cfg(target_arch = "x86_64")]
+    if ctx.wavefront_backend == WavefrontBackend::Avx2 {
+        // SAFETY: `backend()` only reports Avx2 after a runtime AVX2 check.
+        unsafe {
+            return avx2::fill(
+                ctx, i0, j0, rcodes, qcodes, corner, west_h, west_e, north_h, north_f, cells,
+            );
+        }
+    }
+    fill_portable(ctx, i0, j0, rcodes, qcodes, corner, west_h, west_e, north_h, north_f, cells)
+}
+
+/// Per-diagonal valid-lane bitmask (`0` when empty), plus the inclusive
+/// bounds for the mask vector build.
+#[inline]
+fn lane_mask(ctx: &BlockCtx<'_>, i0: i64, j0: i64, d: usize) -> u8 {
+    match ctx.lane_range(i0, j0, d) {
+        None => 0,
+        Some((lo, hi)) => (((1u16) << (hi + 1)) - (1 << lo)) as u8,
+    }
+}
+
+/// Structural lane bitmask of block diagonal `d` (lanes inside the 8×8
+/// shape regardless of band/table).
+#[inline]
+const fn struct_mask(d: usize) -> u8 {
+    let lo = if d >= BLOCK { d - (BLOCK - 1) } else { 0 };
+    let hi = if d < BLOCK { d } else { BLOCK - 1 };
+    (((1u16 << (hi + 1)) - (1 << lo)) & 0xFF) as u8
+}
+
+/// Portable fixed-lane wavefront (also the semantic reference for the AVX2
+/// backend). Straight-line per-lane arithmetic over `[i32; 8]` rows.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn fill_portable(
+    ctx: &BlockCtx<'_>,
+    i0: i64,
+    j0: i64,
+    rcodes: &[u8; BLOCK],
+    qcodes: &[u8; BLOCK],
+    corner: i32,
+    west_h: &mut Boundary,
+    west_e: &mut Boundary,
+    north_h: &mut Boundary,
+    north_f: &mut Boundary,
+    cells: &mut BlockCells,
+) {
+    let sc = ctx.scoring;
+    let oe = sc.gap_open + sc.gap_extend;
+    let ext = sc.gap_extend;
+    let interior = ctx.block_interior(i0, j0);
+
+    // Boundary inputs are consumed across several diagonals while the same
+    // arrays double as outputs; snapshot them first.
+    let wh_in = *west_h;
+    let we_in = *west_e;
+    let nh_in = *north_h;
+    let nf_in = *north_f;
+
+    // State of diagonals d-1 ("prev") and d-2 ("prev2"). `h_prev` lane 0 is
+    // pre-seeded with the north boundary of row 0 ("H_{-1}").
+    let mut h_prev = [NEG_INF; BLOCK];
+    let mut e_prev = [NEG_INF; BLOCK];
+    let mut f_prev = [NEG_INF; BLOCK];
+    let mut h_prev2 = [NEG_INF; BLOCK];
+    h_prev[0] = nh_in[0];
+    f_prev[0] = nf_in[0];
+
+    for d in 0..BLOCK_DIAGS {
+        // Boundary injections for lane 0 (only meaningful while lane 0 is
+        // inside the block shape, i.e. d < BLOCK).
+        let bh = if d < BLOCK { wh_in[d] } else { NEG_INF };
+        let be = if d < BLOCK { we_in[d] } else { NEG_INF };
+        let bd = if d == 0 {
+            corner
+        } else if d <= BLOCK {
+            wh_in[d - 1]
+        } else {
+            NEG_INF
+        };
+
+        let mask = if interior { struct_mask(d) } else { lane_mask(ctx, i0, j0, d) };
+
+        let mut h_cur = [NEG_INF; BLOCK];
+        let mut e_cur = [NEG_INF; BLOCK];
+        let mut f_cur = [NEG_INF; BLOCK];
+        for l in 0..BLOCK {
+            let up_h = if l == 0 { bh } else { h_prev[l - 1] };
+            let up_e = if l == 0 { be } else { e_prev[l - 1] };
+            let dg = if l == 0 { bd } else { h_prev2[l - 1] };
+            let left_h = h_prev[l];
+            let left_f = f_prev[l];
+            let e = (up_h - oe).max(up_e - ext);
+            let f = (left_h - oe).max(left_f - ext);
+            // Out-of-shape lanes get a zero substitution score; their values
+            // are masked to -∞ below and never feed an in-shape lane.
+            let sub =
+                if l <= d && d - l < BLOCK { sc.substitution(rcodes[l], qcodes[d - l]) } else { 0 };
+            let h = e.max(f).max(dg.wrapping_add(sub));
+            let valid = mask & (1 << l) != 0;
+            h_cur[l] = if valid { h } else { NEG_INF };
+            e_cur[l] = if valid { e } else { NEG_INF };
+            f_cur[l] = if valid { f } else { NEG_INF };
+        }
+
+        cells.h[d] = h_cur;
+        cells.mask[d] = mask;
+
+        // Boundary outputs: lane 7 of diagonal 7+k is the block's last row
+        // (the west output for column k); lane l of diagonal l+7 is the
+        // block's last column (the north output for row l).
+        if d >= BLOCK - 1 {
+            let k = d - (BLOCK - 1);
+            west_h[k] = h_cur[BLOCK - 1];
+            west_e[k] = e_cur[BLOCK - 1];
+            north_h[k] = h_cur[k];
+            north_f[k] = f_cur[k];
+        }
+
+        // Pre-seed the north boundary of row d+1 into the out-of-shape lane
+        // d+1 so the next diagonals read it as left/diag with no patching.
+        if d + 1 < BLOCK {
+            h_cur[d + 1] = nh_in[d + 1];
+            f_cur[d + 1] = nf_in[d + 1];
+        }
+
+        h_prev2 = h_prev;
+        h_prev = h_cur;
+        e_prev = e_cur;
+        f_prev = f_cur;
+    }
+}
+
+#[cfg(target_arch = "x86_64")]
+mod avx2 {
+    use super::*;
+    #[allow(clippy::wildcard_imports)]
+    use std::arch::x86_64::*;
+
+    /// Shift lanes up by one (lane `l` ← lane `l-1`), injecting `boundary`
+    /// at lane 0.
+    #[inline(always)]
+    unsafe fn shift_up(v: __m256i, boundary: i32) -> __m256i {
+        let idx = _mm256_setr_epi32(0, 0, 1, 2, 3, 4, 5, 6);
+        let s = _mm256_permutevar8x32_epi32(v, idx);
+        _mm256_blend_epi32(s, _mm256_set1_epi32(boundary), 0x01)
+    }
+
+    /// Lane-range mask vector: all-ones in lanes `lo..=hi`.
+    #[inline(always)]
+    unsafe fn range_mask(lanes: __m256i, lo: i32, hi: i32) -> __m256i {
+        let ge = _mm256_cmpgt_epi32(lanes, _mm256_set1_epi32(lo - 1));
+        let le = _mm256_cmpgt_epi32(_mm256_set1_epi32(hi + 1), lanes);
+        _mm256_and_si256(ge, le)
+    }
+
+    #[inline(always)]
+    unsafe fn store8(slot: &mut [i32; BLOCK], v: __m256i) {
+        _mm256_storeu_si256(slot.as_mut_ptr().cast::<__m256i>(), v);
+    }
+
+    /// AVX2 wavefront fill. Same algorithm as [`super::fill_portable`], one
+    /// 8×i32 vector per diagonal.
+    ///
+    /// # Safety
+    /// Requires AVX2 (checked by the caller).
+    #[allow(clippy::too_many_arguments)]
+    #[target_feature(enable = "avx2")]
+    pub(super) unsafe fn fill(
+        ctx: &BlockCtx<'_>,
+        i0: i64,
+        j0: i64,
+        rcodes: &[u8; BLOCK],
+        qcodes: &[u8; BLOCK],
+        corner: i32,
+        west_h: &mut Boundary,
+        west_e: &mut Boundary,
+        north_h: &mut Boundary,
+        north_f: &mut Boundary,
+        cells: &mut BlockCells,
+    ) {
+        let sc = ctx.scoring;
+        let oe = _mm256_set1_epi32(sc.gap_open + sc.gap_extend);
+        let ext = _mm256_set1_epi32(sc.gap_extend);
+        let v_match = _mm256_set1_epi32(sc.match_score);
+        let v_mis = _mm256_set1_epi32(-sc.mismatch);
+        let v_amb = _mm256_set1_epi32(-sc.ambig);
+        let v_acgt_max = _mm256_set1_epi32(i32::from(crate::Base::N.code()) - 1);
+        let neg_inf = _mm256_set1_epi32(NEG_INF);
+        let lanes = _mm256_setr_epi32(0, 1, 2, 3, 4, 5, 6, 7);
+        let interior = ctx.block_interior(i0, j0);
+
+        let wh_in = *west_h;
+        let we_in = *west_e;
+        let nh_in = *north_h;
+        let nf_in = *north_f;
+
+        // Reference codes are fixed per lane; the query codes slide one lane
+        // per diagonal (lane l of diagonal d reads qcodes[d-l]).
+        let r_vec = _mm256_setr_epi32(
+            i32::from(rcodes[0]),
+            i32::from(rcodes[1]),
+            i32::from(rcodes[2]),
+            i32::from(rcodes[3]),
+            i32::from(rcodes[4]),
+            i32::from(rcodes[5]),
+            i32::from(rcodes[6]),
+            i32::from(rcodes[7]),
+        );
+        let mut q_vec = _mm256_setzero_si256();
+
+        let mut h_prev = shift_up(neg_inf, nh_in[0]); // "H_{-1}": north seed in lane 0
+        let mut f_prev = shift_up(neg_inf, nf_in[0]);
+        let mut e_prev = neg_inf;
+        let mut h_prev2 = neg_inf;
+
+        let mut e_tmp = [0i32; BLOCK];
+        let mut f_tmp = [0i32; BLOCK];
+
+        for d in 0..BLOCK_DIAGS {
+            let bh = if d < BLOCK { wh_in[d] } else { NEG_INF };
+            let be = if d < BLOCK { we_in[d] } else { NEG_INF };
+            let bd = if d == 0 {
+                corner
+            } else if d <= BLOCK {
+                wh_in[d - 1]
+            } else {
+                NEG_INF
+            };
+
+            q_vec = shift_up(q_vec, if d < BLOCK { i32::from(qcodes[d]) } else { 0 });
+
+            let up_h = shift_up(h_prev, bh);
+            let up_e = shift_up(e_prev, be);
+            let dg = shift_up(h_prev2, bd);
+
+            // Substitution: ambiguous beats match beats mismatch.
+            let eq = _mm256_cmpeq_epi32(r_vec, q_vec);
+            let amb = _mm256_cmpgt_epi32(_mm256_max_epi32(r_vec, q_vec), v_acgt_max);
+            let sub = _mm256_blendv_epi8(_mm256_blendv_epi8(v_mis, v_match, eq), v_amb, amb);
+
+            let e = _mm256_max_epi32(_mm256_sub_epi32(up_h, oe), _mm256_sub_epi32(up_e, ext));
+            let f = _mm256_max_epi32(_mm256_sub_epi32(h_prev, oe), _mm256_sub_epi32(f_prev, ext));
+            let h = _mm256_max_epi32(e, _mm256_max_epi32(f, _mm256_add_epi32(dg, sub)));
+
+            let mask_bits = if interior { struct_mask(d) } else { lane_mask(ctx, i0, j0, d) };
+            let m = if mask_bits == 0 {
+                _mm256_setzero_si256()
+            } else {
+                let lo = mask_bits.trailing_zeros() as i32;
+                let hi = 7 - i32::from(mask_bits.leading_zeros() as u8);
+                range_mask(lanes, lo, hi)
+            };
+            let mut h_m = _mm256_blendv_epi8(neg_inf, h, m);
+            let e_m = _mm256_blendv_epi8(neg_inf, e, m);
+            let mut f_m = _mm256_blendv_epi8(neg_inf, f, m);
+
+            store8(&mut cells.h[d], h_m);
+            cells.mask[d] = mask_bits;
+
+            if d >= BLOCK - 1 {
+                store8(&mut e_tmp, e_m);
+                store8(&mut f_tmp, f_m);
+                let k = d - (BLOCK - 1);
+                west_h[k] = cells.h[d][BLOCK - 1];
+                west_e[k] = e_tmp[BLOCK - 1];
+                north_h[k] = cells.h[d][k];
+                north_f[k] = f_tmp[k];
+            }
+
+            if d + 1 < BLOCK {
+                // Pre-seed the next row's north boundary into lane d+1.
+                let seed = _mm256_cmpeq_epi32(lanes, _mm256_set1_epi32(d as i32 + 1));
+                h_m = _mm256_blendv_epi8(h_m, _mm256_set1_epi32(nh_in[d + 1]), seed);
+                f_m = _mm256_blendv_epi8(f_m, _mm256_set1_epi32(nf_in[d + 1]), seed);
+            }
+
+            h_prev2 = h_prev;
+            h_prev = h_m;
+            e_prev = e_m;
+            f_prev = f_m;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::block::fill_scalar;
+    use crate::pack::PackedSeq;
+    use crate::Scoring;
+
+    /// Deterministic xorshift-ish stream for test inputs.
+    struct Rng(u64);
+    impl Rng {
+        fn next(&mut self) -> u64 {
+            self.0 = self.0.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            self.0 >> 16
+        }
+        fn code(&mut self) -> u8 {
+            (self.next() % 5) as u8 // includes N
+        }
+        fn val(&mut self) -> i32 {
+            match self.next() % 4 {
+                0 => NEG_INF,
+                _ => (self.next() % 2000) as i32 - 1000,
+            }
+        }
+    }
+
+    /// Run one block through both fills and assert identical staging
+    /// buffers (on structural lanes), masks, and boundary outputs.
+    #[allow(clippy::too_many_arguments)]
+    fn check_block(
+        ctx: &BlockCtx<'_>,
+        i0: i64,
+        j0: i64,
+        rcodes: &[u8; BLOCK],
+        qcodes: &[u8; BLOCK],
+        corner: i32,
+        west_h: Boundary,
+        west_e: Boundary,
+        north_h: Boundary,
+        north_f: Boundary,
+    ) {
+        let mut cells_s = BlockCells::new();
+        let (mut wh_s, mut we_s, mut nh_s, mut nf_s) = (west_h, west_e, north_h, north_f);
+        fill_scalar(
+            ctx,
+            i0,
+            j0,
+            rcodes,
+            qcodes,
+            corner,
+            &mut wh_s,
+            &mut we_s,
+            &mut nh_s,
+            &mut nf_s,
+            &mut cells_s,
+        );
+
+        type Fill = for<'a, 'b> fn(
+            &'a BlockCtx<'b>,
+            i64,
+            i64,
+            &'a [u8; BLOCK],
+            &'a [u8; BLOCK],
+            i32,
+            &'a mut Boundary,
+            &'a mut Boundary,
+            &'a mut Boundary,
+            &'a mut Boundary,
+            &'a mut BlockCells,
+        );
+        for (name, fill) in
+            [("portable", fill_portable as Fill), ("dispatch", fill_wavefront as Fill)]
+        {
+            let mut cells_v = BlockCells::new();
+            let (mut wh_v, mut we_v, mut nh_v, mut nf_v) = (west_h, west_e, north_h, north_f);
+            fill(
+                ctx,
+                i0,
+                j0,
+                rcodes,
+                qcodes,
+                corner,
+                &mut wh_v,
+                &mut we_v,
+                &mut nh_v,
+                &mut nf_v,
+                &mut cells_v,
+            );
+            assert_eq!(cells_v.mask, cells_s.mask, "{name}: masks at ({i0},{j0})");
+            for d in 0..BLOCK_DIAGS {
+                let sm = struct_mask(d);
+                for l in 0..BLOCK {
+                    if sm & (1 << l) != 0 {
+                        assert_eq!(
+                            cells_v.h[d][l], cells_s.h[d][l],
+                            "{name}: H mismatch at block ({i0},{j0}) diag {d} lane {l}"
+                        );
+                    }
+                }
+            }
+            assert_eq!(wh_v, wh_s, "{name}: west H at ({i0},{j0})");
+            assert_eq!(we_v, we_s, "{name}: west E at ({i0},{j0})");
+            assert_eq!(nh_v, nh_s, "{name}: north H at ({i0},{j0})");
+            assert_eq!(nf_v, nf_s, "{name}: north F at ({i0},{j0})");
+        }
+    }
+
+    #[test]
+    fn wavefront_matches_scalar_on_random_blocks() {
+        let scorings = [
+            Scoring::figure1(),
+            Scoring::new(2, 4, 4, 2, Scoring::NO_ZDROP, 3),
+            Scoring::new(1, 9, 0, 1, 40, 11),
+            Scoring::new(5, 1, 7, 3, Scoring::NO_ZDROP, Scoring::NO_BAND),
+        ];
+        let mut rng = Rng(0x5EED);
+        for (si, sc) in scorings.iter().enumerate() {
+            let (n, m) = (40 + si * 7, 33 + si * 5);
+            let ctx = BlockCtx::new(n, m, sc);
+            assert!(ctx.simd_exact);
+            for bi in 0..ctx.ref_blocks() {
+                for bj in 0..ctx.query_blocks() {
+                    let mut rcodes = [0u8; BLOCK];
+                    let mut qcodes = [0u8; BLOCK];
+                    let mut bounds = [[0i32; BLOCK]; 4];
+                    for l in 0..BLOCK {
+                        rcodes[l] = rng.code();
+                        qcodes[l] = rng.code();
+                        for b in &mut bounds {
+                            b[l] = rng.val();
+                        }
+                    }
+                    check_block(
+                        &ctx,
+                        bi * BLOCK as i64,
+                        bj * BLOCK as i64,
+                        &rcodes,
+                        &qcodes,
+                        rng.val(),
+                        bounds[0],
+                        bounds[1],
+                        bounds[2],
+                        bounds[3],
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn wavefront_matches_scalar_via_block_grid() {
+        // End-to-end: drive block_grid_align manually with each fill mode
+        // and compare complete guided results.
+        use crate::block::{compute_block_mode, FillMode};
+        use crate::diag::DiagTracker;
+        use crate::guided::guided_align;
+
+        let run = |r: &PackedSeq, q: &PackedSeq, sc: &Scoring, mode: FillMode| {
+            let ctx = BlockCtx::new(r.len(), q.len(), sc);
+            let mut tracker = DiagTracker::new(r.len(), q.len(), sc);
+            let b = BLOCK as i64;
+            let padded_n = (ctx.ref_blocks() * b) as usize;
+            let mut row_h = vec![NEG_INF; padded_n];
+            let mut row_f = vec![NEG_INF; padded_n];
+            let (mut rb, mut qb) = ([0u8; BLOCK], [0u8; BLOCK]);
+            let mut cells = BlockCells::new();
+            'rows: for bj in 0..ctx.query_blocks() {
+                let j0 = bj * b;
+                let Some((lo, hi)) = ctx.row_block_range(bj) else { continue };
+                q.unpack_block(j0 as usize, &mut qb);
+                let (mut wh, mut we) = crate::block::west_init(&ctx, lo * b, j0);
+                let mut corner = crate::block::corner_read(&ctx, lo * b, j0, &row_h);
+                for bi in lo..=hi {
+                    let i0 = bi * b;
+                    r.unpack_block(i0 as usize, &mut rb);
+                    let (mut nh, mut nf) = crate::block::north_read(&ctx, i0, j0, &row_h, &row_f);
+                    let next_corner = nh[BLOCK - 1];
+                    compute_block_mode(
+                        mode, &ctx, i0, j0, &rb, &qb, corner, &mut wh, &mut we, &mut nh, &mut nf,
+                        &mut cells,
+                    );
+                    tracker.on_block(&cells);
+                    row_h[i0 as usize..i0 as usize + BLOCK].copy_from_slice(&nh);
+                    row_f[i0 as usize..i0 as usize + BLOCK].copy_from_slice(&nf);
+                    corner = next_corner;
+                    if tracker.is_finished() {
+                        break 'rows;
+                    }
+                }
+                if tracker.advance().is_some() {
+                    break;
+                }
+            }
+            tracker.result()
+        };
+
+        let mut rng = Rng(0xA11E);
+        for case in 0..12 {
+            let len_r = 16 + (rng.next() % 120) as usize;
+            let len_q = 16 + (rng.next() % 120) as usize;
+            let rcodes: Vec<u8> = (0..len_r).map(|_| rng.code()).collect();
+            let qcodes: Vec<u8> = (0..len_q).map(|_| rng.code()).collect();
+            let (rp, qp) = (PackedSeq::from_codes(&rcodes), PackedSeq::from_codes(&qcodes));
+            let sc = match case % 4 {
+                0 => Scoring::new(2, 4, 4, 2, Scoring::NO_ZDROP, Scoring::NO_BAND),
+                1 => Scoring::new(2, 4, 4, 2, 20, 9),
+                2 => Scoring::new(1, 6, 2, 1, Scoring::NO_ZDROP, 5),
+                _ => Scoring::new(3, 2, 5, 2, 15, Scoring::NO_BAND),
+            };
+            let want = guided_align(&rp, &qp, &sc);
+            let scalar = run(&rp, &qp, &sc, FillMode::Scalar);
+            let simd = run(&rp, &qp, &sc, FillMode::Simd);
+            assert_eq!(scalar, simd, "case {case}: scalar vs simd fill");
+            assert!(scalar.same_alignment(&want), "case {case}: {scalar:?} vs {want:?}");
+            assert_eq!(scalar.cells, want.cells, "case {case}");
+        }
+    }
+
+    #[test]
+    fn oversized_scoring_falls_back_to_scalar() {
+        // A scoring whose per-step increment is too large for the wavefront
+        // exactness proof must degrade to the scalar fill (simd_exact off)
+        // when dispatched through compute_block_mode(Simd).
+        use crate::block::{compute_block_mode, FillMode};
+
+        let sc = Scoring::new(1 << 28, 4, 4, 2, Scoring::NO_ZDROP, Scoring::NO_BAND);
+        let ctx = BlockCtx::new(64, 64, &sc);
+        assert!(!ctx.simd_exact);
+        let small = Scoring::figure1();
+        assert!(BlockCtx::new(64, 64, &small).simd_exact);
+
+        // Craft a block whose DP actually saturates: all-match codes add
+        // 2^28 per diagonal step starting from a corner near i32::MAX, so
+        // the scalar fill's saturating_add pins at i32::MAX while a
+        // wavefront fill would wrap. If the Simd dispatch ever stopped
+        // falling back, the outputs below would diverge (or the wavefront
+        // would overflow-panic in debug builds) — either way this test
+        // catches it.
+        let rcodes = [0u8; BLOCK];
+        let qcodes = [0u8; BLOCK];
+        let corner = i32::MAX - 100;
+        let west_h = [i32::MAX - 200; BLOCK];
+        let west_e = [NEG_INF; BLOCK];
+        let north_h = [i32::MAX - 200; BLOCK];
+        let north_f = [NEG_INF; BLOCK];
+
+        let run = |mode: FillMode| {
+            let mut cells = BlockCells::new();
+            let (mut wh, mut we, mut nh, mut nf) = (west_h, west_e, north_h, north_f);
+            compute_block_mode(
+                mode, &ctx, 8, 8, &rcodes, &qcodes, corner, &mut wh, &mut we, &mut nh, &mut nf,
+                &mut cells,
+            );
+            (cells.h, cells.mask, wh, we, nh, nf)
+        };
+        let scalar = run(FillMode::Scalar);
+        let simd = run(FillMode::Simd);
+        assert_eq!(scalar, simd, "Simd mode must fall back to the scalar fill when !simd_exact");
+        // The crafted inputs really do reach saturation (the discriminating
+        // regime for the two add semantics).
+        assert!(scalar.0.iter().any(|row| row.contains(&i32::MAX)), "expected saturated cells");
+    }
+}

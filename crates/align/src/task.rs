@@ -3,6 +3,32 @@
 
 use crate::pack::PackedSeq;
 
+/// Largest admissible per-sequence length.
+///
+/// Chosen so that every cell coordinate (`i`, `j`) and every anti-diagonal
+/// index (`i + j <= n + m - 2`) of an admitted task fits an `i32`. This is
+/// the single width contract the whole DP layer relies on: engines narrow
+/// `i64` block geometry to the `i32` cell coordinates stored in
+/// [`crate::result::MaxCell`] / fed to [`crate::diag::DiagTracker`], and
+/// admission here is what makes those conversions lossless instead of
+/// silently truncating.
+pub const MAX_SEQ_LEN: usize = (i32::MAX / 2) as usize;
+
+/// Checked admission of task dimensions (reference length `n`, query length
+/// `m`). Over-wide inputs get a human-readable error instead of wrapping
+/// cell coordinates later in the pipeline.
+pub fn check_dims(n: usize, m: usize) -> Result<(), String> {
+    for (axis, len) in [("reference", n), ("query", m)] {
+        if len > MAX_SEQ_LEN {
+            return Err(format!(
+                "{axis} sequence of {len} bases exceeds the supported maximum of {MAX_SEQ_LEN} \
+                 (cell coordinates must fit 32 bits)"
+            ));
+        }
+    }
+    Ok(())
+}
+
 /// One extension-alignment task: a reference segment vs. a query segment.
 ///
 /// In the real pipeline these are produced by Minimap2's seeding/chaining
@@ -28,6 +54,13 @@ impl Task {
             reference: PackedSeq::from_str_seq(reference),
             query: PackedSeq::from_str_seq(query),
         }
+    }
+
+    /// Checked admission: every engine narrows this task's cell coordinates
+    /// to `i32` downstream, so dimensions beyond [`MAX_SEQ_LEN`] must be
+    /// rejected up front (see [`check_dims`]).
+    pub fn admit(&self) -> Result<(), String> {
+        check_dims(self.ref_len(), self.query_len())
     }
 
     /// Reference length `n`.
@@ -83,5 +116,24 @@ mod tests {
     fn empty_task_has_zero_antidiags() {
         let t = Task::from_strs(0, "", "");
         assert_eq!(t.antidiags(), 0);
+    }
+
+    #[test]
+    fn admission_bounds_dimensions() {
+        assert!(check_dims(0, 0).is_ok());
+        assert!(check_dims(MAX_SEQ_LEN, MAX_SEQ_LEN).is_ok());
+        let err = check_dims(MAX_SEQ_LEN + 1, 4).unwrap_err();
+        assert!(err.contains("reference") && err.contains("32 bits"), "{err}");
+        let err = check_dims(4, MAX_SEQ_LEN + 1).unwrap_err();
+        assert!(err.contains("query"), "{err}");
+        assert!(Task::from_strs(0, "ACGT", "ACGT").admit().is_ok());
+    }
+
+    #[test]
+    fn admitted_coordinates_fit_i32() {
+        // The contract admission exists for: the largest anti-diagonal index
+        // of an admitted task is representable as i32 (and u32).
+        let max_diag = (MAX_SEQ_LEN as u64) * 2 - 1;
+        assert!(max_diag <= i32::MAX as u64);
     }
 }

@@ -92,6 +92,26 @@ fn bench_workspace_reuse(c: &mut Criterion) {
     g.finish();
 }
 
+fn bench_block_fold(c: &mut Criterion) {
+    // The PR-3 lever: per-block staged tracker folds (DiagTracker::on_block)
+    // let the inner loop vectorise. Same kernel, scalar vs wavefront fill —
+    // bit-identical results, different wall time.
+    let mut g = c.benchmark_group("block_fold");
+    let s = Scoring::new(2, 4, 4, 2, 200, 100);
+    let (r, q) = pseudo_seq(2048, 29, 19);
+    let task = Task::from_strs(0, &r, &q);
+    let cells = run_task(&task, &s, &AgathaConfig::agatha()).result.cells;
+    g.throughput(Throughput::Elements(cells));
+    for (name, simd) in [("scalar_fill", false), ("simd_fill", true)] {
+        let cfg = AgathaConfig::agatha().with_simd_fill(simd);
+        g.bench_function(name, |b| {
+            let mut ws = KernelWorkspace::new();
+            b.iter(|| run_task_ws(&mut ws, &task, &s, &cfg).blocks)
+        });
+    }
+    g.finish();
+}
+
 fn bench_packing(c: &mut Criterion) {
     let mut g = c.benchmark_group("packing");
     let (r, _) = pseudo_seq(1 << 16, 41, 0);
@@ -106,6 +126,6 @@ fn bench_packing(c: &mut Criterion) {
 criterion_group! {
     name = benches;
     config = Criterion::default().sample_size(20).measurement_time(std::time::Duration::from_secs(3)).warm_up_time(std::time::Duration::from_millis(500));
-    targets = bench_guided_reference, bench_block_kernel, bench_kernel_configs, bench_workspace_reuse, bench_packing
+    targets = bench_guided_reference, bench_block_kernel, bench_kernel_configs, bench_workspace_reuse, bench_block_fold, bench_packing
 }
 criterion_main!(benches);

@@ -1,8 +1,14 @@
 //! Host-throughput harness for the batch pipeline: measures real wall-time
 //! tasks/sec of (a) the whole-batch path, (b) the chunked streaming engine,
-//! and (c) single-threaded kernel execution with fresh vs reused
-//! workspaces, on a fixed-seed dataset. Writes `BENCH_pipeline.json` so CI
-//! tracks the perf trajectory run over run.
+//! (c) single-threaded kernel execution with fresh vs reused workspaces,
+//! and (d) the SIMD (wavefront) vs scalar block fill on the same fixed-seed
+//! dataset. Writes `BENCH_pipeline.json` so CI tracks the perf trajectory
+//! run over run.
+//!
+//! Both fill paths are always compiled (the `simd` cargo feature only flips
+//! the *default*), so one binary reports the simd-on/simd-off pair
+//! regardless of how it was built; `default_fill` records which mode the
+//! build would pick on its own.
 //!
 //! Run with `cargo run --release -p agatha-bench --bin pipeline_bench`.
 
@@ -88,21 +94,46 @@ fn main() {
     });
     assert_eq!(fresh_sum, reused_sum, "workspace reuse must not change the work done");
 
+    // SIMD vs scalar block fill, single thread over the CLR dataset (reads
+    // long enough that per-cell compute — not allocation — dominates, the
+    // regime the wavefront fill targets). Both runs use one reused
+    // workspace so the comparison isolates the fill.
+    let mut fill_secs = [0.0f64; 2];
+    let mut fill_sums = [0u64; 2];
+    for (slot, simd) in [(0usize, false), (1usize, true)] {
+        let cfg = pipeline.config.clone().with_simd_fill(simd);
+        let mut ws = KernelWorkspace::new();
+        let (secs, sum) = best_of(|| {
+            tasks.iter().map(|t| run_task_ws(&mut ws, t, &pipeline.scoring, &cfg).blocks).sum()
+        });
+        fill_secs[slot] = secs;
+        fill_sums[slot] = sum;
+    }
+    assert_eq!(fill_sums[0], fill_sums[1], "simd fill must execute identical work");
+
     let tps = |secs: f64, n: usize| n as f64 / secs;
     let json = format!(
         "{{\n  \"bench\": \"pipeline\",\n  \"seed\": {SEED},\n  \"tasks\": {},\n  \
          \"chunk\": {CHUNK},\n  \
+         \"default_fill\": \"{}\",\n  \
          \"whole_batch_tasks_per_sec\": {:.1},\n  \
          \"streaming_tasks_per_sec\": {:.1},\n  \
          \"kernel_fresh_alloc_tasks_per_sec\": {:.1},\n  \
          \"kernel_reused_ws_tasks_per_sec\": {:.1},\n  \
-         \"workspace_reuse_speedup\": {:.3}\n}}\n",
+         \"workspace_reuse_speedup\": {:.3},\n  \
+         \"kernel_scalar_fill_tasks_per_sec\": {:.1},\n  \
+         \"kernel_simd_fill_tasks_per_sec\": {:.1},\n  \
+         \"simd_fill_speedup\": {:.3}\n}}\n",
         tasks.len(),
+        if cfg!(feature = "simd") { "simd" } else { "scalar" },
         tps(whole_s, tasks.len()),
         tps(stream_s, tasks.len()),
         tps(fresh_s, kernel_tasks.len()),
         tps(reused_s, kernel_tasks.len()),
         fresh_s / reused_s,
+        tps(fill_secs[0], tasks.len()),
+        tps(fill_secs[1], tasks.len()),
+        fill_secs[0] / fill_secs[1],
     );
     std::fs::write("BENCH_pipeline.json", &json).expect("write BENCH_pipeline.json");
     print!("{json}");

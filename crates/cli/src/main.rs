@@ -101,8 +101,15 @@ struct HostOpts {
 }
 
 fn host_opts(args: &Args) -> Result<HostOpts, String> {
+    let gpus = args.get_num_checked("gpus", 1usize)?;
+    if gpus == 0 {
+        // Like other malformed numeric flags, `--gpus 0` is an error: the
+        // old `.max(1)` clamp silently simulated one GPU while claiming
+        // zero.
+        return Err("--gpus must be at least 1 (got 0)".to_string());
+    }
     Ok(HostOpts {
-        gpus: args.get_num_checked("gpus", 1usize)?.max(1),
+        gpus,
         threads: args.get_num_checked("threads", 0usize)?,
         chunk: args.get_num_checked("chunk", DEFAULT_CHUNK)?,
     })
@@ -217,7 +224,10 @@ fn cmd_demo(args: &Args) -> Result<(), String> {
         "ont" => Tech::Ont,
         other => return Err(format!("unknown tech '{other}'")),
     };
-    let reads = args.get_num_checked("reads", 160usize)?.max(1);
+    let reads = args.get_num_checked("reads", 160usize)?;
+    if reads == 0 {
+        return Err("--reads must be at least 1 (got 0)".to_string());
+    }
     let spec = DatasetSpec { name: format!("{} demo", tech.name()), tech, seed: 1234, reads };
     let ds = generate(&spec);
     let engine = args.get("engine").filter(|s| !s.is_empty()).unwrap_or("agatha");

@@ -167,3 +167,39 @@ fn demo_runs_with_baseline_engine() {
     assert!(dir.join("score.log").exists());
     std::fs::remove_dir_all(&dir).ok();
 }
+
+#[test]
+fn zero_gpus_is_an_error() {
+    // `--gpus 0` used to be silently clamped to 1; it must now fail loudly
+    // like the other malformed numeric flags.
+    let out = agatha().args(["demo", "--reads", "4", "--gpus", "0"]).output().unwrap();
+    assert!(!out.status.success(), "--gpus 0 must not be clamped to 1");
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("--gpus") && err.contains("at least 1"), "stderr: {err}");
+
+    // The align subcommand goes through the same host-option parsing.
+    let dir = std::env::temp_dir().join(format!("agatha_cli_g0_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let refs = dir.join("ref.fasta");
+    let queries = dir.join("query.fasta");
+    std::fs::write(&refs, ">1\nACGT\n").unwrap();
+    std::fs::write(&queries, ">1\nACGT\n").unwrap();
+    let out = agatha()
+        .args(["align", "--gpus", "0"])
+        .arg(refs.to_str().unwrap())
+        .arg(queries.to_str().unwrap())
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("at least 1"));
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn zero_reads_is_an_error() {
+    // `--reads 0` used to be silently clamped to 1.
+    let out = agatha().args(["demo", "--reads", "0"]).output().unwrap();
+    assert!(!out.status.success(), "--reads 0 must not be clamped to 1");
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("--reads") && err.contains("at least 1"), "stderr: {err}");
+}

@@ -22,6 +22,12 @@ use agatha_gpu_sim::{DeviceReport, KernelStats};
 use crate::bucketing::OrderingStrategy;
 use crate::kernel::{run_task_ws, KernelWorkspace, TaskRun};
 use crate::pipeline::{BatchReport, Pipeline};
+use crate::trace::SliceUnit;
+
+/// Upper bound on buffers parked in the engine-wide recycle pool. Steady
+/// state needs roughly one buffer per in-flight task; the cap only guards
+/// against pathological chunk sizes hoarding memory.
+const RECYCLE_POOL_CAP: usize = 4096;
 
 struct Job {
     /// Chunk generation the job belongs to; results from an older
@@ -42,6 +48,11 @@ pub struct BatchEngine {
     job_tx: Option<Sender<Job>>,
     result_rx: Receiver<(u64, usize, std::thread::Result<TaskRun>)>,
     workers: Vec<JoinHandle<()>>,
+    /// Spent `TaskRun` output buffers (cost-descriptor vectors) returned by
+    /// the per-chunk stats fold; workers drain this into their
+    /// [`KernelWorkspace`] so steady-state streaming allocates nothing per
+    /// task, not even the run outputs (ROADMAP "TaskRun buffer recycling").
+    recycle: Arc<Mutex<Vec<Vec<SliceUnit>>>>,
 }
 
 impl BatchEngine {
@@ -53,10 +64,12 @@ impl BatchEngine {
         let (job_tx, job_rx) = channel::<Job>();
         let job_rx = Arc::new(Mutex::new(job_rx));
         let (result_tx, result_rx) = channel();
+        let recycle: Arc<Mutex<Vec<Vec<SliceUnit>>>> = Arc::new(Mutex::new(Vec::new()));
         let workers = (0..threads)
             .map(|_| {
                 let job_rx = Arc::clone(&job_rx);
                 let result_tx = result_tx.clone();
+                let recycle = Arc::clone(&recycle);
                 let scoring = pipeline.scoring;
                 let config = pipeline.config.clone();
                 std::thread::spawn(move || {
@@ -66,6 +79,19 @@ impl BatchEngine {
                         // while executing it.
                         let job = { job_rx.lock().expect("queue lock poisoned").recv() };
                         let Ok(Job { gen, idx, task }) = job else { break };
+                        // Top up the workspace with spent output buffers so
+                        // the run's cost descriptors reuse their capacity.
+                        // Drain a small batch under one lock, and only when
+                        // the local pool is dry, so the per-task hot path
+                        // doesn't pay a global lock per job.
+                        if ws.recycled_buffers().0 == 0 {
+                            if let Ok(mut pool) = recycle.lock() {
+                                let from = pool.len() - pool.len().min(4);
+                                for units in pool.drain(from..) {
+                                    ws.recycle_units(units);
+                                }
+                            }
+                        }
                         // Catch panics so the collector can re-raise them
                         // instead of deadlocking on a result that never
                         // arrives. The workspace is safe to reuse after a
@@ -80,7 +106,7 @@ impl BatchEngine {
                 })
             })
             .collect();
-        BatchEngine { pipeline, threads, gen: 0, job_tx: Some(job_tx), result_rx, workers }
+        BatchEngine { pipeline, threads, gen: 0, job_tx: Some(job_tx), result_rx, workers, recycle }
     }
 
     /// The pipeline configuration this engine serves.
@@ -139,7 +165,24 @@ impl BatchEngine {
     ) -> BatchReport {
         let workloads: Vec<u64> = tasks.iter().map(|t| t.antidiags() as u64).collect();
         let runs = self.run_tasks(tasks);
-        self.pipeline.assemble_report(&workloads, runs, strategy)
+        // After the stats fold the runs' unit buffers are surplus; park them
+        // for the workers to reuse on the next chunk.
+        let recycle = Arc::clone(&self.recycle);
+        self.pipeline.assemble_report_recycling(&workloads, runs, strategy, move |units| {
+            if units.capacity() == 0 {
+                return; // nothing worth round-tripping
+            }
+            if let Ok(mut pool) = recycle.lock() {
+                if pool.len() < RECYCLE_POOL_CAP {
+                    pool.push(units);
+                }
+            }
+        })
+    }
+
+    /// Buffers currently parked in the recycle pool (test visibility).
+    pub fn recycled_buffers(&self) -> usize {
+        self.recycle.lock().map(|p| p.len()).unwrap_or(0)
     }
 
     /// Stream `tasks` through the pool in chunks of `chunk_size`
@@ -329,6 +372,27 @@ mod tests {
         let c = engine.align_chunk(Vec::new());
         assert!(c.results.is_empty());
         assert_eq!(c.elapsed_ms, 0.0);
+    }
+
+    #[test]
+    fn chunk_folding_parks_spent_buffers_for_reuse() {
+        let mut engine = pipeline().engine();
+        let tasks = mk_tasks(16, 80, 9);
+        let a = engine.align_chunk(tasks.clone());
+        // After the first chunk every run's unit buffer is parked (workers
+        // had nothing to drain yet).
+        assert!(engine.recycled_buffers() > 0, "spent buffers must be parked");
+        // Subsequent chunks drain the pool back through the workers and
+        // re-park; results stay bit-identical throughout.
+        let parked = engine.recycled_buffers();
+        for _ in 0..3 {
+            let b = engine.align_chunk(tasks.clone());
+            assert_eq!(a.results, b.results);
+        }
+        assert!(
+            engine.recycled_buffers() <= parked + tasks.len(),
+            "pool must not grow unboundedly"
+        );
     }
 
     #[test]

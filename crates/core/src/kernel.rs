@@ -8,7 +8,9 @@
 //! verified against the scalar reference in this module's tests and by
 //! property tests at the workspace level.
 
-use agatha_align::block::{compute_block, corner_read, north_read, west_init, BlockCtx, Boundary};
+use agatha_align::block::{
+    compute_block_mode, corner_read, north_read, west_init, BlockCells, BlockCtx, Boundary,
+};
 use agatha_align::diag::DiagTracker;
 use agatha_align::{GuidedResult, Scoring, Task, BLOCK, NEG_INF};
 use agatha_gpu_sim::{CostModel, KernelStats};
@@ -88,11 +90,13 @@ struct RowSeg {
 }
 
 /// Reusable per-worker scratch for [`run_task_ws`]: the DP row buffers, the
-/// per-row carries, the unit-schedule staging area and the align-layer
-/// [`DiagTracker`]. All of these are grow-only, so a workspace reused across
-/// a task stream reaches a steady state in which executing a task performs
-/// no heap allocation on the kernel hot path (the returned [`TaskRun`]'s
-/// cost descriptors are output, not scratch).
+/// per-row carries, the unit-schedule staging area, the block-cell staging
+/// buffer fed to [`DiagTracker::on_block`], recycled output buffers, and the
+/// align-layer [`DiagTracker`]. All of these are grow-only, so a workspace
+/// reused across a task stream reaches a steady state in which executing a
+/// task performs no heap allocation on the kernel hot path — and with
+/// [`KernelWorkspace::recycle_units`] fed by the engine, not even the
+/// returned [`TaskRun`]'s cost descriptors allocate.
 ///
 /// This is the `block-aligner` idiom: build one long-lived aligner object
 /// and feed it tasks, instead of reallocating per call.
@@ -103,7 +107,20 @@ pub struct KernelWorkspace {
     carries: Vec<RowCarry>,
     unit_rows: Vec<RowSeg>,
     tracker: DiagTracker,
+    /// Per-block staging area: masked H values handed to the tracker in one
+    /// [`DiagTracker::on_block`] fold per block.
+    cells: BlockCells,
+    /// Spent outer `units` vectors returned by [`KernelWorkspace::recycle_units`].
+    units_pool: Vec<Vec<SliceUnit>>,
+    /// Spent `row_cols` vectors harvested from recycled units.
+    row_cols_pool: Vec<Vec<u16>>,
 }
+
+/// Bounds on the recycled-buffer pools: a task needs one `units` vector and
+/// one `row_cols` per unit, so small pools reach steady state; anything
+/// beyond is dropped rather than hoarded.
+const UNITS_POOL_CAP: usize = 4;
+const ROW_COLS_POOL_CAP: usize = 256;
 
 impl KernelWorkspace {
     /// Empty workspace; buffers grow on first use.
@@ -114,6 +131,9 @@ impl KernelWorkspace {
             carries: Vec::new(),
             unit_rows: Vec::new(),
             tracker: DiagTracker::new(0, 0, &Scoring::default()),
+            cells: BlockCells::new(),
+            units_pool: Vec::new(),
+            row_cols_pool: Vec::new(),
         }
     }
 
@@ -121,6 +141,32 @@ impl KernelWorkspace {
     /// Exposed so tests can assert that steady-state reuse stops growing.
     pub fn row_capacity(&self) -> usize {
         self.row_h.capacity()
+    }
+
+    /// Return a spent [`TaskRun`]'s output buffers for reuse by the next
+    /// [`run_task_ws`] call. Callers (the streaming engine, batch drivers)
+    /// invoke this after folding a run's stats, closing the last per-task
+    /// allocation in the stream path: the recycled `units` vector and its
+    /// `row_cols` vectors are handed back out by subsequent runs.
+    pub fn recycle_units(&mut self, mut units: Vec<SliceUnit>) {
+        for u in units.drain(..) {
+            if self.row_cols_pool.len() >= ROW_COLS_POOL_CAP {
+                break;
+            }
+            let mut rc = u.row_cols;
+            rc.clear();
+            self.row_cols_pool.push(rc);
+        }
+        units.clear();
+        if self.units_pool.len() < UNITS_POOL_CAP {
+            self.units_pool.push(units);
+        }
+    }
+
+    /// Buffers currently waiting in the recycle pools (outer `units`
+    /// vectors, inner `row_cols` vectors) — test/diagnostic visibility.
+    pub fn recycled_buffers(&self) -> (usize, usize) {
+        (self.units_pool.len(), self.row_cols_pool.len())
     }
 }
 
@@ -150,7 +196,17 @@ pub fn run_task_ws(
     let n = task.ref_len();
     let m = task.query_len();
     let ctx = BlockCtx::new(n, m, scoring);
-    let KernelWorkspace { row_h, row_f, carries, unit_rows, tracker } = ws;
+    let fill_mode = cfg.fill_mode();
+    let KernelWorkspace {
+        row_h,
+        row_f,
+        carries,
+        unit_rows,
+        tracker,
+        cells,
+        units_pool,
+        row_cols_pool,
+    } = ws;
     tracker.reset(n, m, scoring);
     if n == 0 || m == 0 {
         return TaskRun {
@@ -174,14 +230,17 @@ pub fn run_task_ws(
 
     let lmb_fits = cfg.sliced_diagonal && BLOCK * cfg.slice_width + BLOCK - 1 <= cfg.lmb_max_diags;
 
-    let mut units: Vec<SliceUnit> = Vec::new();
+    let mut units: Vec<SliceUnit> = units_pool.pop().unwrap_or_default();
+    units.clear();
     let mut blocks_total: u64 = 0;
     let mut rblock = [0u8; BLOCK];
     let mut qblock = [0u8; BLOCK];
 
-    // Execute one row segment, updating carries/boundaries/tracker.
+    // Execute one row segment, updating carries/boundaries, staging each
+    // block's cells and folding them into the tracker one block at a time.
     let mut exec_segment = |seg: RowSeg,
                             tracker: &mut DiagTracker,
+                            cells: &mut BlockCells,
                             row_h: &mut [i32],
                             row_f: &mut [i32],
                             carries: &mut [RowCarry]|
@@ -202,7 +261,8 @@ pub fn run_task_ws(
             task.reference.unpack_block(i0 as usize, &mut rblock);
             let (mut nh, mut nf) = north_read(&ctx, i0, j0, row_h, row_f);
             let next_corner = nh[BLOCK - 1];
-            compute_block(
+            compute_block_mode(
+                fill_mode,
                 &ctx,
                 i0,
                 j0,
@@ -213,8 +273,9 @@ pub fn run_task_ws(
                 &mut carry.west_e,
                 &mut nh,
                 &mut nf,
-                tracker,
+                cells,
             );
+            tracker.on_block(cells);
             row_h[i0 as usize..i0 as usize + BLOCK].copy_from_slice(&nh);
             row_f[i0 as usize..i0 as usize + BLOCK].copy_from_slice(&nf);
             carry.corner = next_corner;
@@ -227,23 +288,30 @@ pub fn run_task_ws(
     // cost descriptor and advance the tracker. Returns true on termination.
     let mut run_unit = |rows: &[RowSeg],
                         tracker: &mut DiagTracker,
+                        cells: &mut BlockCells,
                         row_h: &mut [i32],
                         row_f: &mut [i32],
                         carries: &mut [RowCarry],
                         units: &mut Vec<SliceUnit>,
+                        row_cols_pool: &mut Vec<Vec<u16>>,
                         blocks_total: &mut u64|
      -> bool {
         let mut unit_blocks = 0u64;
-        let mut row_cols = Vec::with_capacity(rows.len());
+        let mut row_cols = row_cols_pool.pop().unwrap_or_default();
+        row_cols.clear();
+        row_cols.reserve(rows.len());
         for seg in rows {
-            let blocks = exec_segment(*seg, tracker, row_h, row_f, carries);
+            let blocks = exec_segment(*seg, tracker, cells, row_h, row_f, carries);
             unit_blocks += blocks;
             row_cols.push(blocks as u16);
         }
         *blocks_total += unit_blocks;
         let before = tracker.frontier();
         let stop = tracker.advance();
-        let completed = (tracker.frontier() - before) as u32;
+        // Task admission bounds n+m-1 (the total diagonal count) to i32, so
+        // this narrowing is checked rather than silently wrapping.
+        let completed = u32::try_from(tracker.frontier() - before)
+            .expect("diagonals completed in one unit exceed u32: task admission must bound n+m");
         units.push(SliceUnit {
             row_cols,
             blocks: unit_blocks,
@@ -271,7 +339,17 @@ pub fn run_task_ws(
             if unit_rows.is_empty() {
                 continue;
             }
-            if run_unit(unit_rows, tracker, row_h, row_f, carries, &mut units, &mut blocks_total) {
+            if run_unit(
+                unit_rows,
+                tracker,
+                cells,
+                row_h,
+                row_f,
+                carries,
+                &mut units,
+                row_cols_pool,
+                &mut blocks_total,
+            ) {
                 break;
             }
         }
@@ -286,10 +364,12 @@ pub fn run_task_ws(
                 if run_unit(
                     unit_rows,
                     tracker,
+                    cells,
                     row_h,
                     row_f,
                     carries,
                     &mut units,
+                    row_cols_pool,
                     &mut blocks_total,
                 ) {
                     stopped = true;
@@ -299,7 +379,17 @@ pub fn run_task_ws(
             }
         }
         if !stopped && !unit_rows.is_empty() {
-            run_unit(unit_rows, tracker, row_h, row_f, carries, &mut units, &mut blocks_total);
+            run_unit(
+                unit_rows,
+                tracker,
+                cells,
+                row_h,
+                row_f,
+                carries,
+                &mut units,
+                row_cols_pool,
+                &mut blocks_total,
+            );
         }
     }
 
@@ -525,6 +615,44 @@ mod tests {
         // The z-drop input really exercised the early-termination path.
         let zdropped = run_task(&tasks[1], &s, &AgathaConfig::agatha());
         assert!(zdropped.result.stop.z_dropped());
+    }
+
+    #[test]
+    fn simd_and_scalar_fill_produce_identical_runs() {
+        // Full TaskRun equality (results, unit schedules, block counts)
+        // between the two fill paths, across every configuration and the
+        // mixed task set (including z-drop early termination).
+        let (tasks, s) = mixed_tasks();
+        for cfg in all_configs() {
+            let scalar_cfg = cfg.clone().with_simd_fill(false);
+            let simd_cfg = cfg.clone().with_simd_fill(true);
+            for t in &tasks {
+                let a = run_task(t, &s, &scalar_cfg);
+                let b = run_task(t, &s, &simd_cfg);
+                assert_eq!(a, b, "config {cfg:?}, task {}", t.id);
+            }
+        }
+    }
+
+    #[test]
+    fn recycled_unit_buffers_are_reused() {
+        let (tasks, s) = mixed_tasks();
+        let cfg = AgathaConfig::agatha();
+        let mut ws = KernelWorkspace::new();
+        let baseline = run_task_ws(&mut ws, &tasks[0], &s, &cfg);
+        let run = run_task_ws(&mut ws, &tasks[0], &s, &cfg);
+        let units_ptr = run.units.as_ptr();
+        assert!(!run.units.is_empty());
+        ws.recycle_units(run.units);
+        let (outer, inner) = ws.recycled_buffers();
+        assert_eq!(outer, 1);
+        assert!(inner >= 1);
+        // The next run must draw the same outer allocation back out of the
+        // pool — and produce identical output.
+        let again = run_task_ws(&mut ws, &tasks[0], &s, &cfg);
+        assert_eq!(again.units.as_ptr(), units_ptr, "outer units buffer must be reused");
+        assert_eq!(again, baseline);
+        assert_eq!(ws.recycled_buffers().0, 0, "pool drained by the run");
     }
 
     #[test]

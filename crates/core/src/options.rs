@@ -33,6 +33,12 @@ pub struct AgathaConfig {
     pub lmb_max_diags: usize,
     /// Model Hopper DPX instructions (§6 discussion).
     pub use_dpx: bool,
+    /// Host-side block fill implementation: `true` selects the vectorised
+    /// anti-diagonal wavefront ([`agatha_align::block::FillMode::Simd`]),
+    /// `false` the scalar row-major fill. Both are bit-identical; this only
+    /// changes host wall-time, never results or cost accounting. Defaults
+    /// to the build-time `simd` cargo feature.
+    pub simd_fill: bool,
 }
 
 impl AgathaConfig {
@@ -49,6 +55,7 @@ impl AgathaConfig {
             tasks_per_subwarp: 2,
             lmb_max_diags: 64,
             use_dpx: false,
+            simd_fill: cfg!(feature = "simd"),
         }
     }
 
@@ -92,6 +99,24 @@ impl AgathaConfig {
         assert!(s >= 1);
         self.slice_width = s;
         self
+    }
+
+    /// Select the block fill implementation (SIMD wavefront vs scalar).
+    /// Results are bit-identical either way; benchmarks use this to measure
+    /// both paths from one binary.
+    pub fn with_simd_fill(mut self, on: bool) -> AgathaConfig {
+        self.simd_fill = on;
+        self
+    }
+
+    /// The [`agatha_align::block::FillMode`] this configuration selects.
+    #[inline]
+    pub fn fill_mode(&self) -> agatha_align::block::FillMode {
+        if self.simd_fill {
+            agatha_align::block::FillMode::Simd
+        } else {
+            agatha_align::block::FillMode::Scalar
+        }
     }
 
     /// Set the subwarp size (Fig. 14).

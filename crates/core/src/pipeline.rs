@@ -125,6 +125,22 @@ impl Pipeline {
         runs: Vec<TaskRun>,
         strategy: OrderingStrategy,
     ) -> BatchReport {
+        self.assemble_report_recycling(workloads, runs, strategy, |_| {})
+    }
+
+    /// [`Pipeline::assemble_report`] with a recycler for the spent runs'
+    /// output buffers: once a run's stats are folded and its result
+    /// extracted, its `units` vector (with all `row_cols` capacity) is
+    /// surplus — the streaming engine hands it back to the worker pool via
+    /// [`crate::kernel::KernelWorkspace::recycle_units`] instead of freeing
+    /// it, closing the last per-task allocation in the stream path.
+    pub(crate) fn assemble_report_recycling(
+        &self,
+        workloads: &[u64],
+        runs: Vec<TaskRun>,
+        strategy: OrderingStrategy,
+        mut recycle: impl FnMut(Vec<crate::trace::SliceUnit>),
+    ) -> BatchReport {
         let warps = build_warps(
             workloads,
             self.config.subwarps_per_warp(),
@@ -142,7 +158,13 @@ impl Pipeline {
             stats.add(&r.stats(self.config.subwarp_lanes, &self.config, &self.cost));
         }
 
-        let results = runs.into_iter().map(|r| r.result).collect();
+        let results = runs
+            .into_iter()
+            .map(|mut r| {
+                recycle(std::mem::take(&mut r.units));
+                r.result
+            })
+            .collect();
         BatchReport {
             results,
             elapsed_ms: self.spec.cycles_to_ms(makespan),

@@ -159,7 +159,18 @@ impl<A: BufRead, B: BufRead> Iterator for FastaPairs<A, B> {
             (Some(Ok(r)), Some(Ok(q))) => {
                 let id = self.next_id;
                 self.next_id += 1;
-                return Some(Ok(Task { id, reference: r.seq, query: q.seq }));
+                let task = Task { id, reference: r.seq, query: q.seq };
+                // Task admission: engines store cell coordinates as i32, so
+                // over-wide inputs must error here instead of silently
+                // truncating deep inside a kernel. Name the record from the
+                // stream whose sequence is actually over-wide.
+                if let Err(e) = task.admit() {
+                    self.done = true;
+                    let name =
+                        if task.ref_len() > agatha_align::MAX_SEQ_LEN { &r.name } else { &q.name };
+                    return Some(Err(format!("record {} ('{name}'): {e}", id + 1)));
+                }
+                return Some(Ok(task));
             }
             (Some(Err(e)), _) | (_, Some(Err(e))) => Some(Err(e)),
             // Exactly one stream ended; name the short one.

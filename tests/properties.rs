@@ -82,6 +82,34 @@ proptest! {
         prop_assert!(got.computed_cells() + 64 >= want.cells);
     }
 
+    /// The SIMD (wavefront) and scalar block fills are bit-identical: same
+    /// `GuidedResult`s, same unit schedules, same block counts — over random
+    /// tasks × {banded, unbanded} × {z-drop on, off} × tilings (sliced
+    /// diagonal widths and horizontal subwarp chunks).
+    #[test]
+    fn simd_scalar_bit_identity(
+        r in dna(150),
+        q in dna(150),
+        s in scoring_strategy(),
+        banded in proptest::bool::ANY,
+        zdrop_on in proptest::bool::ANY,
+        slice in 1usize..20,
+        horizontal in proptest::bool::ANY,
+    ) {
+        let s = if banded { s } else { s.with_band(Scoring::NO_BAND) };
+        let s = if zdrop_on { s } else { s.with_zdrop(Scoring::NO_ZDROP) };
+        let (rp, qp) = (PackedSeq::from_codes(&r), PackedSeq::from_codes(&q));
+        let task = Task { id: 0, reference: rp, query: qp };
+        let cfg = if horizontal {
+            AgathaConfig::baseline()
+        } else {
+            AgathaConfig::agatha().with_slice_width(slice)
+        };
+        let scalar = run_task(&task, &s, &cfg.clone().with_simd_fill(false));
+        let simd = run_task(&task, &s, &cfg.with_simd_fill(true));
+        prop_assert_eq!(scalar, simd);
+    }
+
     /// The guided score is monotone in the band width (a wider band can
     /// only see more alignments) when termination is disabled.
     #[test]

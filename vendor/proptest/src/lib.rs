@@ -244,6 +244,25 @@ tuple_strategy!(A, B, C, D, E, F);
 tuple_strategy!(A, B, C, D, E, F, G);
 tuple_strategy!(A, B, C, D, E, F, G, H);
 
+pub mod bool {
+    use super::{Strategy, TestRng};
+    use rand::Rng;
+
+    /// Uniform boolean strategy (mirror of `proptest::bool::Any`).
+    #[derive(Clone, Copy, Debug)]
+    pub struct Any;
+
+    /// Mirror of `proptest::bool::ANY`.
+    pub const ANY: Any = Any;
+
+    impl Strategy for Any {
+        type Value = bool;
+        fn generate(&self, rng: &mut TestRng) -> bool {
+            rng.gen_range(0u8..2) == 1
+        }
+    }
+}
+
 pub mod collection {
     use super::{Strategy, TestRng};
     use rand::Rng;
