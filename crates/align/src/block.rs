@@ -48,6 +48,16 @@ pub struct BlockCtx<'a> {
     /// never actually saturate. When `false`, [`FillMode::Simd`] silently
     /// degrades to the scalar fill.
     pub simd_exact: bool,
+    /// Whether the narrow 16-bit wavefront fill is provably bit-identical to
+    /// the scalar fill for this task: every *reachable* DP value stays far
+    /// enough inside the `i16` range that (a) the entry conversion from the
+    /// `i32` boundary carry is exact, (b) saturating `i16` arithmetic never
+    /// saturates on a real value, and (c) sentinel-class values (derived
+    /// from masked `-∞` cells) always lose every `max` against real values,
+    /// exactly as in the `i32` fills. Strictly stronger than
+    /// [`BlockCtx::simd_exact`]. When `false`, the i16 tier demotes to the
+    /// i32 wavefront (or the scalar fill) — see [`BlockCtx::fill_tier`].
+    pub i16_exact: bool,
     /// Wavefront backend resolved once per task (CPU feature detection is
     /// not free enough to repeat per block).
     pub wavefront_backend: crate::simd::WavefrontBackend,
@@ -72,14 +82,40 @@ impl<'a> BlockCtx<'a> {
         .into_iter()
         .max()
         .unwrap_or(0);
-        let simd_exact = step.saturating_mul(ni + mi + 2) < (1 << 29);
+        let reach = step.saturating_mul(ni + mi + 2);
+        let simd_exact = reach < (1 << 29);
+        // The i16 gate mirrors the i32 one at the narrower width: reachable
+        // scores bounded well inside i16 range (< 2^13), leaving the same
+        // factor-two headroom below for one subtracted penalty and keeping
+        // real values strictly above every sentinel-class (-∞-derived)
+        // value, so saturating i16 arithmetic is exact on everything the
+        // tracker ever observes.
+        let i16_exact = reach < (1 << 13);
         BlockCtx {
             n: ni,
             m: mi,
             w: if scoring.banded() { scoring.band_width as i64 } else { ni + mi },
             scoring,
             simd_exact,
+            i16_exact,
             wavefront_backend: crate::simd::backend(),
+        }
+    }
+
+    /// Resolve the per-task fill implementation tier from the requested
+    /// mode and precision: the narrowest tier whose exactness is *proven*
+    /// by the precompute gates. `Auto` and `I16` both prefer the 16-bit
+    /// wavefront and demote (`i16 → i32 → scalar`) when a gate fails; `I32`
+    /// never uses the i16 tier. [`FillMode::Scalar`] ignores precision.
+    #[inline]
+    pub fn fill_tier(&self, mode: FillMode, precision: FillPrecision) -> FillTier {
+        match (mode, precision) {
+            (FillMode::Scalar, _) => FillTier::Scalar,
+            (FillMode::Simd, FillPrecision::Auto | FillPrecision::I16) if self.i16_exact => {
+                FillTier::I16
+            }
+            (FillMode::Simd, _) if self.simd_exact => FillTier::I32,
+            (FillMode::Simd, _) => FillTier::Scalar,
         }
     }
 
@@ -215,6 +251,65 @@ impl Default for BlockCells {
     }
 }
 
+/// Staging buffer for one computed block in the narrow 16-bit tier: the
+/// i16 analogue of [`BlockCells`], written by
+/// [`crate::simd::fill_wavefront_i16`] and folded whole-block by
+/// [`crate::diag::DiagTracker::on_block_i16`], so the i16 tier keeps the
+/// same callback-free tracker interface as the i32 tiers.
+///
+/// `h[d][l]` holds `H(i0+l, j0+d-l)` masked to [`crate::simd::NEG_INF16`]
+/// for out-of-band / out-of-table cells; bit `l` of `mask[d]` is set iff
+/// that cell is valid. Slots outside the block shape are unspecified.
+/// Valid lanes hold exactly the value the scalar fill computes (widened),
+/// which is what makes the i16 tier bit-identical task-wide.
+#[derive(Debug, Clone)]
+pub struct BlockCells16 {
+    i0: i32,
+    j0: i32,
+    /// Masked `H` values, anti-diagonal-major, at i16 width.
+    pub h: [[i16; BLOCK]; BLOCK_DIAGS],
+    /// Valid-cell bitmask per block anti-diagonal (bit `l` = lane `l`).
+    pub mask: [u8; BLOCK_DIAGS],
+}
+
+impl BlockCells16 {
+    /// Empty staging buffer (no valid cells).
+    pub fn new() -> BlockCells16 {
+        BlockCells16 {
+            i0: 0,
+            j0: 0,
+            h: [[crate::simd::NEG_INF16; BLOCK]; BLOCK_DIAGS],
+            mask: [0; BLOCK_DIAGS],
+        }
+    }
+
+    /// Checked block-origin narrowing; see [`BlockCells::set_origin`].
+    pub fn set_origin(&mut self, i0: i64, j0: i64) {
+        self.i0 = i32::try_from(i0)
+            .expect("block reference origin exceeds i32: task admission must reject such inputs");
+        self.j0 = i32::try_from(j0)
+            .expect("block query origin exceeds i32: task admission must reject such inputs");
+    }
+
+    /// Reference coordinate of the block's first row.
+    #[inline]
+    pub fn i0(&self) -> i32 {
+        self.i0
+    }
+
+    /// Query coordinate of the block's first column.
+    #[inline]
+    pub fn j0(&self) -> i32 {
+        self.j0
+    }
+}
+
+impl Default for BlockCells16 {
+    fn default() -> BlockCells16 {
+        BlockCells16::new()
+    }
+}
+
 /// Which implementation fills a block's cells. Both produce bit-identical
 /// staging buffers and boundary updates; they differ only in speed.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -226,6 +321,72 @@ pub enum FillMode {
     /// `Scalar` for tasks where exactness cannot be guaranteed
     /// ([`BlockCtx::simd_exact`]).
     Simd,
+}
+
+/// Requested lane precision for the wavefront fill. Orthogonal to
+/// [`FillMode`]: the mode picks scalar vs wavefront, the precision picks
+/// which wavefront tier to *prefer*; [`BlockCtx::fill_tier`] resolves both
+/// (plus the per-task exactness gates) into the [`FillTier`] actually run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum FillPrecision {
+    /// Narrowest provable tier: i16 when [`BlockCtx::i16_exact`], else i32
+    /// when [`BlockCtx::simd_exact`], else scalar.
+    #[default]
+    Auto,
+    /// Never use the i16 tier (i32 wavefront, or scalar when unprovable).
+    I32,
+    /// Prefer the i16 tier explicitly. Still demotes exactly like `Auto`
+    /// when the gate cannot prove i16 exactness — correctness always wins —
+    /// but the intent is observable (demotions are counted by callers).
+    I16,
+}
+
+impl FillPrecision {
+    /// Stable lower-case name (stats output, bench rows); the inverse of
+    /// [`FillPrecision::parse`].
+    pub fn name(self) -> &'static str {
+        match self {
+            FillPrecision::Auto => "auto",
+            FillPrecision::I32 => "i32",
+            FillPrecision::I16 => "i16",
+        }
+    }
+
+    /// Parse a user-facing precision name (the CLI's `--precision` values
+    /// and the `AGATHA_PRECISION` environment override).
+    pub fn parse(s: &str) -> Result<FillPrecision, String> {
+        match s.to_ascii_lowercase().as_str() {
+            "auto" => Ok(FillPrecision::Auto),
+            "i32" => Ok(FillPrecision::I32),
+            "i16" => Ok(FillPrecision::I16),
+            other => Err(format!("invalid precision '{other}': expected auto, i32 or i16")),
+        }
+    }
+}
+
+/// The fill implementation tier resolved per task by
+/// [`BlockCtx::fill_tier`]. All three produce bit-identical [`crate::diag::DiagTracker`]
+/// observations (and therefore identical task results); they differ only in
+/// speed and in which exactness gate they require.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FillTier {
+    /// Row-major scalar reference fill.
+    Scalar,
+    /// 8-lane i32 anti-diagonal wavefront (requires [`BlockCtx::simd_exact`]).
+    I32,
+    /// 16-bit-lane anti-diagonal wavefront (requires [`BlockCtx::i16_exact`]).
+    I16,
+}
+
+impl FillTier {
+    /// Stable lower-case name (stats output, bench rows).
+    pub fn name(self) -> &'static str {
+        match self {
+            FillTier::Scalar => "scalar",
+            FillTier::I32 => "i32",
+            FillTier::I16 => "i16",
+        }
+    }
 }
 
 /// The build-time default fill: `Simd` iff the `simd` cargo feature is
@@ -305,6 +466,42 @@ pub fn compute_block_mode(
             ctx, i0, j0, rcodes, qcodes, corner, west_h, west_e, north_h, north_f, cells,
         ),
     }
+}
+
+/// [`compute_block`] on the 16-bit tier: fills one block with the i16
+/// wavefront ([`crate::simd::fill_wavefront_i16`]), staging masked `H`
+/// values into a [`BlockCells16`] buffer for
+/// [`crate::diag::DiagTracker::on_block_i16`]. Boundary carries stay `i32`
+/// at the interface (converted exactly at block entry/exit), so callers
+/// thread the same `Boundary` state through every tier.
+///
+/// Callers must only select this tier for tasks whose
+/// [`BlockCtx::i16_exact`] gate holds — that is what proves valid-lane
+/// values equal the scalar fill bit for bit. The assert turns a broken
+/// dispatch into a loud failure instead of silent score corruption.
+#[allow(clippy::too_many_arguments)]
+pub fn compute_block_i16(
+    ctx: &BlockCtx<'_>,
+    i0: i64,
+    j0: i64,
+    rcodes: &[u8; BLOCK],
+    qcodes: &[u8; BLOCK],
+    corner: i32,
+    west_h: &mut Boundary,
+    west_e: &mut Boundary,
+    north_h: &mut Boundary,
+    north_f: &mut Boundary,
+    cells: &mut BlockCells16,
+) {
+    assert!(
+        ctx.i16_exact,
+        "compute_block_i16 dispatched without the i16 exactness gate; \
+         use BlockCtx::fill_tier to resolve the tier"
+    );
+    cells.set_origin(i0, j0);
+    crate::simd::fill_wavefront_i16(
+        ctx, i0, j0, rcodes, qcodes, corner, west_h, west_e, north_h, north_f, cells,
+    );
 }
 
 /// Row-major scalar reference fill.

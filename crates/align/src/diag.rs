@@ -18,7 +18,7 @@
 //! their cost models for the corresponding accesses while delegating the
 //! *values* here.
 
-use crate::block::{BlockCells, BLOCK_DIAGS};
+use crate::block::{BlockCells, BlockCells16, BLOCK_DIAGS};
 use crate::guided::{diag_cells, zdrop_triggered};
 use crate::result::{GuidedResult, MaxCell, StopReason};
 use crate::scoring::Scoring;
@@ -54,6 +54,11 @@ pub struct DiagTracker {
     finished: Option<StopReason>,
     /// reference-semantics cells (sum of expected cells over finalized diagonals)
     cells: u64,
+    /// Which vector backend [`DiagTracker::on_block_i16`] folds with.
+    /// Resolved once at construction (the same hoisting
+    /// [`crate::block::BlockCtx`] does for the fill backend) so the
+    /// per-block path pays no repeated feature-detection load.
+    fold_backend: crate::simd::WavefrontBackend,
 }
 
 impl DiagTracker {
@@ -77,6 +82,7 @@ impl DiagTracker {
             qend_best: None,
             finished: None,
             cells: 0,
+            fold_backend: crate::simd::backend(),
         };
         t.reset(n, m, scoring);
         t
@@ -143,9 +149,146 @@ impl DiagTracker {
     /// on already-finalized anti-diagonals (run-ahead past termination) are
     /// skipped whole-diagonal at a time.
     pub fn on_block(&mut self, cells: &BlockCells) {
-        let c0 = cells.i0() as usize + cells.j0() as usize;
-        for d in 0..BLOCK_DIAGS {
-            let m = cells.mask[d];
+        self.fold_block(cells.i0(), cells.j0(), &cells.mask, |d, l| cells.h[d][l]);
+    }
+
+    /// [`DiagTracker::on_block`] for the 16-bit fill tier: folds a
+    /// [`BlockCells16`] staging buffer, widening each valid lane to score
+    /// space. Valid-lane values are bit-identical to the i32 tiers under
+    /// the `i16_exact` gate, so the fold observes exactly the same scores.
+    ///
+    /// The staging buffer must come from a gate-admitted i16 fill: that
+    /// guarantees every valid lane holds a *real* score (strictly above the
+    /// masked-lane sentinel band), which the vectorised per-diagonal argmax
+    /// below relies on. Fills driven past the gate would already have
+    /// corrupted values; this fold adds no failure mode of its own.
+    pub fn on_block_i16(&mut self, cells: &BlockCells16) {
+        #[cfg(target_arch = "x86_64")]
+        match self.fold_backend {
+            // SAFETY: `fold_backend` is only set to a vector variant after
+            // the runtime CPU check in `crate::simd::backend()`.
+            crate::simd::WavefrontBackend::Avx2 => return unsafe { self.on_block_i16_avx2(cells) },
+            crate::simd::WavefrontBackend::Sse41 => {
+                return unsafe { self.on_block_i16_sse41(cells) }
+            }
+            crate::simd::WavefrontBackend::Portable => {}
+        }
+        self.fold_block(cells.i0(), cells.j0(), &cells.mask, |d, l| i32::from(cells.h[d][l]));
+    }
+
+    /// Vectorised [`DiagTracker::on_block_i16`] body: the shared fold
+    /// scaffold with one `phminposuw` per block diagonal as the argmax — it
+    /// computes the local maximum *and* its smallest lane (the canonical
+    /// ascending-`i` tie-break) in a single instruction, via the
+    /// order-reversing map `y = 0x7FFF - h` (max-`h` with ties to the
+    /// smallest lane becomes min-`y` at the first index, which is exactly
+    /// what `phminposuw` returns). Masked lanes hold [`crate::simd::NEG_INF16`],
+    /// whose `y` is strictly above every real lane's, so they never win.
+    /// `inline(always)` with no `target_feature` of its own so each feature
+    /// wrapper below recompiles it at its own feature level (the AVX2 copy
+    /// gets VEX encodings); never codegenned standalone.
+    ///
+    /// # Safety
+    /// Requires SSE4.1 (guaranteed by both wrappers).
+    #[cfg(target_arch = "x86_64")]
+    #[inline(always)]
+    unsafe fn fold_i16_vector(&mut self, cells: &BlockCells16) {
+        #[allow(clippy::wildcard_imports)]
+        use std::arch::x86_64::*;
+        let bias = _mm_set1_epi16(i16::MAX);
+        self.fold_block_argmax(
+            cells.i0(),
+            cells.j0(),
+            &cells.mask,
+            |d, _lo, _hi| {
+                // Wrapping `0x7FFF - h` is the exact u16 bit pattern of the
+                // order-reversed score, for the full i16 range.
+                let row = _mm_loadu_si128(cells.h[d].as_ptr().cast::<__m128i>());
+                let packed = _mm_cvtsi128_si32(_mm_minpos_epu16(_mm_sub_epi16(bias, row))) as u32;
+                let h = i32::from(i16::MAX) - i32::from((packed & 0xFFFF) as u16);
+                (h, (packed >> 16) as usize & 7)
+            },
+            |d, l| i32::from(cells.h[d][l]),
+        );
+    }
+
+    /// [`DiagTracker::fold_i16_vector`] at SSE4.1 codegen.
+    ///
+    /// # Safety
+    /// Requires SSE4.1 (checked by the dispatcher).
+    #[cfg(target_arch = "x86_64")]
+    #[target_feature(enable = "sse4.1")]
+    unsafe fn on_block_i16_sse41(&mut self, cells: &BlockCells16) {
+        self.fold_i16_vector(cells);
+    }
+
+    /// [`DiagTracker::fold_i16_vector`] at AVX2 codegen (VEX encodings).
+    ///
+    /// # Safety
+    /// Requires AVX2 (checked by the dispatcher).
+    #[cfg(target_arch = "x86_64")]
+    #[target_feature(enable = "avx2")]
+    unsafe fn on_block_i16_avx2(&mut self, cells: &BlockCells16) {
+        self.fold_i16_vector(cells);
+    }
+
+    /// Shared whole-block fold: semantics of feeding every valid cell
+    /// through [`DiagTracker::on_cell`], with the ascending-`i` tie-break
+    /// preserved and run-ahead diagonals skipped whole. `h(d, l)` reads the
+    /// staged masked `H` value of lane `l` on block diagonal `d`.
+    #[inline(always)]
+    fn fold_block(
+        &mut self,
+        i0: i32,
+        j0: i32,
+        mask: &[u8; BLOCK_DIAGS],
+        h: impl Fn(usize, usize) -> i32,
+    ) {
+        self.fold_block_argmax(
+            i0,
+            j0,
+            mask,
+            |d, lo, hi| {
+                // Ascending-lane scan with strict `>`: equal scores keep
+                // the earlier (smaller-`i`) lane.
+                let mut best = h(d, lo);
+                let mut best_l = lo;
+                for l in lo + 1..=hi {
+                    let hv = h(d, l);
+                    if hv > best {
+                        best = hv;
+                        best_l = l;
+                    }
+                }
+                (best, best_l)
+            },
+            &h,
+        );
+    }
+
+    /// The one fold scaffold both tracker folds share (run-ahead skip,
+    /// `seen` accounting, carried-max merge, `qend` extraction), so the
+    /// vector and scalar folds cannot drift apart. `argmax(d, lo, hi)`
+    /// returns the diagonal's maximum staged `H` over valid lanes
+    /// `lo..=hi` and the *smallest* lane attaining it; `h(d, l)` reads one
+    /// staged value. Folding the diagonal-local argmax into the carried
+    /// maximum with the same (score desc, `i` asc) order is equivalent to
+    /// the reference ascending-`i` per-cell scan.
+    #[inline(always)]
+    fn fold_block_argmax(
+        &mut self,
+        i0: i32,
+        j0: i32,
+        mask: &[u8; BLOCK_DIAGS],
+        mut argmax: impl FnMut(usize, usize, usize) -> (i32, usize),
+        h: impl Fn(usize, usize) -> i32,
+    ) {
+        let c0 = i0 as usize + j0 as usize;
+        // At most one cell per anti-diagonal sits on the last query column
+        // (j == m-1): lane l = d - kq. Constant across the block.
+        let kq = self.m - 1 - j0 as i64;
+        let block_touches_qend = (0..crate::BLOCK as i64).contains(&kq);
+        for (d, &m) in mask.iter().enumerate() {
             if m == 0 {
                 continue; // no valid cell on this block diagonal
             }
@@ -155,37 +298,36 @@ impl DiagTracker {
             }
             debug_assert!(c < self.total, "block diagonal {c} outside table");
             self.seen[c] += m.count_ones();
-            let row = &cells.h[d];
-            // Fold the diagonal's local maximum with the canonical
-            // tie-break: smallest `i` wins equal scores. Valid lanes form a
-            // contiguous run, scanned in ascending `i`.
+            // Valid lanes form a contiguous run in ascending `i`.
             let lo = m.trailing_zeros() as usize;
             let hi = 7 - m.leading_zeros() as usize;
             debug_assert_eq!(m, ((1u16 << (hi + 1)) - (1 << lo)) as u8, "mask must be a run");
-            let mut best = self.local_score[c];
-            let mut best_i = self.local_i[c];
-            for (l, &h) in row.iter().enumerate().take(hi + 1).skip(lo) {
-                let i = cells.i0() + l as i32;
+            // Every staged valid lane must be in band, not just the argmax
+            // lane — a wrong band mask whose extra cell scores below the
+            // diagonal max would otherwise slip past debug builds.
+            #[cfg(debug_assertions)]
+            for l in lo..=hi {
+                let i = i64::from(i0) + l as i64;
                 debug_assert!(
-                    (i as i64 - (c as i64 - i as i64)).abs() <= self.w,
+                    (i - (c as i64 - i)).abs() <= self.w,
                     "out-of-band cell ({i},{}) staged for tracker (w = {})",
-                    c as i64 - i as i64,
+                    c as i64 - i,
                     self.w
                 );
-                if h > best || (h == best && i < best_i) {
-                    best = h;
-                    best_i = i;
-                }
             }
-            self.local_score[c] = best;
-            self.local_i[c] = best_i;
-            // At most one cell per anti-diagonal sits on the last query
-            // column (j == m-1): lane l = d - (m-1 - j0).
-            let kq = self.m - 1 - cells.j0() as i64;
-            if (0..crate::BLOCK as i64).contains(&kq) {
+            let (best, l) = argmax(d, lo, hi);
+            debug_assert!((lo..=hi).contains(&l), "argmax lane {l} outside valid run");
+            let i = i0 + l as i32;
+            // Merge with the carried-over maximum from other blocks under
+            // the canonical tie-break: smallest `i` wins equal scores.
+            if best > self.local_score[c] || (best == self.local_score[c] && i < self.local_i[c]) {
+                self.local_score[c] = best;
+                self.local_i[c] = i;
+            }
+            if block_touches_qend {
                 let lq = d as i64 - kq;
                 if (lo as i64..=hi as i64).contains(&lq) {
-                    self.qend[c] = row[lq as usize];
+                    self.qend[c] = h(d, lq as usize);
                 }
             }
         }

@@ -38,7 +38,7 @@ pub mod traceback;
 pub mod xdrop;
 
 pub use base::Base;
-pub use block::{BlockCells, FillMode};
+pub use block::{BlockCells, BlockCells16, FillMode, FillPrecision, FillTier};
 pub use pack::PackedSeq;
 pub use result::{GuidedResult, MaxCell};
 pub use scoring::Scoring;

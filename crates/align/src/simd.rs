@@ -29,8 +29,38 @@
 //!   state (an out-of-shape lane), so `left`/`diag` reads pick it up with
 //!   no per-lane patching.
 
-use crate::block::{BlockCells, BlockCtx, Boundary, BLOCK_DIAGS};
+//! ## The 16-bit tier
+//!
+//! [`fill_wavefront_i16`] is the same wavefront at half the lane width:
+//! saturating i16 arithmetic with [`NEG_INF16`] as the sentinel, gated by
+//! [`crate::block::BlockCtx::i16_exact`] (the i16 analogue of
+//! `simd_exact`). Boundary carries stay `i32` at the interface and are
+//! converted with `i32 → i16` saturation at block entry (exact for every
+//! reachable real value under the gate; `-∞`-derived values collapse into
+//! the sentinel class, which by construction loses every `max` against a
+//! real value just as in the i32 fills). Valid-lane `H` values are
+//! therefore bit-identical to the scalar fill; only masked lanes and
+//! boundary slots for masked cells carry a different (equally ultra-
+//! negative) encoding, and nothing downstream observes those.
+
+use crate::block::{BlockCells, BlockCells16, BlockCtx, Boundary, BLOCK_DIAGS};
 use crate::{BLOCK, NEG_INF};
+
+/// Sentinel for "minus infinity" in the 16-bit tier: `i16::MIN / 2`, the
+/// same factor-two headroom [`NEG_INF`] keeps in i32 space. Saturating
+/// arithmetic may pin sentinel-derived values anywhere in
+/// `[i16::MIN, NEG_INF16]`; the i16 exactness gate keeps every real value
+/// (and every real value minus one penalty) strictly above that band.
+pub const NEG_INF16: i16 = i16::MIN / 2;
+
+/// Exact `i32 → i16` entry conversion for the 16-bit tier: saturating
+/// narrowing (the scalar twin of `_mm_packs_epi32`). Real values are
+/// unchanged (the gate bounds them well inside i16), `-∞`-class values
+/// saturate into the sentinel band.
+#[inline]
+pub(crate) fn to16(v: i32) -> i16 {
+    v.clamp(i32::from(i16::MIN), i32::from(i16::MAX)) as i16
+}
 
 /// Whether the AVX2 backend will be used on this machine.
 pub fn avx2_active() -> bool {
@@ -44,15 +74,44 @@ pub fn avx2_active() -> bool {
     }
 }
 
+/// Whether the SSE4.1 tier (the 16-bit kernel and the `phminposuw` tracker
+/// fold need nothing newer) is available on this machine.
+pub fn sse41_active() -> bool {
+    #[cfg(target_arch = "x86_64")]
+    {
+        std::arch::is_x86_feature_detected!("sse4.1")
+    }
+    #[cfg(not(target_arch = "x86_64"))]
+    {
+        false
+    }
+}
+
 /// Which wavefront implementation the dispatcher will run. Resolved once
 /// per task (stored in [`BlockCtx`]) so the per-block hot path pays no
 /// repeated feature-detection load.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum WavefrontBackend {
-    /// One 8×i32 AVX2 vector per block diagonal (x86-64 with AVX2).
+    /// x86-64 with AVX2: one 8×i32 AVX2 vector per block diagonal in the
+    /// i32 tier, 8×i16 SSE vectors in the i16 tier.
     Avx2,
-    /// Fixed-lane portable wavefront.
+    /// x86-64 with SSE4.1 but not AVX2: the i16 tier still runs its vector
+    /// kernel (it needs nothing wider than 128-bit ops); the i32 tier runs
+    /// the portable wavefront.
+    Sse41,
+    /// Fixed-lane portable wavefront for both tiers.
     Portable,
+}
+
+impl WavefrontBackend {
+    /// Stable lower-case name (bench rows, stats output).
+    pub fn name(self) -> &'static str {
+        match self {
+            WavefrontBackend::Avx2 => "avx2",
+            WavefrontBackend::Sse41 => "sse41",
+            WavefrontBackend::Portable => "portable",
+        }
+    }
 }
 
 /// Resolve the backend for this machine (runtime CPU detection, cached by
@@ -60,6 +119,8 @@ pub enum WavefrontBackend {
 pub fn backend() -> WavefrontBackend {
     if avx2_active() {
         WavefrontBackend::Avx2
+    } else if sse41_active() {
+        WavefrontBackend::Sse41
     } else {
         WavefrontBackend::Portable
     }
@@ -211,6 +272,439 @@ pub(crate) fn fill_portable(
         h_prev = h_cur;
         e_prev = e_cur;
         f_prev = f_cur;
+    }
+}
+
+/// 16-bit-tier wavefront fill (the narrow twin of [`fill_wavefront`]),
+/// staging into a [`BlockCells16`] buffer. Dispatches on the pre-resolved
+/// backend in `ctx`; both backends are bit-identical to each other and —
+/// on valid lanes, under [`BlockCtx::i16_exact`] — to the scalar fill.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn fill_wavefront_i16(
+    ctx: &BlockCtx<'_>,
+    i0: i64,
+    j0: i64,
+    rcodes: &[u8; BLOCK],
+    qcodes: &[u8; BLOCK],
+    corner: i32,
+    west_h: &mut Boundary,
+    west_e: &mut Boundary,
+    north_h: &mut Boundary,
+    north_f: &mut Boundary,
+    cells: &mut BlockCells16,
+) {
+    #[cfg(target_arch = "x86_64")]
+    if ctx.wavefront_backend != WavefrontBackend::Portable {
+        // SAFETY: `backend()` only reports Avx2/Sse41 after a runtime CPU
+        // check, and the i16 kernel needs nothing newer than SSE4.1 (AVX2
+        // implies it); the Avx2 wrapper exists purely so the same body
+        // recompiles with VEX encodings on AVX2 machines.
+        unsafe {
+            if ctx.wavefront_backend == WavefrontBackend::Avx2 {
+                sse41_i16::fill_avx2(
+                    ctx, i0, j0, rcodes, qcodes, corner, west_h, west_e, north_h, north_f, cells,
+                );
+            } else {
+                sse41_i16::fill_sse41(
+                    ctx, i0, j0, rcodes, qcodes, corner, west_h, west_e, north_h, north_f, cells,
+                );
+            }
+        }
+        debug_overflow_sentinel(cells);
+        return;
+    }
+    fill_portable_i16(ctx, i0, j0, rcodes, qcodes, corner, west_h, west_e, north_h, north_f, cells);
+    debug_overflow_sentinel(cells);
+}
+
+/// Per-block overflow sentinel (debug builds): a valid lane pinned at
+/// `i16::MAX` means a real DP value positively saturated — impossible when
+/// the `i16_exact` gate admitted the task, so tripping this indicates a
+/// broken gate or dispatch. Negative saturation is by design (sentinel
+/// class) and harmless.
+#[inline]
+fn debug_overflow_sentinel(cells: &BlockCells16) {
+    if cfg!(debug_assertions) {
+        for d in 0..BLOCK_DIAGS {
+            for l in 0..BLOCK {
+                debug_assert!(
+                    cells.mask[d] & (1 << l) == 0 || cells.h[d][l] != i16::MAX,
+                    "i16 overflow sentinel: valid cell saturated at block ({},{}) \
+                     diag {d} lane {l} — the i16_exact gate must demote such tasks",
+                    cells.i0(),
+                    cells.j0(),
+                );
+            }
+        }
+    }
+}
+
+/// Portable 16-bit wavefront (also the semantic reference for the AVX2
+/// i16 backend). Mirrors [`fill_portable`] lane for lane with saturating
+/// i16 arithmetic and [`NEG_INF16`] masking.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn fill_portable_i16(
+    ctx: &BlockCtx<'_>,
+    i0: i64,
+    j0: i64,
+    rcodes: &[u8; BLOCK],
+    qcodes: &[u8; BLOCK],
+    corner: i32,
+    west_h: &mut Boundary,
+    west_e: &mut Boundary,
+    north_h: &mut Boundary,
+    north_f: &mut Boundary,
+    cells: &mut BlockCells16,
+) {
+    let sc = ctx.scoring;
+    let oe = to16(sc.gap_open + sc.gap_extend);
+    let ext = to16(sc.gap_extend);
+    let interior = ctx.block_interior(i0, j0);
+
+    // Entry conversion of the i32 boundary carries (exact on real values).
+    let wh_in = west_h.map(to16);
+    let we_in = west_e.map(to16);
+    let nh_in = north_h.map(to16);
+    let nf_in = north_f.map(to16);
+    let corner16 = to16(corner);
+
+    let mut h_prev = [NEG_INF16; BLOCK];
+    let mut e_prev = [NEG_INF16; BLOCK];
+    let mut f_prev = [NEG_INF16; BLOCK];
+    let mut h_prev2 = [NEG_INF16; BLOCK];
+    h_prev[0] = nh_in[0];
+    f_prev[0] = nf_in[0];
+
+    for d in 0..BLOCK_DIAGS {
+        let bh = if d < BLOCK { wh_in[d] } else { NEG_INF16 };
+        let be = if d < BLOCK { we_in[d] } else { NEG_INF16 };
+        let bd = if d == 0 {
+            corner16
+        } else if d <= BLOCK {
+            wh_in[d - 1]
+        } else {
+            NEG_INF16
+        };
+
+        let mask = if interior { struct_mask(d) } else { lane_mask(ctx, i0, j0, d) };
+
+        let mut h_cur = [NEG_INF16; BLOCK];
+        let mut e_cur = [NEG_INF16; BLOCK];
+        let mut f_cur = [NEG_INF16; BLOCK];
+        for l in 0..BLOCK {
+            let up_h = if l == 0 { bh } else { h_prev[l - 1] };
+            let up_e = if l == 0 { be } else { e_prev[l - 1] };
+            let dg = if l == 0 { bd } else { h_prev2[l - 1] };
+            let left_h = h_prev[l];
+            let left_f = f_prev[l];
+            let e = up_h.saturating_sub(oe).max(up_e.saturating_sub(ext));
+            let f = left_h.saturating_sub(oe).max(left_f.saturating_sub(ext));
+            let sub = if l <= d && d - l < BLOCK {
+                to16(sc.substitution(rcodes[l], qcodes[d - l]))
+            } else {
+                0
+            };
+            let h = e.max(f).max(dg.saturating_add(sub));
+            let valid = mask & (1 << l) != 0;
+            h_cur[l] = if valid { h } else { NEG_INF16 };
+            e_cur[l] = if valid { e } else { NEG_INF16 };
+            f_cur[l] = if valid { f } else { NEG_INF16 };
+        }
+
+        cells.h[d] = h_cur;
+        cells.mask[d] = mask;
+
+        if d >= BLOCK - 1 {
+            let k = d - (BLOCK - 1);
+            west_h[k] = i32::from(h_cur[BLOCK - 1]);
+            west_e[k] = i32::from(e_cur[BLOCK - 1]);
+            north_h[k] = i32::from(h_cur[k]);
+            north_f[k] = i32::from(f_cur[k]);
+        }
+
+        if d + 1 < BLOCK {
+            h_cur[d + 1] = nh_in[d + 1];
+            f_cur[d + 1] = nf_in[d + 1];
+        }
+
+        h_prev2 = h_prev;
+        h_prev = h_cur;
+        e_prev = e_cur;
+        f_prev = f_cur;
+    }
+}
+
+/// Lane-mask vector of block diagonal `d` with every in-shape lane set —
+/// the vector form of [`struct_mask`], precomputed so interior blocks load
+/// their mask instead of rebuilding it per diagonal.
+const fn struct_mask_lanes(d: usize) -> [i16; BLOCK] {
+    let mut out = [0i16; BLOCK];
+    let mut l = 0;
+    while l < BLOCK {
+        if struct_mask(d) & (1 << l) != 0 {
+            out[l] = -1;
+        }
+        l += 1;
+    }
+    out
+}
+
+/// All 15 structural lane-mask vectors, diagonal-indexed.
+static STRUCT_MASK_LANES: [[i16; BLOCK]; BLOCK_DIAGS] = {
+    let mut out = [[0i16; BLOCK]; BLOCK_DIAGS];
+    let mut d = 0;
+    while d < BLOCK_DIAGS {
+        out[d] = struct_mask_lanes(d);
+        d += 1;
+    }
+    out
+};
+
+/// Single-lane selector vectors (`lane l == d+1`), used to pre-seed the
+/// north boundary of the next row into the out-of-shape lane.
+static SEED_MASK_LANES: [[i16; BLOCK]; BLOCK] = {
+    let mut out = [[0i16; BLOCK]; BLOCK];
+    let mut d = 0;
+    while d < BLOCK {
+        if d + 1 < BLOCK {
+            out[d][d + 1] = -1;
+        }
+        d += 1;
+    }
+    out
+};
+
+#[cfg(target_arch = "x86_64")]
+mod sse41_i16 {
+    use super::*;
+    #[allow(clippy::wildcard_imports)]
+    use std::arch::x86_64::*;
+
+    /// Shift i16 lanes up by one (lane `l` ← lane `l-1`), injecting lane 7
+    /// of `boundary` at lane 0. One `palignr` — the short loop-carried
+    /// dependency that makes this tier faster than the i32 wavefront's
+    /// permute+blend shift.
+    #[inline(always)]
+    unsafe fn shift_up(v: __m128i, boundary: __m128i) -> __m128i {
+        _mm_alignr_epi8(v, boundary, 14)
+    }
+
+    /// Saturating-narrow one i32 boundary array to 8×i16 (exact on real
+    /// values under the i16 gate; `-∞`-class values collapse into the
+    /// sentinel band).
+    #[inline(always)]
+    unsafe fn pack_boundary(src: &[i32; BLOCK]) -> [i16; BLOCK] {
+        let lo = _mm_loadu_si128(src.as_ptr().cast::<__m128i>());
+        let hi = _mm_loadu_si128(src.as_ptr().add(4).cast::<__m128i>());
+        let mut out = [0i16; BLOCK];
+        _mm_storeu_si128(out.as_mut_ptr().cast::<__m128i>(), _mm_packs_epi32(lo, hi));
+        out
+    }
+
+    #[inline(always)]
+    unsafe fn store8(slot: &mut [i16; BLOCK], v: __m128i) {
+        _mm_storeu_si128(slot.as_mut_ptr().cast::<__m128i>(), v);
+    }
+
+    #[inline(always)]
+    unsafe fn load8(slot: &[i16; BLOCK]) -> __m128i {
+        _mm_loadu_si128(slot.as_ptr().cast::<__m128i>())
+    }
+
+    /// [`fill`] compiled with SSE4.1 codegen — the minimum feature level
+    /// the kernel needs, serving pre-AVX2 x86-64 at full vector speed.
+    ///
+    /// # Safety
+    /// Requires SSE4.1 (checked by the caller).
+    #[allow(clippy::too_many_arguments)]
+    #[target_feature(enable = "sse4.1")]
+    pub(super) unsafe fn fill_sse41(
+        ctx: &BlockCtx<'_>,
+        i0: i64,
+        j0: i64,
+        rcodes: &[u8; BLOCK],
+        qcodes: &[u8; BLOCK],
+        corner: i32,
+        west_h: &mut Boundary,
+        west_e: &mut Boundary,
+        north_h: &mut Boundary,
+        north_f: &mut Boundary,
+        cells: &mut BlockCells16,
+    ) {
+        fill(ctx, i0, j0, rcodes, qcodes, corner, west_h, west_e, north_h, north_f, cells);
+    }
+
+    /// [`fill`] compiled with AVX2 codegen: same 128-bit algorithm, but the
+    /// VEX 3-operand encodings save the register-move traffic the legacy
+    /// SSE destructive forms pay (measurably faster on AVX2 hosts).
+    ///
+    /// # Safety
+    /// Requires AVX2 (checked by the caller).
+    #[allow(clippy::too_many_arguments)]
+    #[target_feature(enable = "avx2")]
+    pub(super) unsafe fn fill_avx2(
+        ctx: &BlockCtx<'_>,
+        i0: i64,
+        j0: i64,
+        rcodes: &[u8; BLOCK],
+        qcodes: &[u8; BLOCK],
+        corner: i32,
+        west_h: &mut Boundary,
+        west_e: &mut Boundary,
+        north_h: &mut Boundary,
+        north_f: &mut Boundary,
+        cells: &mut BlockCells16,
+    ) {
+        fill(ctx, i0, j0, rcodes, qcodes, corner, west_h, west_e, north_h, north_f, cells);
+    }
+
+    /// 16-bit wavefront fill body (every intrinsic is SSE4.1 or older).
+    /// Same algorithm as [`super::fill_portable_i16`], one 8×i16 vector per
+    /// diagonal. `inline(always)` with no `target_feature` of its own so it
+    /// is recompiled inside each feature wrapper above — never codegenned
+    /// standalone.
+    ///
+    /// Boundary *outputs* are extracted after the diagonal loop (the loop
+    /// stages them in `e_tmp`/`f_tmp` rows) so the hot loop never reloads
+    /// data it just stored — scalar reads straight after a vector store
+    /// cost a store-forward round trip per diagonal.
+    ///
+    /// # Safety
+    /// Requires SSE4.1 (guaranteed by both wrappers).
+    #[allow(clippy::too_many_arguments)]
+    #[inline(always)]
+    unsafe fn fill(
+        ctx: &BlockCtx<'_>,
+        i0: i64,
+        j0: i64,
+        rcodes: &[u8; BLOCK],
+        qcodes: &[u8; BLOCK],
+        corner: i32,
+        west_h: &mut Boundary,
+        west_e: &mut Boundary,
+        north_h: &mut Boundary,
+        north_f: &mut Boundary,
+        cells: &mut BlockCells16,
+    ) {
+        let sc = ctx.scoring;
+        let oe = _mm_set1_epi16(to16(sc.gap_open + sc.gap_extend));
+        let ext = _mm_set1_epi16(to16(sc.gap_extend));
+        let v_match = _mm_set1_epi16(to16(sc.match_score));
+        let v_mis = _mm_set1_epi16(to16(-sc.mismatch));
+        let v_amb = _mm_set1_epi16(to16(-sc.ambig));
+        let v_acgt_max = _mm_set1_epi16(i16::from(crate::Base::N.code()) - 1);
+        let neg_inf = _mm_set1_epi16(NEG_INF16);
+        let lanes = _mm_setr_epi16(0, 1, 2, 3, 4, 5, 6, 7);
+        let interior = ctx.block_interior(i0, j0);
+
+        let wh_in = pack_boundary(west_h);
+        let we_in = pack_boundary(west_e);
+        let nh_in = pack_boundary(north_h);
+        let nf_in = pack_boundary(north_f);
+
+        // Padded per-diagonal boundary injections (branch-free loop body):
+        // lane-0 up/diag inputs for every diagonal, NEG_INF16 past the
+        // block shape.
+        let mut bh_pad = [NEG_INF16; BLOCK_DIAGS];
+        let mut be_pad = [NEG_INF16; BLOCK_DIAGS];
+        let mut bd_pad = [NEG_INF16; BLOCK_DIAGS];
+        let mut q_pad = [0i16; BLOCK_DIAGS];
+        bd_pad[0] = to16(corner);
+        for d in 0..BLOCK {
+            bh_pad[d] = wh_in[d];
+            be_pad[d] = we_in[d];
+            bd_pad[d + 1] = wh_in[d];
+            q_pad[d] = i16::from(qcodes[d]);
+        }
+
+        let r_vec = _mm_setr_epi16(
+            i16::from(rcodes[0]),
+            i16::from(rcodes[1]),
+            i16::from(rcodes[2]),
+            i16::from(rcodes[3]),
+            i16::from(rcodes[4]),
+            i16::from(rcodes[5]),
+            i16::from(rcodes[6]),
+            i16::from(rcodes[7]),
+        );
+        let mut q_vec = _mm_setzero_si128();
+
+        // "H_{-1}" / "F_{-1}": north seed of row 0 in lane 0.
+        let mut h_prev = shift_up(neg_inf, _mm_set1_epi16(nh_in[0]));
+        let mut f_prev = shift_up(neg_inf, _mm_set1_epi16(nf_in[0]));
+        let mut e_prev = neg_inf;
+        let mut h_prev2 = neg_inf;
+
+        let mut e_tmp = [[0i16; BLOCK]; BLOCK];
+        let mut f_tmp = [[0i16; BLOCK]; BLOCK];
+
+        for d in 0..BLOCK_DIAGS {
+            q_vec = shift_up(q_vec, _mm_set1_epi16(q_pad[d]));
+
+            let up_h = shift_up(h_prev, _mm_set1_epi16(bh_pad[d]));
+            let up_e = shift_up(e_prev, _mm_set1_epi16(be_pad[d]));
+            let dg = shift_up(h_prev2, _mm_set1_epi16(bd_pad[d]));
+
+            // Substitution: ambiguous beats match beats mismatch.
+            let eq = _mm_cmpeq_epi16(r_vec, q_vec);
+            let amb = _mm_cmpgt_epi16(_mm_max_epi16(r_vec, q_vec), v_acgt_max);
+            let sub = _mm_blendv_epi8(_mm_blendv_epi8(v_mis, v_match, eq), v_amb, amb);
+
+            let e = _mm_max_epi16(_mm_subs_epi16(up_h, oe), _mm_subs_epi16(up_e, ext));
+            let f = _mm_max_epi16(_mm_subs_epi16(h_prev, oe), _mm_subs_epi16(f_prev, ext));
+            let h = _mm_max_epi16(e, _mm_max_epi16(f, _mm_adds_epi16(dg, sub)));
+
+            let (mask_bits, m) = if interior {
+                (struct_mask(d), load8(&STRUCT_MASK_LANES[d]))
+            } else {
+                let bits = lane_mask(ctx, i0, j0, d);
+                let v = if bits == 0 {
+                    _mm_setzero_si128()
+                } else {
+                    let lo = bits.trailing_zeros() as i16;
+                    let hi = 7 - i16::from(bits.leading_zeros() as u8);
+                    let ge = _mm_cmpgt_epi16(lanes, _mm_set1_epi16(lo - 1));
+                    let le = _mm_cmpgt_epi16(_mm_set1_epi16(hi + 1), lanes);
+                    _mm_and_si128(ge, le)
+                };
+                (bits, v)
+            };
+            let mut h_m = _mm_blendv_epi8(neg_inf, h, m);
+            let e_m = _mm_blendv_epi8(neg_inf, e, m);
+            let mut f_m = _mm_blendv_epi8(neg_inf, f, m);
+
+            store8(&mut cells.h[d], h_m);
+            cells.mask[d] = mask_bits;
+
+            if d >= BLOCK - 1 {
+                let k = d - (BLOCK - 1);
+                store8(&mut e_tmp[k], e_m);
+                store8(&mut f_tmp[k], f_m);
+            }
+
+            if d + 1 < BLOCK {
+                // Pre-seed the next row's north boundary into lane d+1.
+                let seed = load8(&SEED_MASK_LANES[d]);
+                h_m = _mm_blendv_epi8(h_m, _mm_set1_epi16(nh_in[d + 1]), seed);
+                f_m = _mm_blendv_epi8(f_m, _mm_set1_epi16(nf_in[d + 1]), seed);
+            }
+
+            h_prev2 = h_prev;
+            h_prev = h_m;
+            e_prev = e_m;
+            f_prev = f_m;
+        }
+
+        // Boundary outputs, extracted once the stores have drained: lane 7
+        // of diagonal 7+k is the block's last row (west output for column
+        // k); lane k of diagonal k+7 is the last column (north output for
+        // row k).
+        for k in 0..BLOCK {
+            west_h[k] = i32::from(cells.h[k + BLOCK - 1][BLOCK - 1]);
+            west_e[k] = i32::from(e_tmp[k][BLOCK - 1]);
+            north_h[k] = i32::from(cells.h[k + BLOCK - 1][k]);
+            north_f[k] = i32::from(f_tmp[k][k]);
+        }
     }
 }
 
@@ -470,6 +964,73 @@ mod tests {
             assert_eq!(nh_v, nh_s, "{name}: north H at ({i0},{j0})");
             assert_eq!(nf_v, nf_s, "{name}: north F at ({i0},{j0})");
         }
+
+        // The 16-bit tier against the same scalar reference. Real values
+        // must match bit for bit; `-∞`-class values (possible here because
+        // the harness feeds arbitrary NEG_INF boundaries, unlike a real
+        // task where in-band diag inputs are always real) may differ in
+        // encoding but must stay in the sentinel band on both sides.
+        if ctx.i16_exact {
+            let same = |got16: i32, want32: i32, what: &str| {
+                if want32 > i32::from(NEG_INF16) {
+                    assert_eq!(got16, want32, "i16: {what} at ({i0},{j0})");
+                } else {
+                    assert!(got16 <= i32::from(NEG_INF16), "i16: {what} class at ({i0},{j0})");
+                }
+            };
+            type Fill16 = for<'a, 'b> fn(
+                &'a BlockCtx<'b>,
+                i64,
+                i64,
+                &'a [u8; BLOCK],
+                &'a [u8; BLOCK],
+                i32,
+                &'a mut Boundary,
+                &'a mut Boundary,
+                &'a mut Boundary,
+                &'a mut Boundary,
+                &'a mut BlockCells16,
+            );
+            let mut runs = Vec::new();
+            for (name, fill) in [
+                ("portable16", fill_portable_i16 as Fill16),
+                ("dispatch16", fill_wavefront_i16 as Fill16),
+            ] {
+                let mut cells_n = BlockCells16::new();
+                let (mut wh_n, mut we_n, mut nh_n, mut nf_n) = (west_h, west_e, north_h, north_f);
+                fill(
+                    ctx,
+                    i0,
+                    j0,
+                    rcodes,
+                    qcodes,
+                    corner,
+                    &mut wh_n,
+                    &mut we_n,
+                    &mut nh_n,
+                    &mut nf_n,
+                    &mut cells_n,
+                );
+                assert_eq!(cells_n.mask, cells_s.mask, "{name}: masks at ({i0},{j0})");
+                for d in 0..BLOCK_DIAGS {
+                    for l in 0..BLOCK {
+                        if cells_s.mask[d] & (1 << l) != 0 {
+                            same(i32::from(cells_n.h[d][l]), cells_s.h[d][l], "H");
+                        }
+                    }
+                }
+                for k in 0..BLOCK {
+                    same(wh_n[k], wh_s[k], "west H");
+                    same(we_n[k], we_s[k], "west E");
+                    same(nh_n[k], nh_s[k], "north H");
+                    same(nf_n[k], nf_s[k], "north F");
+                }
+                runs.push((cells_n.h, wh_n, we_n, nh_n, nf_n));
+            }
+            // The two i16 backends must agree exactly, sentinel encodings
+            // included (the portable fill is the AVX2 backend's reference).
+            assert_eq!(runs[0], runs[1], "i16 backends diverge at ({i0},{j0})");
+        }
     }
 
     #[test]
@@ -514,52 +1075,121 @@ mod tests {
         }
     }
 
-    #[test]
-    fn wavefront_matches_scalar_via_block_grid() {
-        // End-to-end: drive block_grid_align manually with each fill mode
-        // and compare complete guided results.
-        use crate::block::{compute_block_mode, FillMode};
-        use crate::diag::DiagTracker;
-        use crate::guided::guided_align;
+    /// One step of the block-grid protocol: compute the block at
+    /// `(i0, j0)` (with whichever fill the harness is exercising) and feed
+    /// the tracker. Boundary arrays follow the [`crate::block::compute_block`]
+    /// in/out convention.
+    type GridStep<'a> = &'a mut dyn FnMut(
+        &BlockCtx<'_>,
+        i64,
+        i64,
+        &[u8; BLOCK],
+        &[u8; BLOCK],
+        i32,
+        &mut Boundary,
+        &mut Boundary,
+        &mut Boundary,
+        &mut Boundary,
+        &mut crate::diag::DiagTracker,
+    );
 
-        let run = |r: &PackedSeq, q: &PackedSeq, sc: &Scoring, mode: FillMode| {
-            let ctx = BlockCtx::new(r.len(), q.len(), sc);
-            let mut tracker = DiagTracker::new(r.len(), q.len(), sc);
-            let b = BLOCK as i64;
-            let padded_n = (ctx.ref_blocks() * b) as usize;
-            let mut row_h = vec![NEG_INF; padded_n];
-            let mut row_f = vec![NEG_INF; padded_n];
-            let (mut rb, mut qb) = ([0u8; BLOCK], [0u8; BLOCK]);
-            let mut cells = BlockCells::new();
-            'rows: for bj in 0..ctx.query_blocks() {
-                let j0 = bj * b;
-                let Some((lo, hi)) = ctx.row_block_range(bj) else { continue };
-                q.unpack_block(j0 as usize, &mut qb);
-                let (mut wh, mut we) = crate::block::west_init(&ctx, lo * b, j0);
-                let mut corner = crate::block::corner_read(&ctx, lo * b, j0, &row_h);
-                for bi in lo..=hi {
-                    let i0 = bi * b;
-                    r.unpack_block(i0 as usize, &mut rb);
-                    let (mut nh, mut nf) = crate::block::north_read(&ctx, i0, j0, &row_h, &row_f);
-                    let next_corner = nh[BLOCK - 1];
-                    compute_block_mode(
-                        mode, &ctx, i0, j0, &rb, &qb, corner, &mut wh, &mut we, &mut nh, &mut nf,
-                        &mut cells,
-                    );
-                    tracker.on_block(&cells);
-                    row_h[i0 as usize..i0 as usize + BLOCK].copy_from_slice(&nh);
-                    row_f[i0 as usize..i0 as usize + BLOCK].copy_from_slice(&nf);
-                    corner = next_corner;
-                    if tracker.is_finished() {
-                        break 'rows;
-                    }
-                }
-                if tracker.advance().is_some() {
-                    break;
+    /// Drive the block grid end-to-end (the one copy of the grid-driving
+    /// protocol shared by every fill-tier harness) and return the complete
+    /// guided result.
+    fn grid_run_with(
+        r: &PackedSeq,
+        q: &PackedSeq,
+        sc: &Scoring,
+        step: GridStep<'_>,
+    ) -> crate::result::GuidedResult {
+        use crate::diag::DiagTracker;
+        let ctx = BlockCtx::new(r.len(), q.len(), sc);
+        let mut tracker = DiagTracker::new(r.len(), q.len(), sc);
+        let b = BLOCK as i64;
+        let padded_n = (ctx.ref_blocks() * b) as usize;
+        let mut row_h = vec![NEG_INF; padded_n];
+        let mut row_f = vec![NEG_INF; padded_n];
+        let (mut rb, mut qb) = ([0u8; BLOCK], [0u8; BLOCK]);
+        'rows: for bj in 0..ctx.query_blocks() {
+            let j0 = bj * b;
+            let Some((lo, hi)) = ctx.row_block_range(bj) else { continue };
+            q.unpack_block(j0 as usize, &mut qb);
+            let (mut wh, mut we) = crate::block::west_init(&ctx, lo * b, j0);
+            let mut corner = crate::block::corner_read(&ctx, lo * b, j0, &row_h);
+            for bi in lo..=hi {
+                let i0 = bi * b;
+                r.unpack_block(i0 as usize, &mut rb);
+                let (mut nh, mut nf) = crate::block::north_read(&ctx, i0, j0, &row_h, &row_f);
+                let next_corner = nh[BLOCK - 1];
+                step(
+                    &ctx,
+                    i0,
+                    j0,
+                    &rb,
+                    &qb,
+                    corner,
+                    &mut wh,
+                    &mut we,
+                    &mut nh,
+                    &mut nf,
+                    &mut tracker,
+                );
+                row_h[i0 as usize..i0 as usize + BLOCK].copy_from_slice(&nh);
+                row_f[i0 as usize..i0 as usize + BLOCK].copy_from_slice(&nf);
+                corner = next_corner;
+                if tracker.is_finished() {
+                    break 'rows;
                 }
             }
-            tracker.result()
-        };
+            if tracker.advance().is_some() {
+                break;
+            }
+        }
+        tracker.result()
+    }
+
+    /// [`grid_run_with`] using an explicit [`crate::block::FillMode`].
+    fn grid_run(
+        r: &PackedSeq,
+        q: &PackedSeq,
+        sc: &Scoring,
+        mode: crate::block::FillMode,
+    ) -> crate::result::GuidedResult {
+        let mut cells = BlockCells::new();
+        grid_run_with(r, q, sc, &mut |ctx, i0, j0, rb, qb, corner, wh, we, nh, nf, tracker| {
+            crate::block::compute_block_mode(
+                mode, ctx, i0, j0, rb, qb, corner, wh, we, nh, nf, &mut cells,
+            );
+            tracker.on_block(&cells);
+        })
+    }
+
+    /// [`grid_run_with`] on the 16-bit tier:
+    /// [`crate::block::compute_block_i16`] staging into [`BlockCells16`],
+    /// folded by `on_block_i16`.
+    fn grid_run_i16(r: &PackedSeq, q: &PackedSeq, sc: &Scoring) -> crate::result::GuidedResult {
+        assert!(
+            BlockCtx::new(r.len(), q.len(), sc).i16_exact,
+            "grid_run_i16 callers must pick gate-admitted tasks"
+        );
+        let mut cells = BlockCells16::new();
+        grid_run_with(r, q, sc, &mut |ctx, i0, j0, rb, qb, corner, wh, we, nh, nf, tracker| {
+            crate::block::compute_block_i16(
+                ctx, i0, j0, rb, qb, corner, wh, we, nh, nf, &mut cells,
+            );
+            tracker.on_block_i16(&cells);
+        })
+    }
+
+    #[test]
+    fn wavefront_matches_scalar_via_block_grid() {
+        // End-to-end: drive block_grid_align manually with each fill tier
+        // and compare complete guided results.
+        use crate::block::FillMode;
+        use crate::guided::guided_align;
+
+        let run = grid_run;
+        let run16 = grid_run_i16;
 
         let mut rng = Rng(0xA11E);
         for case in 0..12 {
@@ -577,7 +1207,9 @@ mod tests {
             let want = guided_align(&rp, &qp, &sc);
             let scalar = run(&rp, &qp, &sc, FillMode::Scalar);
             let simd = run(&rp, &qp, &sc, FillMode::Simd);
+            let narrow = run16(&rp, &qp, &sc);
             assert_eq!(scalar, simd, "case {case}: scalar vs simd fill");
+            assert_eq!(scalar, narrow, "case {case}: scalar vs i16 fill");
             assert!(scalar.same_alignment(&want), "case {case}: {scalar:?} vs {want:?}");
             assert_eq!(scalar.cells, want.cells, "case {case}");
         }
@@ -626,5 +1258,138 @@ mod tests {
         // The crafted inputs really do reach saturation (the discriminating
         // regime for the two add semantics).
         assert!(scalar.0.iter().any(|row| row.contains(&i32::MAX)), "expected saturated cells");
+    }
+
+    #[test]
+    fn i16_gate_boundary_is_exact() {
+        // All-match tasks that land the gate's reachable-score bound
+        // exactly at the i16 threshold (2^13) and one unit inside it:
+        // match = 64 with gap_open = 0, gap_extend = 1 makes the match
+        // score the dominant per-step increment, so the bound is
+        // 64 × (n + m + 2).
+        use crate::block::{FillMode, FillPrecision, FillTier};
+        use crate::guided::guided_align;
+
+        let sc = Scoring::new(64, 1, 0, 1, Scoring::NO_ZDROP, Scoring::NO_BAND);
+
+        // n + m + 2 = 127 → bound 8128 < 8192: one inside the gate.
+        let inside = BlockCtx::new(63, 62, &sc);
+        assert!(inside.i16_exact, "63×62 must sit one step inside the i16 gate");
+        assert_eq!(inside.fill_tier(FillMode::Simd, FillPrecision::I16), FillTier::I16);
+        assert_eq!(inside.fill_tier(FillMode::Simd, FillPrecision::Auto), FillTier::I16);
+        assert_eq!(inside.fill_tier(FillMode::Simd, FillPrecision::I32), FillTier::I32);
+
+        // n + m + 2 = 128 → bound 8192: exactly at the gate — demoted.
+        let at = BlockCtx::new(63, 63, &sc);
+        assert!(!at.i16_exact && at.simd_exact, "63×63 must demote to the i32 tier");
+        assert_eq!(at.fill_tier(FillMode::Simd, FillPrecision::I16), FillTier::I32);
+        assert_eq!(at.fill_tier(FillMode::Simd, FillPrecision::Auto), FillTier::I32);
+        assert_eq!(at.fill_tier(FillMode::Scalar, FillPrecision::I16), FillTier::Scalar);
+
+        // Inside the gate, an all-match task reaches the maximum attainable
+        // score — the adversarial extreme the bound protects — and the i16
+        // tier must still be bit-identical to the scalar fill.
+        let r = PackedSeq::from_codes(&[0u8; 63]);
+        let q = PackedSeq::from_codes(&[0u8; 62]);
+        let want = guided_align(&r, &q, &sc);
+        assert_eq!(want.score, 62 * 64, "all-match task must reach the gate's score regime");
+        let scalar = grid_run(&r, &q, &sc, FillMode::Scalar);
+        let narrow = grid_run_i16(&r, &q, &sc);
+        assert_eq!(scalar, narrow, "i16 tier at the gate boundary must equal scalar");
+        assert!(scalar.same_alignment(&want));
+
+        // At the gate, the demoted (i32 wavefront) tier equals scalar too.
+        let q2 = PackedSeq::from_codes(&[0u8; 63]);
+        let scalar2 = grid_run(&r, &q2, &sc, FillMode::Scalar);
+        let demoted = grid_run(&r, &q2, &sc, FillMode::Simd);
+        assert_eq!(scalar2, demoted, "demoted task must run the exact i32 path");
+        assert_eq!(scalar2.score, 63 * 64);
+    }
+
+    #[test]
+    fn i16_saturates_rather_than_wraps_beyond_the_gate() {
+        // Bypass the tier gate and drive the raw i16 fills on a block whose
+        // DP genuinely exceeds i16 range: the saturating arithmetic must
+        // pin at the rails (never wrap into plausible scores), both
+        // backends must agree, and the scalar fill keeps the exact values —
+        // which is precisely why fill_tier demotes such tasks.
+        let sc = Scoring::new(4096, 4, 4, 2, Scoring::NO_ZDROP, Scoring::NO_BAND);
+        let ctx = BlockCtx::new(64, 64, &sc);
+        assert!(!ctx.i16_exact, "step 4096 must fail the i16 gate");
+        assert!(ctx.simd_exact, "…while still fitting the i32 gate");
+
+        let rcodes = [0u8; BLOCK];
+        let qcodes = [0u8; BLOCK];
+        let corner = 30_000;
+        let west_h = [29_000; BLOCK];
+        let west_e = [NEG_INF; BLOCK];
+        let north_h = [29_000; BLOCK];
+        let north_f = [NEG_INF; BLOCK];
+
+        let mut cells_s = BlockCells::new();
+        let (mut wh, mut we, mut nh, mut nf) = (west_h, west_e, north_h, north_f);
+        fill_scalar(
+            &ctx,
+            8,
+            8,
+            &rcodes,
+            &qcodes,
+            corner,
+            &mut wh,
+            &mut we,
+            &mut nh,
+            &mut nf,
+            &mut cells_s,
+        );
+        assert!(
+            cells_s.h.iter().any(|row| row.iter().any(|&h| h > i32::from(i16::MAX))),
+            "crafted block must exceed i16 range in the exact fill"
+        );
+
+        let mut cells_n = BlockCells16::new();
+        let (mut wh, mut we, mut nh, mut nf) = (west_h, west_e, north_h, north_f);
+        fill_portable_i16(
+            &ctx,
+            8,
+            8,
+            &rcodes,
+            &qcodes,
+            corner,
+            &mut wh,
+            &mut we,
+            &mut nh,
+            &mut nf,
+            &mut cells_n,
+        );
+        let mut saw_rail = false;
+        for d in 0..BLOCK_DIAGS {
+            for l in 0..BLOCK {
+                if cells_n.mask[d] & (1 << l) != 0 {
+                    let h = cells_n.h[d][l];
+                    let exact = cells_s.h[d][l];
+                    if i32::from(h) != exact {
+                        // Divergence is only ever rail-pinning, never wrap.
+                        assert_eq!(h, i16::MAX, "saturation must pin, not wrap");
+                        saw_rail = true;
+                    }
+                }
+            }
+        }
+        assert!(saw_rail, "crafted block must actually hit the i16 rail");
+
+        // The per-block overflow sentinel catches exactly this regime in
+        // debug builds when the dispatch is (wrongly) driven past the gate.
+        #[cfg(debug_assertions)]
+        {
+            let result = std::panic::catch_unwind(|| {
+                let mut cells = BlockCells16::new();
+                let (mut wh, mut we, mut nh, mut nf) = (west_h, west_e, north_h, north_f);
+                fill_wavefront_i16(
+                    &ctx, 8, 8, &rcodes, &qcodes, corner, &mut wh, &mut we, &mut nh, &mut nf,
+                    &mut cells,
+                );
+            });
+            assert!(result.is_err(), "overflow sentinel must trip on a saturated block");
+        }
     }
 }

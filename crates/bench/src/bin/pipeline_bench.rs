@@ -1,19 +1,24 @@
 //! Host-throughput harness for the batch pipeline: measures real wall-time
 //! tasks/sec of (a) the whole-batch path, (b) the chunked streaming engine,
 //! (c) single-threaded kernel execution with fresh vs reused workspaces,
-//! and (d) the SIMD (wavefront) vs scalar block fill on the same fixed-seed
-//! dataset. Writes `BENCH_pipeline.json` so CI tracks the perf trajectory
-//! run over run.
+//! (d) the SIMD (wavefront) vs scalar block fill on the same fixed-seed
+//! dataset, and (e) the i16 vs i32 wavefront tiers on a fixed-seed
+//! short-read workload (the regime whose scores provably fit i16). Writes
+//! `BENCH_pipeline.json` so CI tracks the perf trajectory run over run.
 //!
-//! Both fill paths are always compiled (the `simd` cargo feature only flips
-//! the *default*), so one binary reports the simd-on/simd-off pair
+//! Every fill path is always compiled (the `simd` cargo feature only flips
+//! the *default*), so one binary reports the whole scalar/i32/i16 matrix
 //! regardless of how it was built; `default_fill` records which mode the
-//! build would pick on its own.
+//! build would pick on its own, `default_precision` the process-default
+//! precision (the `AGATHA_PRECISION` override), and `fill_backend` which
+//! wavefront backend (AVX2 or portable) this machine runs — without it,
+//! per-tier rows from different machines were not comparable.
 //!
 //! Run with `cargo run --release -p agatha-bench --bin pipeline_bench`.
 
 use std::time::Instant;
 
+use agatha_align::{FillPrecision, FillTier, Scoring, Task};
 use agatha_core::{kernel::run_task, run_task_ws, AgathaConfig, KernelWorkspace, Pipeline};
 use agatha_datasets::{generate, DatasetSpec, Tech};
 
@@ -111,11 +116,57 @@ fn main() {
     }
     assert_eq!(fill_sums[0], fill_sums[1], "simd fill must execute identical work");
 
+    // i16 vs i32 wavefront tier, single thread over a fixed-seed
+    // *short-read* workload: ~240 bp reads under a BWA-style preset, the
+    // regime where every task passes the i16 exactness gate. Same reused-
+    // workspace methodology as the simd/scalar pair above.
+    let short_scoring = Scoring::preset_bwa();
+    let short_tasks: Vec<Task> = (0..1500u64)
+        .map(|i| {
+            let mut x = SEED.wrapping_add(i.wrapping_mul(0x9E3779B97F4A7C15)) | 1;
+            let len = 180 + (i as usize % 120);
+            let mut r = String::new();
+            let mut q = String::new();
+            for k in 0..len {
+                x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                let c = ['A', 'C', 'G', 'T'][(x >> 33) as usize % 4];
+                r.push(c);
+                q.push(if k % 17 == 0 { ['T', 'G', 'C', 'A'][(x >> 35) as usize % 4] } else { c });
+            }
+            Task::from_strs(i as u32, &r, &q)
+        })
+        .collect();
+    let mut tier_secs = [0.0f64; 2];
+    let mut tier_sums = [0u64; 2];
+    for (slot, precision) in [(0usize, FillPrecision::I32), (1usize, FillPrecision::I16)] {
+        let cfg = pipeline.config.clone().with_simd_fill(true).with_fill_precision(precision);
+        // Every short-read task must actually resolve to the requested tier
+        // or the speedup row would silently compare the wrong kernels.
+        let want = if slot == 0 { FillTier::I32 } else { FillTier::I16 };
+        for t in &short_tasks {
+            assert_eq!(
+                cfg.fill_tier_for(t.ref_len(), t.query_len(), &short_scoring),
+                want,
+                "short-read workload must stay inside the {} gate",
+                want.name()
+            );
+        }
+        let mut ws = KernelWorkspace::new();
+        let (secs, sum) = best_of(|| {
+            short_tasks.iter().map(|t| run_task_ws(&mut ws, t, &short_scoring, &cfg).blocks).sum()
+        });
+        tier_secs[slot] = secs;
+        tier_sums[slot] = sum;
+    }
+    assert_eq!(tier_sums[0], tier_sums[1], "i16 fill must execute identical work");
+
     let tps = |secs: f64, n: usize| n as f64 / secs;
     let json = format!(
         "{{\n  \"bench\": \"pipeline\",\n  \"seed\": {SEED},\n  \"tasks\": {},\n  \
          \"chunk\": {CHUNK},\n  \
          \"default_fill\": \"{}\",\n  \
+         \"default_precision\": \"{}\",\n  \
+         \"fill_backend\": \"{}\",\n  \
          \"whole_batch_tasks_per_sec\": {:.1},\n  \
          \"streaming_tasks_per_sec\": {:.1},\n  \
          \"kernel_fresh_alloc_tasks_per_sec\": {:.1},\n  \
@@ -123,9 +174,15 @@ fn main() {
          \"workspace_reuse_speedup\": {:.3},\n  \
          \"kernel_scalar_fill_tasks_per_sec\": {:.1},\n  \
          \"kernel_simd_fill_tasks_per_sec\": {:.1},\n  \
-         \"simd_fill_speedup\": {:.3}\n}}\n",
+         \"simd_fill_speedup\": {:.3},\n  \
+         \"short_read_tasks\": {},\n  \
+         \"kernel_i32_fill_tasks_per_sec\": {:.1},\n  \
+         \"kernel_i16_fill_tasks_per_sec\": {:.1},\n  \
+         \"i16_fill_speedup\": {:.3}\n}}\n",
         tasks.len(),
         if cfg!(feature = "simd") { "simd" } else { "scalar" },
+        agatha_core::options::default_fill_precision().name(),
+        agatha_align::simd::backend().name(),
         tps(whole_s, tasks.len()),
         tps(stream_s, tasks.len()),
         tps(fresh_s, kernel_tasks.len()),
@@ -134,6 +191,10 @@ fn main() {
         tps(fill_secs[0], tasks.len()),
         tps(fill_secs[1], tasks.len()),
         fill_secs[0] / fill_secs[1],
+        short_tasks.len(),
+        tps(tier_secs[0], short_tasks.len()),
+        tps(tier_secs[1], short_tasks.len()),
+        tier_secs[0] / tier_secs[1],
     );
     std::fs::write("BENCH_pipeline.json", &json).expect("write BENCH_pipeline.json");
     print!("{json}");

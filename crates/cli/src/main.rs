@@ -19,7 +19,7 @@
 use std::path::PathBuf;
 use std::process::ExitCode;
 
-use agatha_align::{Scoring, Task};
+use agatha_align::{FillPrecision, FillTier, Scoring, Task};
 use agatha_baselines::{run_baseline, Baseline};
 use agatha_core::{AgathaConfig, Pipeline};
 use agatha_datasets::{generate, DatasetSpec, Tech};
@@ -35,7 +35,9 @@ fn main() -> ExitCode {
         eprintln!("{USAGE}");
         return ExitCode::FAILURE;
     };
-    let args = Args::parse(argv.into_iter().skip(1));
+    // `--verbose` is a switch: without declaring it, `--verbose REF.fasta`
+    // would swallow the first input path as the flag's value.
+    let args = Args::parse_with_switches(argv.into_iter().skip(1), &["verbose"]);
     let result = match command.as_str() {
         "align" => cmd_align(&args),
         "demo" => cmd_demo(&args),
@@ -78,6 +80,11 @@ common options:
   --threads N     host worker threads (default: all cores)
   --chunk N       streaming chunk size in tasks (align + agatha engine
                   only, default 4096; 0 = whole batch in one chunk)
+  --precision P   host block-fill lane precision (agatha engine only):
+                  auto | i32 | i16. auto/i16 run the 16-bit wavefront on
+                  every task whose scores provably fit i16 and demote the
+                  rest to i32 — results are bit-identical across tiers
+  --verbose       print per-task fill-precision tier counts
   -o DIR          output directory (default ./output)
   --tech T        demo technology: hifi | clr | ont (default clr)
   --reads N       demo task count (default 160)";
@@ -98,6 +105,10 @@ struct HostOpts {
     gpus: usize,
     threads: usize,
     chunk: usize,
+    /// `--precision` when given explicitly (also forces the wavefront fill
+    /// on); `None` keeps the build/environment default.
+    precision: Option<FillPrecision>,
+    verbose: bool,
 }
 
 fn host_opts(args: &Args) -> Result<HostOpts, String> {
@@ -108,11 +119,62 @@ fn host_opts(args: &Args) -> Result<HostOpts, String> {
         // zero.
         return Err("--gpus must be at least 1 (got 0)".to_string());
     }
+    let precision = match args.get("precision") {
+        None => None,
+        Some(v) => Some(
+            FillPrecision::parse(v).map_err(|e| format!("{e}\nusage: --precision auto|i32|i16"))?,
+        ),
+    };
     Ok(HostOpts {
         gpus,
         threads: args.get_num_checked("threads", 0usize)?,
         chunk: args.get_num_checked("chunk", DEFAULT_CHUNK)?,
+        precision,
+        verbose: args.has("verbose"),
     })
+}
+
+/// The kernel configuration implied by the host options: full AGAThA, with
+/// an explicit `--precision` both selecting the tier and switching the
+/// wavefront fill on (requesting a lane width only makes sense for the
+/// vectorised fill, whatever the build-time default).
+fn agatha_config(opts: &HostOpts) -> AgathaConfig {
+    match opts.precision {
+        None => AgathaConfig::agatha(),
+        Some(p) => AgathaConfig::agatha().with_simd_fill(true).with_fill_precision(p),
+    }
+}
+
+/// Per-tier task counts for `--verbose`: how many tasks each fill tier
+/// served, and how many were demoted from a requested i16.
+#[derive(Default)]
+struct TierStats {
+    counts: [u64; 3],
+    demoted: u64,
+}
+
+impl TierStats {
+    fn tally(&mut self, cfg: &AgathaConfig, scoring: &Scoring, task: &Task) {
+        let tier = cfg.fill_tier_for(task.ref_len(), task.query_len(), scoring);
+        let slot = match tier {
+            FillTier::I16 => 0,
+            FillTier::I32 => 1,
+            FillTier::Scalar => 2,
+        };
+        self.counts[slot] += 1;
+        let wants_i16 =
+            cfg.simd_fill && matches!(cfg.fill_precision, FillPrecision::Auto | FillPrecision::I16);
+        if wants_i16 && tier != FillTier::I16 {
+            self.demoted += 1;
+        }
+    }
+
+    fn print(&self) {
+        println!(
+            "fill precision: i16={} i32={} scalar={} (demoted={})",
+            self.counts[0], self.counts[1], self.counts[2], self.demoted
+        );
+    }
 }
 
 fn out_dir(args: &Args) -> Result<PathBuf, String> {
@@ -123,20 +185,27 @@ fn out_dir(args: &Args) -> Result<PathBuf, String> {
 
 /// Build the AGAThA pipeline for the requested host options.
 fn agatha_pipeline(scoring: &Scoring, opts: &HostOpts) -> Pipeline {
-    let mut p = Pipeline::new(*scoring, AgathaConfig::agatha()).with_gpus(opts.gpus);
+    let mut p = Pipeline::new(*scoring, agatha_config(opts)).with_gpus(opts.gpus);
     p.host_threads = opts.threads;
     p
 }
 
-/// Reject `--gpus N>1` for engines that silently ignored it before: the
-/// baselines model fixed published hardware setups, so pretending the flag
-/// took effect would misreport their simulated time.
+/// Reject agatha-only flags for engines that would silently ignore them:
+/// the baselines model fixed published hardware setups (and reference
+/// host fills), so pretending `--gpus`/`--precision` took effect would
+/// misreport what was simulated.
 fn check_baseline_gpus(engine: &str, opts: &HostOpts) -> Result<(), String> {
     if opts.gpus > 1 {
         return Err(format!(
             "--gpus {} is only supported by the agatha engine; baseline '{engine}' models \
              a fixed device setup (drop --gpus or use --engine agatha)",
             opts.gpus
+        ));
+    }
+    if opts.precision.is_some() {
+        return Err(format!(
+            "--precision is only supported by the agatha engine; baseline '{engine}' runs \
+             its reference fill (drop --precision or use --engine agatha)"
         ));
     }
     Ok(())
@@ -183,15 +252,23 @@ fn cmd_align(args: &Args) -> Result<(), String> {
     let (name, scores, ms, tasks) = if engine.eq_ignore_ascii_case("agatha") {
         // Streaming path: tasks flow straight from the files into the
         // persistent worker pool, one `--chunk` at a time.
+        let config = agatha_config(&opts);
+        let mut tiers = TierStats::default();
         let mut pool = agatha_pipeline(&scoring, &opts).engine();
         let mut io_err: Option<String> = None;
-        let task_iter = pairs.map_while(|t| match t {
-            Ok(task) => Some(task),
-            Err(e) => {
-                io_err = Some(e);
-                None
-            }
-        });
+        let task_iter = pairs
+            .map_while(|t| match t {
+                Ok(task) => Some(task),
+                Err(e) => {
+                    io_err = Some(e);
+                    None
+                }
+            })
+            .inspect(|task| {
+                if opts.verbose {
+                    tiers.tally(&config, &scoring, task);
+                }
+            });
         let mut scores = Vec::new();
         let mut run = pool.align_stream(task_iter, opts.chunk);
         for chunk in run.by_ref() {
@@ -200,6 +277,9 @@ fn cmd_align(args: &Args) -> Result<(), String> {
         let summary = run.finish();
         if let Some(e) = io_err {
             return Err(e);
+        }
+        if opts.verbose {
+            tiers.print();
         }
         ("AGAThA".to_string(), scores, summary.elapsed_ms, summary.tasks)
     } else {
@@ -233,6 +313,14 @@ fn cmd_demo(args: &Args) -> Result<(), String> {
     let engine = args.get("engine").filter(|s| !s.is_empty()).unwrap_or("agatha");
     let opts = host_opts(args)?;
     let (name, scores, ms) = run_engine(engine, &ds.tasks, &ds.scoring, &opts)?;
+    if opts.verbose && engine.eq_ignore_ascii_case("agatha") {
+        let config = agatha_config(&opts);
+        let mut tiers = TierStats::default();
+        for t in &ds.tasks {
+            tiers.tally(&config, &ds.scoring, t);
+        }
+        tiers.print();
+    }
 
     let dir = out_dir(args)?;
     write_score_log(&dir.join("score.log"), &scores)?;

@@ -196,6 +196,118 @@ fn zero_gpus_is_an_error() {
 }
 
 #[test]
+fn precision_i16_forces_the_tier() {
+    let dir = std::env::temp_dir().join(format!("agatha_cli_p16_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let refs = dir.join("ref.fasta");
+    let queries = dir.join("query.fasta");
+    std::fs::write(&refs, ">1\nACGTACGTACGTACGT\n>2\nAAAACCCCGGGGTTTT\n").unwrap();
+    std::fs::write(&queries, ">1\nACGTACGTACGTACGT\n>2\nAAAACCCCGGGGTTTT\n").unwrap();
+    let out_dir = dir.join("out");
+    let out = agatha()
+        .args(["align", "--precision", "i16", "--verbose"])
+        .args(["-o", out_dir.to_str().unwrap()])
+        .arg(refs.to_str().unwrap())
+        .arg(queries.to_str().unwrap())
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "stderr: {}", String::from_utf8_lossy(&out.stderr));
+    // Short all-match pairs sit comfortably inside the i16 gate: every
+    // task runs the i16 tier, nothing demotes, scores stay exact.
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("fill precision: i16=2 i32=0 scalar=0 (demoted=0)"), "stdout: {text}");
+    let scores = std::fs::read_to_string(out_dir.join("score.log")).unwrap();
+    assert_eq!(scores, "32\n32\n");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn verbose_before_positionals_does_not_swallow_paths() {
+    // `--verbose REF.fasta QUERY.fasta` must keep both paths positional
+    // (the generic value-taking flag parse used to eat the first one).
+    let dir = std::env::temp_dir().join(format!("agatha_cli_vpos_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let refs = dir.join("ref.fasta");
+    let queries = dir.join("query.fasta");
+    std::fs::write(&refs, ">1\nACGTACGT\n").unwrap();
+    std::fs::write(&queries, ">1\nACGTACGT\n").unwrap();
+    let out = agatha()
+        .args(["align", "--verbose"])
+        .arg(refs.to_str().unwrap())
+        .arg(queries.to_str().unwrap())
+        .args(["-o", dir.join("out").to_str().unwrap()])
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "stderr: {}", String::from_utf8_lossy(&out.stderr));
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("fill precision:"), "stdout: {text}");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn precision_bogus_is_a_usage_error() {
+    let dir = std::env::temp_dir().join(format!("agatha_cli_pbad_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let refs = dir.join("ref.fasta");
+    let queries = dir.join("query.fasta");
+    std::fs::write(&refs, ">1\nACGT\n").unwrap();
+    std::fs::write(&queries, ">1\nACGT\n").unwrap();
+    let out = agatha()
+        .args(["align", "--precision", "bogus"])
+        .arg(refs.to_str().unwrap())
+        .arg(queries.to_str().unwrap())
+        .output()
+        .unwrap();
+    assert!(!out.status.success(), "--precision bogus must fail");
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        err.contains("'bogus'") && err.contains("--precision") && err.contains("auto|i32|i16"),
+        "stderr must carry a usage message: {err}"
+    );
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn precision_i16_on_overflowing_task_demotes_and_stays_correct() {
+    // An 800 bp all-match pair exceeds the i16 exactness gate under the
+    // default scoring (max reachable score bound 6 × 1602 ≥ 2^13), so a
+    // forced `--precision i16` must auto-demote that task to the i32 tier
+    // — observable in the --verbose stats — and still score it exactly.
+    let dir = std::env::temp_dir().join(format!("agatha_cli_povf_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let refs = dir.join("ref.fasta");
+    let queries = dir.join("query.fasta");
+    let seq = "ACGT".repeat(200);
+    std::fs::write(&refs, format!(">1\n{seq}\n")).unwrap();
+    std::fs::write(&queries, format!(">1\n{seq}\n")).unwrap();
+    let out_dir = dir.join("out");
+    let out = agatha()
+        .args(["align", "--precision", "i16", "--verbose"])
+        .args(["-o", out_dir.to_str().unwrap()])
+        .arg(refs.to_str().unwrap())
+        .arg(queries.to_str().unwrap())
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "stderr: {}", String::from_utf8_lossy(&out.stderr));
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("fill precision: i16=0 i32=1 scalar=0 (demoted=1)"), "stdout: {text}");
+    let scores = std::fs::read_to_string(out_dir.join("score.log")).unwrap();
+    assert_eq!(scores, "1600\n", "800 matches at +2 each");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn precision_rejected_for_baseline_engines() {
+    let out = agatha()
+        .args(["demo", "--reads", "4", "--engine", "saloba", "--precision", "i16"])
+        .output()
+        .unwrap();
+    assert!(!out.status.success(), "--precision must not be silently ignored by baselines");
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("agatha engine"), "stderr: {err}");
+}
+
+#[test]
 fn zero_reads_is_an_error() {
     // `--reads 0` used to be silently clamped to 1.
     let out = agatha().args(["demo", "--reads", "0"]).output().unwrap();

@@ -9,7 +9,8 @@
 //! property tests at the workspace level.
 
 use agatha_align::block::{
-    compute_block_mode, corner_read, north_read, west_init, BlockCells, BlockCtx, Boundary,
+    compute_block_i16, compute_block_mode, corner_read, north_read, west_init, BlockCells,
+    BlockCells16, BlockCtx, Boundary, FillMode, FillTier,
 };
 use agatha_align::diag::DiagTracker;
 use agatha_align::{GuidedResult, Scoring, Task, BLOCK, NEG_INF};
@@ -110,6 +111,8 @@ pub struct KernelWorkspace {
     /// Per-block staging area: masked H values handed to the tracker in one
     /// [`DiagTracker::on_block`] fold per block.
     cells: BlockCells,
+    /// The 16-bit twin of `cells`, used by tasks resolved to the i16 tier.
+    cells16: BlockCells16,
     /// Spent outer `units` vectors returned by [`KernelWorkspace::recycle_units`].
     units_pool: Vec<Vec<SliceUnit>>,
     /// Spent `row_cols` vectors harvested from recycled units.
@@ -132,6 +135,7 @@ impl KernelWorkspace {
             unit_rows: Vec::new(),
             tracker: DiagTracker::new(0, 0, &Scoring::default()),
             cells: BlockCells::new(),
+            cells16: BlockCells16::new(),
             units_pool: Vec::new(),
             row_cols_pool: Vec::new(),
         }
@@ -196,7 +200,13 @@ pub fn run_task_ws(
     let n = task.ref_len();
     let m = task.query_len();
     let ctx = BlockCtx::new(n, m, scoring);
-    let fill_mode = cfg.fill_mode();
+    // Per-task tier resolution: the narrowest fill whose exactness gate
+    // holds (i16 → i32 → scalar under Auto/I16; see BlockCtx::fill_tier).
+    let tier = ctx.fill_tier(cfg.fill_mode(), cfg.fill_precision);
+    let wide_mode = match tier {
+        FillTier::I32 => FillMode::Simd,
+        _ => FillMode::Scalar,
+    };
     let KernelWorkspace {
         row_h,
         row_f,
@@ -204,6 +214,7 @@ pub fn run_task_ws(
         unit_rows,
         tracker,
         cells,
+        cells16,
         units_pool,
         row_cols_pool,
     } = ws;
@@ -241,6 +252,7 @@ pub fn run_task_ws(
     let mut exec_segment = |seg: RowSeg,
                             tracker: &mut DiagTracker,
                             cells: &mut BlockCells,
+                            cells16: &mut BlockCells16,
                             row_h: &mut [i32],
                             row_f: &mut [i32],
                             carries: &mut [RowCarry]|
@@ -261,21 +273,38 @@ pub fn run_task_ws(
             task.reference.unpack_block(i0 as usize, &mut rblock);
             let (mut nh, mut nf) = north_read(&ctx, i0, j0, row_h, row_f);
             let next_corner = nh[BLOCK - 1];
-            compute_block_mode(
-                fill_mode,
-                &ctx,
-                i0,
-                j0,
-                &rblock,
-                &qblock,
-                carry.corner,
-                &mut carry.west_h,
-                &mut carry.west_e,
-                &mut nh,
-                &mut nf,
-                cells,
-            );
-            tracker.on_block(cells);
+            if tier == FillTier::I16 {
+                compute_block_i16(
+                    &ctx,
+                    i0,
+                    j0,
+                    &rblock,
+                    &qblock,
+                    carry.corner,
+                    &mut carry.west_h,
+                    &mut carry.west_e,
+                    &mut nh,
+                    &mut nf,
+                    cells16,
+                );
+                tracker.on_block_i16(cells16);
+            } else {
+                compute_block_mode(
+                    wide_mode,
+                    &ctx,
+                    i0,
+                    j0,
+                    &rblock,
+                    &qblock,
+                    carry.corner,
+                    &mut carry.west_h,
+                    &mut carry.west_e,
+                    &mut nh,
+                    &mut nf,
+                    cells,
+                );
+                tracker.on_block(cells);
+            }
             row_h[i0 as usize..i0 as usize + BLOCK].copy_from_slice(&nh);
             row_f[i0 as usize..i0 as usize + BLOCK].copy_from_slice(&nf);
             carry.corner = next_corner;
@@ -289,6 +318,7 @@ pub fn run_task_ws(
     let mut run_unit = |rows: &[RowSeg],
                         tracker: &mut DiagTracker,
                         cells: &mut BlockCells,
+                        cells16: &mut BlockCells16,
                         row_h: &mut [i32],
                         row_f: &mut [i32],
                         carries: &mut [RowCarry],
@@ -301,7 +331,7 @@ pub fn run_task_ws(
         row_cols.clear();
         row_cols.reserve(rows.len());
         for seg in rows {
-            let blocks = exec_segment(*seg, tracker, cells, row_h, row_f, carries);
+            let blocks = exec_segment(*seg, tracker, cells, cells16, row_h, row_f, carries);
             unit_blocks += blocks;
             row_cols.push(blocks as u16);
         }
@@ -343,6 +373,7 @@ pub fn run_task_ws(
                 unit_rows,
                 tracker,
                 cells,
+                cells16,
                 row_h,
                 row_f,
                 carries,
@@ -365,6 +396,7 @@ pub fn run_task_ws(
                     unit_rows,
                     tracker,
                     cells,
+                    cells16,
                     row_h,
                     row_f,
                     carries,
@@ -383,6 +415,7 @@ pub fn run_task_ws(
                 unit_rows,
                 tracker,
                 cells,
+                cells16,
                 row_h,
                 row_f,
                 carries,
@@ -630,6 +663,40 @@ mod tests {
                 let a = run_task(t, &s, &scalar_cfg);
                 let b = run_task(t, &s, &simd_cfg);
                 assert_eq!(a, b, "config {cfg:?}, task {}", t.id);
+            }
+        }
+    }
+
+    #[test]
+    fn fill_tiers_produce_identical_runs() {
+        // Full TaskRun equality across the three-tier matrix (scalar, i32
+        // wavefront, i16 wavefront), across every configuration and the
+        // mixed task set — whose 700 bp member exceeds the i16 gate, so the
+        // same assertions also cover the i16→i32 auto-demotion path.
+        use agatha_align::block::{FillPrecision, FillTier};
+        let (tasks, s) = mixed_tasks();
+        let i16_cfg =
+            AgathaConfig::agatha().with_simd_fill(true).with_fill_precision(FillPrecision::I16);
+        let tiers: Vec<FillTier> =
+            tasks.iter().map(|t| i16_cfg.fill_tier_for(t.ref_len(), t.query_len(), &s)).collect();
+        assert!(
+            tiers.contains(&FillTier::I16) && tiers.contains(&FillTier::I32),
+            "mixed tasks must cover both the i16 tier and a demotion: {tiers:?}"
+        );
+        for cfg in all_configs() {
+            let scalar_cfg = cfg.clone().with_simd_fill(false);
+            let wide_cfg = cfg.clone().with_simd_fill(true).with_fill_precision(FillPrecision::I32);
+            let narrow_cfg =
+                cfg.clone().with_simd_fill(true).with_fill_precision(FillPrecision::I16);
+            // One shared workspace alternates tiers across the stream to
+            // prove reuse carries no state between them.
+            let mut ws = KernelWorkspace::new();
+            for t in &tasks {
+                let a = run_task(t, &s, &scalar_cfg);
+                let b = run_task_ws(&mut ws, t, &s, &wide_cfg);
+                let c = run_task_ws(&mut ws, t, &s, &narrow_cfg);
+                assert_eq!(a, b, "config {cfg:?}, task {}: scalar vs i32 tier", t.id);
+                assert_eq!(a, c, "config {cfg:?}, task {}: scalar vs i16 tier", t.id);
             }
         }
     }

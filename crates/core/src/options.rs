@@ -1,6 +1,23 @@
 //! Kernel configuration and feature toggles.
 
+use std::sync::OnceLock;
+
+use agatha_align::block::FillPrecision;
 use agatha_gpu_sim::WARP_LANES;
+
+/// Process-default [`FillPrecision`]: the `AGATHA_PRECISION` environment
+/// variable (`auto` | `i32` | `i16`) when set, else `Auto`. This is how CI
+/// forces the whole test suite through one precision tier without touching
+/// every construction site; an unparseable value panics loudly rather than
+/// silently running the wrong tier.
+pub fn default_fill_precision() -> FillPrecision {
+    static CACHE: OnceLock<FillPrecision> = OnceLock::new();
+    *CACHE.get_or_init(|| match std::env::var("AGATHA_PRECISION") {
+        Err(_) => FillPrecision::Auto,
+        Ok(v) => FillPrecision::parse(&v)
+            .unwrap_or_else(|e| panic!("AGATHA_PRECISION environment override: {e}")),
+    })
+}
 
 /// Configuration of the AGAThA kernel. Every §4 technique can be toggled
 /// independently so the ablation study (Fig. 9) and the sensitivity studies
@@ -39,6 +56,15 @@ pub struct AgathaConfig {
     /// changes host wall-time, never results or cost accounting. Defaults
     /// to the build-time `simd` cargo feature.
     pub simd_fill: bool,
+    /// Lane precision preferred by the wavefront fill (ignored when
+    /// `simd_fill` is off): `Auto`/`I16` run the 16-bit wavefront on every
+    /// task whose [`agatha_align::block::BlockCtx::i16_exact`] gate proves
+    /// it bit-identical, demoting to the i32 wavefront (or scalar)
+    /// otherwise; `I32` never uses the i16 tier. Like `simd_fill`, this
+    /// changes host wall-time only — results and cost accounting are
+    /// bit-identical across all tiers. Defaults to the `AGATHA_PRECISION`
+    /// environment override, else `Auto`.
+    pub fill_precision: FillPrecision,
 }
 
 impl AgathaConfig {
@@ -56,6 +82,7 @@ impl AgathaConfig {
             lmb_max_diags: 64,
             use_dpx: false,
             simd_fill: cfg!(feature = "simd"),
+            fill_precision: default_fill_precision(),
         }
     }
 
@@ -109,6 +136,15 @@ impl AgathaConfig {
         self
     }
 
+    /// Select the wavefront lane precision (mirrors
+    /// [`AgathaConfig::with_simd_fill`]). Results are bit-identical across
+    /// every precision; benchmarks and the CLI `--precision` flag use this
+    /// to pin a tier per run.
+    pub fn with_fill_precision(mut self, precision: FillPrecision) -> AgathaConfig {
+        self.fill_precision = precision;
+        self
+    }
+
     /// The [`agatha_align::block::FillMode`] this configuration selects.
     #[inline]
     pub fn fill_mode(&self) -> agatha_align::block::FillMode {
@@ -117,6 +153,21 @@ impl AgathaConfig {
         } else {
             agatha_align::block::FillMode::Scalar
         }
+    }
+
+    /// The fill tier this configuration resolves to for an `n × m` task —
+    /// the same per-task decision [`crate::kernel::run_task_ws`] makes, so
+    /// callers (CLI `--verbose` stats, benches) can observe i16 demotions
+    /// without instrumenting the kernel output.
+    #[inline]
+    pub fn fill_tier_for(
+        &self,
+        n: usize,
+        m: usize,
+        scoring: &agatha_align::Scoring,
+    ) -> agatha_align::block::FillTier {
+        agatha_align::block::BlockCtx::new(n, m, scoring)
+            .fill_tier(self.fill_mode(), self.fill_precision)
     }
 
     /// Set the subwarp size (Fig. 14).
@@ -184,5 +235,30 @@ mod tests {
         let c = AgathaConfig::baseline().with_rw(true).with_sd(true);
         assert!(c.rolling_window && c.sliced_diagonal);
         assert!(!c.subwarp_rejoining && !c.uneven_bucketing);
+    }
+
+    #[test]
+    fn precision_names_parse() {
+        assert_eq!(FillPrecision::parse("auto"), Ok(FillPrecision::Auto));
+        assert_eq!(FillPrecision::parse("I32"), Ok(FillPrecision::I32));
+        assert_eq!(FillPrecision::parse("i16"), Ok(FillPrecision::I16));
+        let err = FillPrecision::parse("bogus").unwrap_err();
+        assert!(err.contains("'bogus'") && err.contains("auto"), "{err}");
+    }
+
+    #[test]
+    fn fill_tier_resolution_demotes_per_task() {
+        use agatha_align::block::FillTier;
+        let s = agatha_align::Scoring::preset_bwa();
+        let cfg =
+            AgathaConfig::agatha().with_simd_fill(true).with_fill_precision(FillPrecision::I16);
+        // 240 bp short reads fit i16; 4 kb reads exceed the gate under the
+        // same scoring and demote to the i32 wavefront.
+        assert_eq!(cfg.fill_tier_for(240, 240, &s), FillTier::I16);
+        assert_eq!(cfg.fill_tier_for(4000, 4000, &s), FillTier::I32);
+        let wide = cfg.clone().with_fill_precision(FillPrecision::I32);
+        assert_eq!(wide.fill_tier_for(240, 240, &s), FillTier::I32);
+        let scalar = cfg.with_simd_fill(false);
+        assert_eq!(scalar.fill_tier_for(240, 240, &s), FillTier::Scalar);
     }
 }

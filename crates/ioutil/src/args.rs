@@ -18,6 +18,15 @@ impl Args {
     /// name). Flags expecting values take the following argument unless
     /// given as `--flag=value`. A bare trailing flag gets an empty value.
     pub fn parse<I: IntoIterator<Item = String>>(args: I) -> Args {
+        Args::parse_with_switches(args, &[])
+    }
+
+    /// [`Args::parse`] with an explicit list of boolean *switches*: long
+    /// flags that never take a value, so `--switch FILE` leaves `FILE` a
+    /// positional instead of swallowing it as the switch's value. Without
+    /// this, a flag like `--verbose` placed before the input paths would
+    /// silently eat the first path and break the command.
+    pub fn parse_with_switches<I: IntoIterator<Item = String>>(args: I, switches: &[&str]) -> Args {
         let mut flags = HashMap::new();
         let mut positional = Vec::new();
         let mut iter = args.into_iter().peekable();
@@ -27,8 +36,9 @@ impl Args {
                     flags.insert(k.to_string(), v.to_string());
                 } else {
                     // Value-taking long flag: consume the next token unless
-                    // it looks like another flag.
-                    let take = iter.peek().is_some_and(|n| !n.starts_with('-'));
+                    // it looks like another flag or this is a switch.
+                    let take = !switches.contains(&body)
+                        && iter.peek().is_some_and(|n| !n.starts_with('-'));
                     let v = if take { iter.next().unwrap() } else { String::new() };
                     flags.insert(body.to_string(), v);
                 }
@@ -153,5 +163,19 @@ mod tests {
     fn checked_rejects_bare_numeric_flag() {
         let a = parse("--reads --verbose");
         assert!(a.get_num_checked::<usize>("reads", 7).is_err());
+    }
+
+    #[test]
+    fn switches_do_not_swallow_positionals() {
+        let argv = "align --verbose ref.fa qry.fa".split_whitespace().map(String::from);
+        let a = Args::parse_with_switches(argv, &["verbose"]);
+        assert!(a.has("verbose"));
+        assert_eq!(a.get("verbose"), Some(""));
+        assert_eq!(a.positional(), &["align", "ref.fa", "qry.fa"]);
+        // Without the switch list, `--verbose` eats the first positional —
+        // the regression parse_with_switches exists to prevent.
+        let argv = "align --verbose ref.fa qry.fa".split_whitespace().map(String::from);
+        let legacy = Args::parse(argv);
+        assert_eq!(legacy.get("verbose"), Some("ref.fa"));
     }
 }

@@ -6,7 +6,7 @@ use agatha_suite::align::banded::banded_align;
 use agatha_suite::align::block::block_grid_align;
 use agatha_suite::align::guided::guided_align;
 use agatha_suite::align::matrix::full_align;
-use agatha_suite::align::{PackedSeq, Scoring, Task};
+use agatha_suite::align::{FillPrecision, PackedSeq, Scoring, Task};
 use agatha_suite::core::bucketing::{build_warps, OrderingStrategy};
 use agatha_suite::core::{kernel::run_task, AgathaConfig};
 use agatha_suite::gpu_sim::sched;
@@ -108,6 +108,49 @@ proptest! {
         let scalar = run_task(&task, &s, &cfg.clone().with_simd_fill(false));
         let simd = run_task(&task, &s, &cfg.with_simd_fill(true));
         prop_assert_eq!(scalar, simd);
+    }
+
+    /// The three fill tiers — i16 wavefront, i32 wavefront, scalar — are
+    /// bit-identical: full `TaskRun` equality (results, unit schedules,
+    /// block counts) over random tasks × bands × z-drop × tilings. The
+    /// `boost` factor scales the match score up to 4096×, pushing a share
+    /// of cases past the i16 exactness gate so the i16→i32 auto-demotion
+    /// path is exercised by the same equality.
+    #[test]
+    fn i16_i32_scalar_bit_identity(
+        r in dna(150),
+        q in dna(150),
+        s in scoring_strategy(),
+        boost in 0usize..3,
+        banded in proptest::bool::ANY,
+        zdrop_on in proptest::bool::ANY,
+        slice in 1usize..20,
+        horizontal in proptest::bool::ANY,
+    ) {
+        let mut s = s;
+        s.match_score *= [1, 64, 4096][boost];
+        let s = if banded { s } else { s.with_band(Scoring::NO_BAND) };
+        let s = if zdrop_on { s } else { s.with_zdrop(Scoring::NO_ZDROP) };
+        let (rp, qp) = (PackedSeq::from_codes(&r), PackedSeq::from_codes(&q));
+        let task = Task { id: 0, reference: rp, query: qp };
+        let cfg = if horizontal {
+            AgathaConfig::baseline()
+        } else {
+            AgathaConfig::agatha().with_slice_width(slice)
+        };
+        let scalar = run_task(&task, &s, &cfg.clone().with_simd_fill(false));
+        let wide = run_task(
+            &task,
+            &s,
+            &cfg.clone().with_simd_fill(true).with_fill_precision(FillPrecision::I32),
+        );
+        let narrow = run_task(
+            &task,
+            &s,
+            &cfg.with_simd_fill(true).with_fill_precision(FillPrecision::I16),
+        );
+        prop_assert_eq!(&scalar, &wide);
+        prop_assert_eq!(&scalar, &narrow);
     }
 
     /// The guided score is monotone in the band width (a wider band can
