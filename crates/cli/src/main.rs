@@ -6,6 +6,7 @@
 //!              [--engine NAME] [--gpus N] [--threads N] [--chunk N] \
 //!              [-o DIR] REF.fasta QUERY.fasta
 //! agatha demo  [--tech hifi|clr|ont] [--reads N] [-o DIR]
+//! agatha serve [--port N] [--window-ms N] [--max-queue N] [--deadline-ms N]
 //! agatha engines
 //! ```
 //!
@@ -15,9 +16,16 @@
 //! are read, aligned on a persistent worker pool (one reusable kernel
 //! workspace per thread) and released chunk by chunk, so memory stays
 //! bounded by `--chunk` regardless of input size.
+//!
+//! `serve` runs the online alignment daemon of `agatha-serve`: NDJSON
+//! requests over a local TCP socket, admission-window batching, bounded
+//! queue with 503-style rejections, deadline drops before kernel
+//! dispatch, and a latency-histogram stats dump on shutdown (SIGTERM,
+//! SIGINT, or a `{"cmd":"shutdown"}` request).
 
 use std::path::PathBuf;
 use std::process::ExitCode;
+use std::sync::atomic::Ordering;
 
 use agatha_align::{FillPrecision, FillTier, Scoring, Task};
 use agatha_baselines::{run_baseline, Baseline};
@@ -25,6 +33,7 @@ use agatha_core::{AgathaConfig, Pipeline};
 use agatha_datasets::{generate, DatasetSpec, Tech};
 use agatha_gpu_sim::GpuSpec;
 use agatha_io::{open_fasta_pairs, write_score_log, write_time_json, Args};
+use agatha_serve::{termination_flag, ServeConfig};
 
 /// Default `--chunk`: tasks held in memory at once when streaming.
 const DEFAULT_CHUNK: usize = 4096;
@@ -41,6 +50,7 @@ fn main() -> ExitCode {
     let result = match command.as_str() {
         "align" => cmd_align(&args),
         "demo" => cmd_demo(&args),
+        "serve" => cmd_serve(&args),
         "engines" => {
             cmd_engines();
             Ok(())
@@ -64,6 +74,7 @@ const USAGE: &str = "\
 usage:
   agatha align [options] REF.fasta QUERY.fasta   score sequence pairs
   agatha demo  [options]                         run on a synthetic dataset
+  agatha serve [options]                         run the online alignment daemon
   agatha engines                                 list available engines
 
 alignment options (AGAThA.sh compatible):
@@ -79,7 +90,7 @@ common options:
   --gpus N        simulate N GPUs (agatha engine only, default 1)
   --threads N     host worker threads (default: all cores)
   --chunk N       streaming chunk size in tasks (align + agatha engine
-                  only, default 4096; 0 = whole batch in one chunk)
+                  only, default 4096, must be at least 1)
   --precision P   host block-fill lane precision (agatha engine only):
                   auto | i32 | i16. auto/i16 run the 16-bit wavefront on
                   every task whose scores provably fit i16 and demote the
@@ -87,7 +98,19 @@ common options:
   --verbose       print per-task fill-precision tier counts
   -o DIR          output directory (default ./output)
   --tech T        demo technology: hifi | clr | ont (default clr)
-  --reads N       demo task count (default 160)";
+  --reads N       demo task count (default 160)
+
+serve options (plus the alignment and common options above):
+  --port N        TCP port on 127.0.0.1 (default 0 = ephemeral; the bound
+                  address is printed on startup)
+  --window-ms N   admission window: how long the first request of a batch
+                  may wait for co-batched company (default 5)
+  --max-batch N   largest batch dispatched to the engine (default 1024)
+  --max-queue N   admission queue bound; offers beyond it are answered
+                  with an immediate 503-style rejection (default 4096)
+  --deadline-ms N server-side default deadline; requests that overstay it
+                  in the queue are dropped before kernel dispatch
+                  (default: none — requests wait forever)";
 
 fn scoring_from_args(args: &Args) -> Result<Scoring, String> {
     Ok(Scoring::new(
@@ -125,10 +148,17 @@ fn host_opts(args: &Args) -> Result<HostOpts, String> {
             FillPrecision::parse(v).map_err(|e| format!("{e}\nusage: --precision auto|i32|i16"))?,
         ),
     };
+    let chunk = args.get_num_checked("chunk", DEFAULT_CHUNK)?;
+    if chunk == 0 {
+        // `--chunk 0` used to mean "whole batch in one chunk", which
+        // silently unbounded the streaming path's memory; an explicit
+        // large chunk says the same thing honestly.
+        return Err("--chunk must be at least 1 (got 0)".to_string());
+    }
     Ok(HostOpts {
         gpus,
         threads: args.get_num_checked("threads", 0usize)?,
-        chunk: args.get_num_checked("chunk", DEFAULT_CHUNK)?,
+        chunk,
         precision,
         verbose: args.has("verbose"),
     })
@@ -326,6 +356,71 @@ fn cmd_demo(args: &Args) -> Result<(), String> {
     write_score_log(&dir.join("score.log"), &scores)?;
     write_time_json(&dir.join("time.json"), &name, ms, ds.tasks.len())?;
     println!("{}: {} tasks via {name}: {ms:.3} ms simulated", ds.name, ds.tasks.len());
+    Ok(())
+}
+
+fn cmd_serve(args: &Args) -> Result<(), String> {
+    let scoring = scoring_from_args(args)?;
+    let opts = host_opts(args)?;
+    let port: u16 = args.get_num_checked("port", 0u16)?;
+    let window_ms: u64 = args.get_num_checked("window-ms", 5u64)?;
+    if window_ms == 0 {
+        return Err("--window-ms must be at least 1 (got 0)".to_string());
+    }
+    let max_batch: usize = args.get_num_checked("max-batch", 1024usize)?;
+    if max_batch == 0 {
+        return Err("--max-batch must be at least 1 (got 0)".to_string());
+    }
+    let max_queue: usize = args.get_num_checked("max-queue", 4096usize)?;
+    if max_queue == 0 {
+        return Err("--max-queue must be at least 1 (got 0)".to_string());
+    }
+    let deadline_ms: Option<u64> = match args.get("deadline-ms") {
+        None => None,
+        Some(_) => Some(args.get_num_checked("deadline-ms", 0u64)?),
+    };
+    if deadline_ms == Some(0) {
+        return Err("--deadline-ms must be at least 1 (got 0)".to_string());
+    }
+
+    let mut cfg = ServeConfig::new(scoring);
+    cfg.config = agatha_config(&opts);
+    cfg.gpus = opts.gpus;
+    cfg.threads = opts.threads;
+    cfg.window_ns = window_ms * 1_000_000;
+    cfg.max_batch = max_batch;
+    cfg.max_queue = max_queue;
+    cfg.default_deadline_ns = deadline_ms.map(|ms| ms * 1_000_000);
+    cfg.addr = format!("127.0.0.1:{port}");
+    let handle = agatha_serve::serve(cfg)?;
+
+    // The address line is the daemon's contract with scripts (and the CLI
+    // tests): flush so a piped stdout sees it before the first request.
+    println!("agatha serve: listening on {}", handle.addr());
+    std::io::Write::flush(&mut std::io::stdout()).ok();
+
+    // Park until either a termination signal or a client-requested
+    // shutdown; both paths drain the queue before the stats dump.
+    let term = termination_flag();
+    loop {
+        if term.load(Ordering::SeqCst) {
+            eprintln!("agatha serve: termination signal, draining");
+            handle.request_shutdown();
+            break;
+        }
+        if handle.shutdown_requested() {
+            break;
+        }
+        std::thread::sleep(std::time::Duration::from_millis(50));
+    }
+    let snapshot = handle.join();
+
+    print!("{}", snapshot.render_table());
+    let dir = out_dir(args)?;
+    let stats_path = dir.join("serve_stats.json");
+    std::fs::write(&stats_path, format!("{}\n", snapshot.to_json()))
+        .map_err(|e| format!("write {}: {e}", stats_path.display()))?;
+    println!("wrote {}", stats_path.display());
     Ok(())
 }
 

@@ -148,7 +148,9 @@ fn chunked_streaming_scores_match_whole_batch() {
         assert!(st.status.success(), "stderr: {}", String::from_utf8_lossy(&st.stderr));
         std::fs::read_to_string(out_dir.join("score.log")).unwrap()
     };
-    let whole = run(&["--chunk", "0"], "whole");
+    // A chunk larger than the input aligns everything in one go (the
+    // retired `--chunk 0` spelling of "whole batch").
+    let whole = run(&["--chunk", "1024"], "whole");
     let chunked = run(&["--chunk", "2", "--threads", "2"], "chunked");
     assert_eq!(whole, chunked, "chunked streaming must score identically");
     assert_eq!(whole.lines().count(), 9);
@@ -314,4 +316,102 @@ fn zero_reads_is_an_error() {
     assert!(!out.status.success(), "--reads 0 must not be clamped to 1");
     let err = String::from_utf8_lossy(&out.stderr);
     assert!(err.contains("--reads") && err.contains("at least 1"), "stderr: {err}");
+}
+
+#[test]
+fn zero_chunk_is_an_error() {
+    // `--chunk 0` used to mean "whole batch in one chunk"; like `--gpus 0`
+    // it is now an explicit usage error.
+    let dir = std::env::temp_dir().join(format!("agatha_cli_c0_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let refs = dir.join("ref.fasta");
+    let queries = dir.join("query.fasta");
+    std::fs::write(&refs, ">1\nACGT\n").unwrap();
+    std::fs::write(&queries, ">1\nACGT\n").unwrap();
+    let out = agatha()
+        .args(["align", "--chunk", "0"])
+        .arg(refs.to_str().unwrap())
+        .arg(queries.to_str().unwrap())
+        .output()
+        .unwrap();
+    assert!(!out.status.success(), "--chunk 0 must be a usage error");
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("--chunk") && err.contains("at least 1"), "stderr: {err}");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn serve_zero_knobs_are_usage_errors() {
+    for (flag, value) in
+        [("--window-ms", "0"), ("--max-queue", "0"), ("--max-batch", "0"), ("--deadline-ms", "0")]
+    {
+        let out = agatha().args(["serve", flag, value]).output().unwrap();
+        assert!(!out.status.success(), "{flag} 0 must be a usage error");
+        let err = String::from_utf8_lossy(&out.stderr);
+        assert!(err.contains(flag) && err.contains("at least 1"), "{flag}: stderr: {err}");
+    }
+}
+
+#[test]
+fn serve_end_to_end_over_the_socket() {
+    use std::io::{BufRead, BufReader, Write};
+
+    let dir = std::env::temp_dir().join(format!("agatha_cli_serve_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let mut child = agatha()
+        .args(["serve", "--port", "0", "--window-ms", "2", "--threads", "2"])
+        .args(["-o", dir.to_str().unwrap()])
+        .stdout(std::process::Stdio::piped())
+        .stderr(std::process::Stdio::piped())
+        .spawn()
+        .unwrap();
+
+    // First stdout line announces the bound address.
+    let mut child_out = BufReader::new(child.stdout.take().unwrap());
+    let mut line = String::new();
+    child_out.read_line(&mut line).unwrap();
+    let addr = line.trim().rsplit(' ').next().expect("address in startup line").to_string();
+    assert!(line.contains("listening on"), "startup line: {line}");
+
+    // Drive the daemon over a raw socket: ping, one alignment, shutdown.
+    let sock = std::net::TcpStream::connect(&addr).unwrap();
+    let mut reader = BufReader::new(sock.try_clone().unwrap());
+    let mut sock = sock;
+    let mut roundtrip = |req: &str| {
+        sock.write_all(req.as_bytes()).unwrap();
+        sock.write_all(b"\n").unwrap();
+        let mut resp = String::new();
+        reader.read_line(&mut resp).unwrap();
+        resp
+    };
+    assert!(roundtrip("{\"cmd\":\"ping\"}").contains("\"status\":\"ok\""));
+    // 16 matches at the default +2 each.
+    let resp = roundtrip("{\"id\":7,\"ref\":\"ACGTACGTACGTACGT\",\"query\":\"ACGTACGTACGTACGT\"}");
+    assert!(resp.contains("\"score\":32"), "align response: {resp}");
+    assert!(resp.contains("\"id\":7"), "align response: {resp}");
+    assert!(roundtrip("{\"cmd\":\"stats\"}").contains("\"completed\":1"));
+    assert!(roundtrip("{\"cmd\":\"shutdown\"}").contains("shutting-down"));
+
+    // The daemon drains, dumps stats, and exits on its own; watchdog-kill
+    // if it wedges instead of hanging the suite.
+    let t0 = std::time::Instant::now();
+    let status = loop {
+        if let Some(status) = child.try_wait().unwrap() {
+            break status;
+        }
+        if t0.elapsed() > std::time::Duration::from_secs(30) {
+            child.kill().ok();
+            panic!("serve did not exit after shutdown request");
+        }
+        std::thread::sleep(std::time::Duration::from_millis(20));
+    };
+    assert!(status.success());
+    let mut rest = String::new();
+    std::io::Read::read_to_string(&mut child_out, &mut rest).unwrap();
+    assert!(rest.contains("completed=1"), "shutdown report: {rest}");
+    assert!(rest.contains("latency (µs)"), "shutdown report: {rest}");
+    let stats = std::fs::read_to_string(dir.join("serve_stats.json")).unwrap();
+    assert!(stats.contains("\"completed\":1"), "stats file: {stats}");
+    assert!(stats.contains("\"total_latency\":"), "stats file: {stats}");
+    std::fs::remove_dir_all(&dir).ok();
 }

@@ -1,0 +1,121 @@
+//! Monotonic time abstraction for the deadline/cancellation paths.
+//!
+//! The serve layer's admission window, deadline expiry, and starvation
+//! accounting are all "has instant X passed yet" decisions. Hiding the
+//! time source behind [`Clock`] lets the daemon run on a real monotonic
+//! clock while unit and property tests drive the exact same state machines
+//! with a hand-advanced [`MockClock`] — no sleeps, no flaky timing.
+//!
+//! The clock domain is nanoseconds since an arbitrary per-clock epoch, as
+//! a `u64` (584 years of range — no wraparound concerns). Absolute
+//! deadlines are expressed in the same domain, so they only make sense
+//! against the clock that produced them.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Instant;
+
+/// A monotonic nanosecond clock.
+pub trait Clock: Send + Sync {
+    /// Nanoseconds since this clock's epoch. Must never decrease.
+    fn now_ns(&self) -> u64;
+}
+
+/// The real monotonic clock, anchored at construction time.
+#[derive(Debug)]
+pub struct SystemClock {
+    epoch: Instant,
+}
+
+impl SystemClock {
+    pub fn new() -> SystemClock {
+        SystemClock { epoch: Instant::now() }
+    }
+}
+
+impl Default for SystemClock {
+    fn default() -> Self {
+        SystemClock::new()
+    }
+}
+
+impl Clock for SystemClock {
+    fn now_ns(&self) -> u64 {
+        // u64 nanoseconds overflow after ~584 years of process uptime.
+        self.epoch.elapsed().as_nanos() as u64
+    }
+}
+
+/// A hand-advanced clock for deterministic tests. Shared via `Arc`: the
+/// test keeps an `Arc<MockClock>` to advance while the code under test
+/// reads it through `Arc<dyn Clock>`.
+#[derive(Debug, Default)]
+pub struct MockClock {
+    now: AtomicU64,
+}
+
+impl MockClock {
+    pub fn new() -> MockClock {
+        MockClock { now: AtomicU64::new(0) }
+    }
+
+    /// Start the clock at `now_ns`.
+    pub fn at(now_ns: u64) -> MockClock {
+        MockClock { now: AtomicU64::new(now_ns) }
+    }
+
+    /// Move time forward by `delta_ns`.
+    pub fn advance_ns(&self, delta_ns: u64) {
+        self.now.fetch_add(delta_ns, Ordering::SeqCst);
+    }
+
+    /// Move time forward by `delta_ms`.
+    pub fn advance_ms(&self, delta_ms: u64) {
+        self.advance_ns(delta_ms * 1_000_000);
+    }
+
+    /// Jump to an absolute tick. Panics on an attempt to move backwards —
+    /// a mock that violates monotonicity would test an impossible world.
+    pub fn set_ns(&self, now_ns: u64) {
+        let prev = self.now.swap(now_ns, Ordering::SeqCst);
+        assert!(now_ns >= prev, "MockClock must not go backwards ({prev} -> {now_ns})");
+    }
+}
+
+impl Clock for MockClock {
+    fn now_ns(&self) -> u64 {
+        self.now.load(Ordering::SeqCst)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn system_clock_is_monotonic() {
+        let c = SystemClock::new();
+        let a = c.now_ns();
+        let b = c.now_ns();
+        assert!(b >= a);
+    }
+
+    #[test]
+    fn mock_clock_advances() {
+        let c = Arc::new(MockClock::new());
+        assert_eq!(c.now_ns(), 0);
+        c.advance_ms(3);
+        assert_eq!(c.now_ns(), 3_000_000);
+        c.set_ns(5_000_000);
+        assert_eq!(c.now_ns(), 5_000_000);
+        let dyn_clock: Arc<dyn Clock> = c.clone();
+        assert_eq!(dyn_clock.now_ns(), 5_000_000);
+    }
+
+    #[test]
+    #[should_panic(expected = "must not go backwards")]
+    fn mock_clock_rejects_time_travel() {
+        let c = MockClock::at(10);
+        c.set_ns(5);
+    }
+}

@@ -12,6 +12,7 @@
 //! per-chunk [`KernelStats`] / warp latencies are folded incrementally into
 //! a [`StreamSummary`].
 
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::mpsc::{channel, Receiver, Sender};
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
@@ -20,6 +21,7 @@ use agatha_align::Task;
 use agatha_gpu_sim::{DeviceReport, KernelStats};
 
 use crate::bucketing::OrderingStrategy;
+use crate::clock::{Clock, SystemClock};
 use crate::kernel::{run_task_ws, KernelWorkspace, TaskRun};
 use crate::pipeline::{BatchReport, Pipeline};
 use crate::trace::SliceUnit;
@@ -36,6 +38,70 @@ struct Job {
     gen: u64,
     idx: usize,
     task: Task,
+    /// Request metadata for the serve path; `None` for plain batch jobs,
+    /// which skip the clock reads and admission checks entirely.
+    meta: Option<JobMeta>,
+}
+
+/// Per-request metadata attached to a tagged job: when it entered the
+/// queue, when it stops being worth executing, and a kill switch flipped
+/// when the requesting client goes away. Times are in the engine clock's
+/// nanosecond domain (see [`crate::clock::Clock`]).
+#[derive(Debug, Clone, Default)]
+pub struct JobMeta {
+    /// Clock tick at which the request was admitted (for queue-latency
+    /// accounting).
+    pub enqueued_ns: u64,
+    /// Absolute deadline: a job still undisptached at this tick is dropped
+    /// *before* kernel dispatch and reported as such.
+    pub deadline_ns: Option<u64>,
+    /// Cooperative cancellation: set by the owner (e.g. on client
+    /// disconnect) to drop the job before dispatch.
+    pub cancel: Option<Arc<AtomicBool>>,
+}
+
+impl JobMeta {
+    fn cancelled(&self) -> bool {
+        self.cancel.as_ref().is_some_and(|c| c.load(Ordering::Acquire))
+    }
+
+    fn expired(&self, now_ns: u64) -> bool {
+        self.deadline_ns.is_some_and(|d| now_ns >= d)
+    }
+}
+
+/// What became of one tagged job. Exactly one outcome is produced per
+/// submitted job — dropped and cancelled jobs are *answered*, not lost.
+#[derive(Debug)]
+pub enum JobOutcome {
+    /// Executed; `queue_ns` is time from enqueue to dispatch, `service_ns`
+    /// the kernel execution time.
+    Completed { run: TaskRun, queue_ns: u64, service_ns: u64 },
+    /// Deadline passed while the job was still queued; the kernel was
+    /// never dispatched.
+    DroppedDeadline { queue_ns: u64 },
+    /// Cancel flag was set before dispatch; the kernel was never
+    /// dispatched.
+    Cancelled { queue_ns: u64 },
+}
+
+/// Monotonic counters for the tagged-job admission decisions, readable at
+/// any time via [`BatchEngine::tag_counters`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct TagCounters {
+    /// Tagged jobs that reached kernel dispatch.
+    pub dispatched: u64,
+    /// Tagged jobs dropped because their deadline passed while queued.
+    pub dropped_deadline: u64,
+    /// Tagged jobs dropped because their cancel flag was set.
+    pub cancelled: u64,
+}
+
+#[derive(Default)]
+struct TagCountersAtomic {
+    dispatched: AtomicU64,
+    dropped_deadline: AtomicU64,
+    cancelled: AtomicU64,
 }
 
 /// A persistent alignment worker pool for one [`Pipeline`] configuration.
@@ -46,30 +112,41 @@ pub struct BatchEngine {
     threads: usize,
     gen: u64,
     job_tx: Option<Sender<Job>>,
-    result_rx: Receiver<(u64, usize, std::thread::Result<TaskRun>)>,
+    result_rx: Receiver<(u64, usize, std::thread::Result<JobOutcome>)>,
     workers: Vec<JoinHandle<()>>,
     /// Spent `TaskRun` output buffers (cost-descriptor vectors) returned by
     /// the per-chunk stats fold; workers drain this into their
     /// [`KernelWorkspace`] so steady-state streaming allocates nothing per
     /// task, not even the run outputs (ROADMAP "TaskRun buffer recycling").
     recycle: Arc<Mutex<Vec<Vec<SliceUnit>>>>,
+    counters: Arc<TagCountersAtomic>,
 }
 
 impl BatchEngine {
     /// Spawn the worker pool (`pipeline.host_threads`, or all available
     /// cores when 0). Each worker owns one [`KernelWorkspace`] for its
-    /// entire lifetime.
+    /// entire lifetime. Deadlines are evaluated against the real monotonic
+    /// clock; use [`BatchEngine::with_clock`] to inject a test clock.
     pub fn new(pipeline: Pipeline) -> BatchEngine {
+        BatchEngine::with_clock(pipeline, Arc::new(SystemClock::new()))
+    }
+
+    /// [`BatchEngine::new`] with an explicit time source for the tagged-job
+    /// deadline checks (tests pass [`crate::clock::MockClock`]).
+    pub fn with_clock(pipeline: Pipeline, clock: Arc<dyn Clock>) -> BatchEngine {
         let threads = pipeline.worker_threads().max(1);
         let (job_tx, job_rx) = channel::<Job>();
         let job_rx = Arc::new(Mutex::new(job_rx));
         let (result_tx, result_rx) = channel();
         let recycle: Arc<Mutex<Vec<Vec<SliceUnit>>>> = Arc::new(Mutex::new(Vec::new()));
+        let counters = Arc::new(TagCountersAtomic::default());
         let workers = (0..threads)
             .map(|_| {
                 let job_rx = Arc::clone(&job_rx);
                 let result_tx = result_tx.clone();
                 let recycle = Arc::clone(&recycle);
+                let counters = Arc::clone(&counters);
+                let clock = Arc::clone(&clock);
                 let scoring = pipeline.scoring;
                 let config = pipeline.config.clone();
                 std::thread::spawn(move || {
@@ -78,7 +155,33 @@ impl BatchEngine {
                         // Hold the queue lock only while drawing a job, not
                         // while executing it.
                         let job = { job_rx.lock().expect("queue lock poisoned").recv() };
-                        let Ok(Job { gen, idx, task }) = job else { break };
+                        let Ok(Job { gen, idx, task, meta }) = job else { break };
+                        // Admission gate for tagged jobs: a cancelled or
+                        // deadline-expired request must never reach kernel
+                        // dispatch — checked here, at the last moment
+                        // before execution.
+                        let dispatch_ns = meta.as_ref().map(|m| {
+                            let now = clock.now_ns();
+                            (now, now.saturating_sub(m.enqueued_ns))
+                        });
+                        if let (Some(m), Some((now, queue_ns))) = (&meta, dispatch_ns) {
+                            let skipped = if m.cancelled() {
+                                counters.cancelled.fetch_add(1, Ordering::Relaxed);
+                                Some(JobOutcome::Cancelled { queue_ns })
+                            } else if m.expired(now) {
+                                counters.dropped_deadline.fetch_add(1, Ordering::Relaxed);
+                                Some(JobOutcome::DroppedDeadline { queue_ns })
+                            } else {
+                                counters.dispatched.fetch_add(1, Ordering::Relaxed);
+                                None
+                            };
+                            if let Some(outcome) = skipped {
+                                if result_tx.send((gen, idx, Ok(outcome))).is_err() {
+                                    break;
+                                }
+                                continue;
+                            }
+                        }
                         // Top up the workspace with spent output buffers so
                         // the run's cost descriptors reuse their capacity.
                         // Drain a small batch under one lock, and only when
@@ -99,14 +202,32 @@ impl BatchEngine {
                         let run = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
                             run_task_ws(&mut ws, &task, &scoring, &config)
                         }));
-                        if result_tx.send((gen, idx, run)).is_err() {
+                        let outcome = run.map(|run| {
+                            let (queue_ns, service_ns) = match dispatch_ns {
+                                Some((start, queue_ns)) => {
+                                    (queue_ns, clock.now_ns().saturating_sub(start))
+                                }
+                                None => (0, 0),
+                            };
+                            JobOutcome::Completed { run, queue_ns, service_ns }
+                        });
+                        if result_tx.send((gen, idx, outcome)).is_err() {
                             break;
                         }
                     }
                 })
             })
             .collect();
-        BatchEngine { pipeline, threads, gen: 0, job_tx: Some(job_tx), result_rx, workers, recycle }
+        BatchEngine {
+            pipeline,
+            threads,
+            gen: 0,
+            job_tx: Some(job_tx),
+            result_rx,
+            workers,
+            recycle,
+            counters,
+        }
     }
 
     /// The pipeline configuration this engine serves.
@@ -123,14 +244,35 @@ impl BatchEngine {
     /// input order. Deterministic: results are reassembled by index, so
     /// worker interleaving never changes the output.
     pub fn run_tasks(&mut self, tasks: Vec<Task>) -> Vec<TaskRun> {
-        let count = tasks.len();
+        self.run_jobs(tasks.into_iter().map(|t| (t, None)).collect())
+            .into_iter()
+            .map(|outcome| match outcome {
+                JobOutcome::Completed { run, .. } => run,
+                // Untagged jobs carry no deadline or cancel flag, so no
+                // other outcome is reachable.
+                other => unreachable!("untagged job produced {other:?}"),
+            })
+            .collect()
+    }
+
+    /// Execute owned tasks with per-request [`JobMeta`] (deadline,
+    /// cancellation, enqueue tick), returning one [`JobOutcome`] per job in
+    /// input order: every job is answered exactly once — completed,
+    /// deadline-dropped, or cancelled — never lost. Dropped and cancelled
+    /// jobs never reach kernel dispatch (see [`BatchEngine::tag_counters`]).
+    pub fn run_tagged(&mut self, jobs: Vec<(Task, JobMeta)>) -> Vec<JobOutcome> {
+        self.run_jobs(jobs.into_iter().map(|(t, m)| (t, Some(m))).collect())
+    }
+
+    fn run_jobs(&mut self, jobs: Vec<(Task, Option<JobMeta>)>) -> Vec<JobOutcome> {
+        let count = jobs.len();
         self.gen += 1;
         let gen = self.gen;
         let job_tx = self.job_tx.as_ref().expect("engine pool is live until drop");
-        for (idx, task) in tasks.into_iter().enumerate() {
-            job_tx.send(Job { gen, idx, task }).expect("worker pool alive");
+        for (idx, (task, meta)) in jobs.into_iter().enumerate() {
+            job_tx.send(Job { gen, idx, task, meta }).expect("worker pool alive");
         }
-        let mut out: Vec<Option<TaskRun>> = (0..count).map(|_| None).collect();
+        let mut out: Vec<Option<JobOutcome>> = (0..count).map(|_| None).collect();
         let mut received = 0;
         while received < count {
             let (g, idx, run) = self.result_rx.recv().expect("worker pool alive");
@@ -140,12 +282,22 @@ impl BatchEngine {
             }
             received += 1;
             match run {
-                Ok(run) => out[idx] = Some(run),
+                Ok(outcome) => out[idx] = Some(outcome),
                 // Re-raise a worker panic on the calling thread.
                 Err(payload) => std::panic::resume_unwind(payload),
             }
         }
-        out.into_iter().map(|r| r.expect("every task executed")).collect()
+        out.into_iter().map(|r| r.expect("every job answered")).collect()
+    }
+
+    /// Snapshot of the tagged-job admission counters (dispatched /
+    /// deadline-dropped / cancelled).
+    pub fn tag_counters(&self) -> TagCounters {
+        TagCounters {
+            dispatched: self.counters.dispatched.load(Ordering::Relaxed),
+            dropped_deadline: self.counters.dropped_deadline.load(Ordering::Relaxed),
+            cancelled: self.counters.cancelled.load(Ordering::Relaxed),
+        }
     }
 
     /// Align one owned chunk end to end (kernel runs → warp assignment →
@@ -185,15 +337,23 @@ impl BatchEngine {
         self.recycle.lock().map(|p| p.len()).unwrap_or(0)
     }
 
-    /// Stream `tasks` through the pool in chunks of `chunk_size`
-    /// (`0` = the whole stream as one chunk). Only one chunk of tasks and
-    /// runs is in memory at a time; iterate the returned [`StreamRun`] for
-    /// per-chunk reports, then call [`StreamRun::finish`] for the folded
-    /// totals.
+    /// Stream `tasks` through the pool in chunks of `chunk_size`. Only one
+    /// chunk of tasks and runs is in memory at a time; iterate the returned
+    /// [`StreamRun`] for per-chunk reports, then call [`StreamRun::finish`]
+    /// for the folded totals. For whole-stream-as-one-chunk behaviour pass
+    /// a chunk size at least as large as the stream.
+    ///
+    /// # Panics
+    ///
+    /// `chunk_size == 0` is a usage error (it used to silently mean
+    /// "unbounded", defeating the memory bound that is the point of
+    /// streaming) and panics with a descriptive message; CLI layers must
+    /// validate `--chunk` before calling.
     pub fn align_stream<I>(&mut self, tasks: I, chunk_size: usize) -> StreamRun<'_, I::IntoIter>
     where
         I: IntoIterator<Item = Task>,
     {
+        assert!(chunk_size >= 1, "align_stream chunk_size must be at least 1 (got 0)");
         StreamRun {
             engine: self,
             tasks: tasks.into_iter(),
@@ -239,7 +399,8 @@ pub struct StreamSummary {
     /// Straggler-device schedule of all the stream's warps as one pooled
     /// submission sequence on the configured device(s) — a chunk's warps
     /// may start in slots freed mid-way through the previous chunk, which
-    /// is why `chunk_size = 0` reproduces `align_batch` exactly.
+    /// is why a chunk size spanning the whole stream reproduces
+    /// `align_batch` exactly.
     pub device: DeviceReport,
     /// Simulated kernel time of the whole stream in milliseconds.
     pub elapsed_ms: f64,
@@ -260,7 +421,7 @@ impl<I: Iterator<Item = Task>> Iterator for StreamRun<'_, I> {
     type Item = ChunkReport;
 
     fn next(&mut self) -> Option<ChunkReport> {
-        let take = if self.chunk_size == 0 { usize::MAX } else { self.chunk_size };
+        let take = self.chunk_size;
         let mut chunk = Vec::new();
         while chunk.len() < take {
             match self.tasks.next() {
@@ -333,7 +494,7 @@ mod tests {
     fn chunked_stream_matches_whole_batch() {
         let tasks = mk_tasks(30, 110, 41);
         let whole = pipeline().align_batch(&tasks);
-        for chunk_size in [1, 7, 30, 0] {
+        for chunk_size in [1, 7, 30, 64] {
             let mut engine = pipeline().engine();
             let mut results = Vec::new();
             let mut run = engine.align_stream(tasks.iter().cloned(), chunk_size);
@@ -350,12 +511,12 @@ mod tests {
 
     #[test]
     fn whole_stream_is_bit_identical_including_schedule() {
-        // chunk_size 0: one chunk spanning the stream — even the warp
-        // latencies and the device schedule must match align_batch exactly.
+        // One chunk spanning the stream — even the warp latencies and the
+        // device schedule must match align_batch exactly.
         let tasks = mk_tasks(18, 90, 7);
         let whole = pipeline().align_batch(&tasks);
         let mut engine = pipeline().engine();
-        let summary = engine.align_stream(tasks.iter().cloned(), 0).finish();
+        let summary = engine.align_stream(tasks.iter().cloned(), tasks.len()).finish();
         assert_eq!(summary.warp_cycles, whole.warp_cycles);
         assert_eq!(summary.device, whole.device);
         assert_eq!(summary.elapsed_ms, whole.elapsed_ms);
@@ -402,5 +563,130 @@ mod tests {
         assert_eq!(summary.tasks, 0);
         assert_eq!(summary.chunks, 0);
         assert_eq!(summary.elapsed_ms, 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "chunk_size must be at least 1")]
+    fn zero_chunk_size_is_a_usage_error() {
+        let mut engine = pipeline().engine();
+        let _ = engine.align_stream(mk_tasks(3, 40, 5), 0);
+    }
+
+    use crate::clock::MockClock;
+
+    fn tagged_engine() -> (BatchEngine, Arc<MockClock>) {
+        let clock = Arc::new(MockClock::new());
+        let mut p = pipeline();
+        p.host_threads = 2;
+        (BatchEngine::with_clock(p, clock.clone()), clock)
+    }
+
+    #[test]
+    fn cancelled_jobs_never_reach_kernel_dispatch() {
+        let (mut engine, _clock) = tagged_engine();
+        let cancel = Arc::new(AtomicBool::new(true));
+        let jobs: Vec<(Task, JobMeta)> = mk_tasks(8, 60, 11)
+            .into_iter()
+            .map(|t| {
+                (
+                    t,
+                    JobMeta {
+                        enqueued_ns: 0,
+                        deadline_ns: None,
+                        cancel: Some(Arc::clone(&cancel)),
+                    },
+                )
+            })
+            .collect();
+        let outcomes = engine.run_tagged(jobs);
+        assert_eq!(outcomes.len(), 8);
+        assert!(outcomes.iter().all(|o| matches!(o, JobOutcome::Cancelled { .. })));
+        let c = engine.tag_counters();
+        assert_eq!(c, TagCounters { dispatched: 0, dropped_deadline: 0, cancelled: 8 });
+        // Nothing executed, so nothing was parked for recycling either: a
+        // cancelled request's buffers cannot leak into another request.
+        assert_eq!(engine.recycled_buffers(), 0);
+    }
+
+    #[test]
+    fn expired_deadlines_drop_before_dispatch() {
+        let (mut engine, clock) = tagged_engine();
+        clock.set_ns(5_000_000);
+        let tasks = mk_tasks(6, 60, 13);
+        let jobs: Vec<(Task, JobMeta)> = tasks
+            .iter()
+            .cloned()
+            .enumerate()
+            .map(|(i, t)| {
+                // Even indices expired 1ms ago; odd ones have 10ms left.
+                let deadline = if i % 2 == 0 { 4_000_000 } else { 15_000_000 };
+                (t, JobMeta { enqueued_ns: 1_000_000, deadline_ns: Some(deadline), cancel: None })
+            })
+            .collect();
+        let outcomes = engine.run_tagged(jobs);
+        let reference = pipeline().align_batch(&tasks);
+        for (i, o) in outcomes.iter().enumerate() {
+            match o {
+                JobOutcome::DroppedDeadline { queue_ns } => {
+                    assert_eq!(i % 2, 0, "only expired jobs may drop");
+                    assert_eq!(*queue_ns, 4_000_000);
+                }
+                JobOutcome::Completed { run, .. } => {
+                    assert_eq!(i % 2, 1, "live jobs must complete");
+                    // The surviving results are bit-identical to the batch
+                    // path on the same tasks.
+                    assert_eq!(run.result, reference.results[i]);
+                }
+                JobOutcome::Cancelled { .. } => panic!("no cancel flags were set"),
+            }
+        }
+        let c = engine.tag_counters();
+        assert_eq!(c, TagCounters { dispatched: 3, dropped_deadline: 3, cancelled: 0 });
+    }
+
+    #[test]
+    fn dropped_jobs_leave_recycling_bit_identical() {
+        // Interleaving dropped work must not corrupt or cross-serve the
+        // recycled unit buffers: chunks aligned after drops stay
+        // bit-identical to the reference.
+        let (mut engine, clock) = tagged_engine();
+        let tasks = mk_tasks(12, 70, 17);
+        let reference = engine.align_chunk(tasks.clone());
+        let parked = engine.recycled_buffers();
+        assert!(parked > 0);
+        clock.set_ns(1_000);
+        let dead: Vec<(Task, JobMeta)> = tasks
+            .iter()
+            .cloned()
+            .map(|t| (t, JobMeta { enqueued_ns: 0, deadline_ns: Some(500), cancel: None }))
+            .collect();
+        let outcomes = engine.run_tagged(dead);
+        assert!(outcomes.iter().all(|o| matches!(o, JobOutcome::DroppedDeadline { .. })));
+        // Dropped jobs produced no runs: the pool neither grew nor served
+        // buffers to phantom requests.
+        assert_eq!(engine.recycled_buffers(), parked);
+        let again = engine.align_chunk(tasks.clone());
+        assert_eq!(again.results, reference.results);
+        assert_eq!(again.stats, reference.stats);
+    }
+
+    #[test]
+    fn tagged_queue_and_service_latencies_are_measured() {
+        let (mut engine, clock) = tagged_engine();
+        clock.set_ns(2_000_000);
+        let jobs: Vec<(Task, JobMeta)> = mk_tasks(3, 50, 19)
+            .into_iter()
+            .map(|t| (t, JobMeta { enqueued_ns: 500_000, deadline_ns: None, cancel: None }))
+            .collect();
+        for o in engine.run_tagged(jobs) {
+            match o {
+                JobOutcome::Completed { queue_ns, .. } => {
+                    // MockClock does not advance during service, but the
+                    // queue wait is exact: dispatch tick − enqueue tick.
+                    assert_eq!(queue_ns, 1_500_000);
+                }
+                other => panic!("expected completion, got {other:?}"),
+            }
+        }
     }
 }

@@ -24,6 +24,7 @@
 //! ([`engine::BatchEngine::align_stream`]).
 
 pub mod bucketing;
+pub mod clock;
 pub mod engine;
 pub mod kernel;
 pub mod model;
@@ -34,7 +35,10 @@ pub mod trace;
 pub mod warp_sim;
 
 pub use bucketing::OrderingStrategy;
-pub use engine::{BatchEngine, ChunkReport, StreamRun, StreamSummary};
+pub use clock::{Clock, MockClock, SystemClock};
+pub use engine::{
+    BatchEngine, ChunkReport, JobMeta, JobOutcome, StreamRun, StreamSummary, TagCounters,
+};
 pub use kernel::{run_task, run_task_ws, KernelWorkspace, TaskRun};
 pub use options::AgathaConfig;
 pub use pipeline::{BatchReport, Pipeline};

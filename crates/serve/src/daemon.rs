@@ -1,0 +1,524 @@
+//! The `agatha serve` daemon: a long-running alignment service over a
+//! local TCP socket speaking the NDJSON protocol of [`crate::protocol`].
+//!
+//! Thread topology:
+//!
+//! * one **acceptor** polls the listener and spawns a reader/writer thread
+//!   pair per connection;
+//! * connection **readers** parse request lines and offer them to the
+//!   shared [`AdmissionWindow`] — a full queue answers 503 *immediately*
+//!   (bounded queue wait, the backpressure contract), a disconnect flips
+//!   the connection's cancel flag so its pending work is dropped before
+//!   kernel dispatch;
+//! * one **batcher** owns the [`BatchEngine`]: it sleeps until the window
+//!   closes, sweeps deadline-expired requests (answered as `dropped`
+//!   without dispatch), hands the batch to the engine via
+//!   [`BatchEngine::run_tagged`], then answers each request and records
+//!   queue/service/total latency in the lock-free [`ServeMetrics`].
+//!
+//! While the batcher executes batch *N*, readers fill window *N+1*, so
+//! admission and kernel execution overlap. All shutdown paths (SIGTERM via
+//! [`termination_flag`], the `{"cmd":"shutdown"}` request, or
+//! [`ServeHandle::request_shutdown`]) drain the queue — every admitted
+//! request is answered before the daemon exits.
+
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU32, Ordering};
+use std::sync::mpsc;
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use agatha_align::{Scoring, Task};
+use agatha_core::clock::{Clock, SystemClock};
+use agatha_core::engine::{BatchEngine, JobMeta, JobOutcome};
+use agatha_core::{AgathaConfig, Pipeline};
+
+use crate::histogram::{MetricsSnapshot, ServeMetrics};
+use crate::protocol::{
+    dropped_response, error_response, ok_response, parse_request, rejected_response, Request,
+};
+use crate::window::{AdmissionWindow, Harvest, Pending, WindowCfg};
+
+/// How often blocked loops re-check the shutdown flag.
+const POLL: Duration = Duration::from_millis(25);
+
+/// Full daemon configuration.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    pub scoring: Scoring,
+    pub config: AgathaConfig,
+    /// Simulated GPUs for the engine pipeline.
+    pub gpus: usize,
+    /// Host worker threads (0 = all cores).
+    pub threads: usize,
+    /// Admission window length in nanoseconds (must be ≥ 1).
+    pub window_ns: u64,
+    /// Largest batch dispatched to the engine at once.
+    pub max_batch: usize,
+    /// Admission queue bound; offers beyond it are rejected with 503.
+    pub max_queue: usize,
+    /// Default per-request deadline (absent = requests wait forever unless
+    /// they carry their own `deadline_ms`).
+    pub default_deadline_ns: Option<u64>,
+    /// Queue waits beyond this count as starvation (0 = derive as
+    /// 8 × `window_ns`).
+    pub starvation_ns: u64,
+    /// Bind address; use port 0 for an ephemeral port.
+    pub addr: String,
+}
+
+impl ServeConfig {
+    pub fn new(scoring: Scoring) -> ServeConfig {
+        ServeConfig {
+            scoring,
+            config: AgathaConfig::agatha(),
+            gpus: 1,
+            threads: 0,
+            window_ns: 5_000_000, // 5ms
+            max_batch: 1024,
+            max_queue: 4096,
+            default_deadline_ns: None,
+            starvation_ns: 0,
+            addr: "127.0.0.1:0".to_string(),
+        }
+    }
+
+    fn window_cfg(&self) -> WindowCfg {
+        WindowCfg {
+            window_ns: self.window_ns,
+            max_batch: self.max_batch,
+            max_queue: self.max_queue,
+        }
+    }
+
+    /// The effective starvation threshold.
+    pub fn starvation_threshold_ns(&self) -> u64 {
+        if self.starvation_ns > 0 {
+            self.starvation_ns
+        } else {
+            8 * self.window_ns
+        }
+    }
+
+    pub fn validate(&self) -> Result<(), String> {
+        self.window_cfg().validate()?;
+        if self.gpus == 0 {
+            return Err("gpus must be at least 1 (got 0)".to_string());
+        }
+        if self.default_deadline_ns == Some(0) {
+            return Err("default deadline must be at least 1ns (omit it for none)".to_string());
+        }
+        Ok(())
+    }
+}
+
+/// Per-request context carried through the admission window: who to
+/// answer, and the connection's cancel flag.
+struct ReqCtx {
+    /// Client-chosen correlation id, echoed in the response.
+    id: i64,
+    reply: mpsc::Sender<String>,
+    cancel: Arc<AtomicBool>,
+}
+
+struct Shared {
+    window: Mutex<AdmissionWindow<ReqCtx>>,
+    wake: Condvar,
+    shutdown: AtomicBool,
+    metrics: Arc<ServeMetrics>,
+    clock: Arc<dyn Clock>,
+    starvation_ns: u64,
+    default_deadline_ns: Option<u64>,
+    /// Engine-side task ids (diagnostic only; response routing uses the
+    /// client id in [`ReqCtx`]).
+    task_seq: AtomicU32,
+}
+
+impl Shared {
+    fn request_shutdown(&self) {
+        self.shutdown.store(true, Ordering::SeqCst);
+        // Wake the batcher so the drain starts immediately.
+        let _guard = self.window.lock().expect("window lock poisoned");
+        self.wake.notify_all();
+    }
+}
+
+/// A running daemon. Obtain with [`serve`]; stop with
+/// [`ServeHandle::shutdown`] (or SIGTERM / a `{"cmd":"shutdown"}` request
+/// followed by [`ServeHandle::join`]).
+pub struct ServeHandle {
+    addr: SocketAddr,
+    shared: Arc<Shared>,
+    acceptor: JoinHandle<()>,
+    batcher: JoinHandle<()>,
+}
+
+impl ServeHandle {
+    /// The bound socket address (resolves port 0).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Live metrics (lock-free reads; snapshot at any time).
+    pub fn metrics(&self) -> Arc<ServeMetrics> {
+        Arc::clone(&self.shared.metrics)
+    }
+
+    /// Whether a shutdown (signal, request, or explicit) is in progress.
+    pub fn shutdown_requested(&self) -> bool {
+        self.shared.shutdown.load(Ordering::SeqCst)
+    }
+
+    /// Begin shutdown without waiting for the drain.
+    pub fn request_shutdown(&self) {
+        self.shared.request_shutdown();
+    }
+
+    /// Wait until the daemon has drained and exited; returns the final
+    /// metrics snapshot (the SIGTERM/shutdown stats dump).
+    pub fn join(self) -> MetricsSnapshot {
+        self.batcher.join().expect("batcher panicked");
+        self.acceptor.join().expect("acceptor panicked");
+        self.shared.metrics.snapshot()
+    }
+
+    /// [`ServeHandle::request_shutdown`] + [`ServeHandle::join`].
+    pub fn shutdown(self) -> MetricsSnapshot {
+        self.request_shutdown();
+        self.join()
+    }
+}
+
+/// Start the daemon on the real monotonic clock.
+pub fn serve(cfg: ServeConfig) -> Result<ServeHandle, String> {
+    serve_with_clock(cfg, Arc::new(SystemClock::new()))
+}
+
+/// Start the daemon with an explicit time source (tests).
+pub fn serve_with_clock(cfg: ServeConfig, clock: Arc<dyn Clock>) -> Result<ServeHandle, String> {
+    cfg.validate()?;
+    let listener = TcpListener::bind(&cfg.addr).map_err(|e| format!("bind {}: {e}", cfg.addr))?;
+    let addr = listener.local_addr().map_err(|e| e.to_string())?;
+    listener.set_nonblocking(true).map_err(|e| e.to_string())?;
+
+    let shared = Arc::new(Shared {
+        window: Mutex::new(AdmissionWindow::new(cfg.window_cfg())?),
+        wake: Condvar::new(),
+        shutdown: AtomicBool::new(false),
+        metrics: Arc::new(ServeMetrics::new()),
+        clock,
+        starvation_ns: cfg.starvation_threshold_ns(),
+        default_deadline_ns: cfg.default_deadline_ns,
+        task_seq: AtomicU32::new(0),
+    });
+
+    let mut pipeline = Pipeline::new(cfg.scoring, cfg.config.clone()).with_gpus(cfg.gpus);
+    pipeline.host_threads = cfg.threads;
+    let engine = BatchEngine::with_clock(pipeline, Arc::clone(&shared.clock));
+
+    let batcher = {
+        let shared = Arc::clone(&shared);
+        std::thread::spawn(move || batcher_loop(engine, &shared))
+    };
+    let acceptor = {
+        let shared = Arc::clone(&shared);
+        std::thread::spawn(move || acceptor_loop(listener, &shared))
+    };
+    Ok(ServeHandle { addr, shared, acceptor, batcher })
+}
+
+fn acceptor_loop(listener: TcpListener, shared: &Arc<Shared>) {
+    let mut conns: Vec<JoinHandle<()>> = Vec::new();
+    while !shared.shutdown.load(Ordering::SeqCst) {
+        match listener.accept() {
+            Ok((stream, _peer)) => {
+                let shared = Arc::clone(shared);
+                conns.push(std::thread::spawn(move || connection_loop(stream, &shared)));
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                std::thread::sleep(Duration::from_millis(1));
+            }
+            Err(_) => std::thread::sleep(Duration::from_millis(1)),
+        }
+        // Reap finished connection threads so a long-lived daemon doesn't
+        // accumulate handles.
+        conns.retain(|h| !h.is_finished());
+    }
+    for h in conns {
+        let _ = h.join();
+    }
+}
+
+fn connection_loop(stream: TcpStream, shared: &Arc<Shared>) {
+    let _ = stream.set_nodelay(true);
+    let _ = stream.set_read_timeout(Some(POLL));
+    let Ok(write_half) = stream.try_clone() else { return };
+
+    // Dedicated writer: responses are produced by this reader (errors,
+    // rejections) *and* by the batcher thread (completions, drops), so all
+    // writes funnel through one channel to keep lines atomic.
+    let (reply_tx, reply_rx) = mpsc::channel::<String>();
+    let writer = std::thread::spawn(move || {
+        let mut out = write_half;
+        for line in reply_rx {
+            let mut bytes = line.into_bytes();
+            bytes.push(b'\n');
+            if out.write_all(&bytes).is_err() {
+                break;
+            }
+        }
+    });
+
+    // One cancel flag for the whole connection: a disconnect cancels every
+    // request this client still has in flight.
+    let cancel = Arc::new(AtomicBool::new(false));
+    let mut input = stream;
+    let mut buf = Vec::new();
+    let mut chunk = [0u8; 8192];
+    'outer: loop {
+        if shared.shutdown.load(Ordering::SeqCst) {
+            break;
+        }
+        match input.read(&mut chunk) {
+            Ok(0) => {
+                // Client closed: its pending work is no longer wanted.
+                cancel.store(true, Ordering::Release);
+                break;
+            }
+            Ok(n) => {
+                buf.extend_from_slice(&chunk[..n]);
+                while let Some(eol) = buf.iter().position(|&b| b == b'\n') {
+                    let line: Vec<u8> = buf.drain(..=eol).collect();
+                    let line = String::from_utf8_lossy(&line[..line.len() - 1]).into_owned();
+                    if line.trim().is_empty() {
+                        continue;
+                    }
+                    if handle_line(&line, shared, &reply_tx, &cancel) == Flow::Close {
+                        break 'outer;
+                    }
+                }
+            }
+            Err(e)
+                if e.kind() == std::io::ErrorKind::WouldBlock
+                    || e.kind() == std::io::ErrorKind::TimedOut =>
+            {
+                continue;
+            }
+            Err(_) => {
+                cancel.store(true, Ordering::Release);
+                break;
+            }
+        }
+    }
+    drop(reply_tx);
+    // The writer drains replies already queued (including ones the batcher
+    // is still producing through its own sender clones), then exits when
+    // the last sender drops.
+    let _ = writer.join();
+}
+
+#[derive(PartialEq)]
+enum Flow {
+    Continue,
+    Close,
+}
+
+fn handle_line(
+    line: &str,
+    shared: &Arc<Shared>,
+    reply_tx: &mpsc::Sender<String>,
+    cancel: &Arc<AtomicBool>,
+) -> Flow {
+    let req = match parse_request(line) {
+        Ok(req) => req,
+        Err(e) => {
+            let _ = reply_tx.send(error_response(None, &e));
+            return Flow::Continue;
+        }
+    };
+    match req {
+        Request::Ping => {
+            let _ = reply_tx.send("{\"status\":\"ok\"}".to_string());
+        }
+        Request::Stats => {
+            let _ = reply_tx.send(shared.metrics.snapshot().to_json());
+        }
+        Request::Shutdown => {
+            let _ = reply_tx.send("{\"status\":\"shutting-down\"}".to_string());
+            shared.request_shutdown();
+            return Flow::Close;
+        }
+        Request::Align(a) => {
+            if shared.shutdown.load(Ordering::SeqCst) {
+                shared.metrics.rejected.fetch_add(1, Ordering::Relaxed);
+                let _ = reply_tx.send(rejected_response(a.id));
+                return Flow::Continue;
+            }
+            let task = Task::from_strs(
+                shared.task_seq.fetch_add(1, Ordering::Relaxed),
+                &a.reference,
+                &a.query,
+            );
+            if let Err(e) = task.admit() {
+                let _ = reply_tx.send(error_response(Some(a.id), &e));
+                return Flow::Continue;
+            }
+            let now = shared.clock.now_ns();
+            let deadline_ns = a
+                .deadline_ms
+                .map(|ms| now + ms * 1_000_000)
+                .or_else(|| shared.default_deadline_ns.map(|d| now + d));
+            let pending = Pending {
+                task,
+                deadline_ns,
+                enqueued_ns: now,
+                ctx: ReqCtx { id: a.id, reply: reply_tx.clone(), cancel: Arc::clone(cancel) },
+            };
+            let mut window = shared.window.lock().expect("window lock poisoned");
+            match window.offer(pending, now) {
+                Ok(()) => shared.wake.notify_all(),
+                Err(rejected) => {
+                    // Bounded-queue backpressure: answer 503 now, while
+                    // still holding nothing but the reply channel — the
+                    // client sees the rejection without any batch wait.
+                    drop(window);
+                    shared.metrics.rejected.fetch_add(1, Ordering::Relaxed);
+                    let _ = rejected.ctx.reply.send(rejected_response(rejected.ctx.id));
+                }
+            }
+        }
+    }
+    Flow::Continue
+}
+
+fn batcher_loop(mut engine: BatchEngine, shared: &Arc<Shared>) {
+    while let Some(harvest) = next_harvest(shared) {
+        answer_harvest(&mut engine, shared, harvest);
+    }
+}
+
+/// Block until there is something to answer: expired requests, a closed
+/// window's batch, or (on shutdown with an empty queue) `None` to exit.
+fn next_harvest(shared: &Arc<Shared>) -> Option<Harvest<ReqCtx>> {
+    let mut window = shared.window.lock().expect("window lock poisoned");
+    loop {
+        let now = shared.clock.now_ns();
+        if shared.shutdown.load(Ordering::SeqCst) {
+            window.force_close(now);
+        }
+        let harvest = window.collect_due(now);
+        if !harvest.batch.is_empty() || !harvest.expired.is_empty() {
+            return Some(harvest);
+        }
+        if shared.shutdown.load(Ordering::SeqCst) && window.is_empty() {
+            return None;
+        }
+        let wait = match window.next_due() {
+            Some(due) => Duration::from_nanos(due.saturating_sub(now).max(1)).min(POLL),
+            None => POLL,
+        };
+        let (guard, _timeout) =
+            shared.wake.wait_timeout(window, wait).expect("window lock poisoned");
+        window = guard;
+    }
+}
+
+fn answer_harvest(engine: &mut BatchEngine, shared: &Arc<Shared>, harvest: Harvest<ReqCtx>) {
+    let metrics = &shared.metrics;
+    // Window-level expiries: the deadline passed while the request sat in
+    // the admission queue; it never reached the engine.
+    for p in harvest.expired {
+        let now = shared.clock.now_ns();
+        let queue_ns = now.saturating_sub(p.enqueued_ns);
+        record_drop(shared, queue_ns);
+        let _ = p.ctx.reply.send(dropped_response(p.ctx.id, queue_ns / 1_000));
+    }
+    if harvest.batch.is_empty() {
+        return;
+    }
+    metrics.batches.fetch_add(1, Ordering::Relaxed);
+    let mut ctxs = Vec::with_capacity(harvest.batch.len());
+    let jobs: Vec<(Task, JobMeta)> = harvest
+        .batch
+        .into_iter()
+        .map(|p| {
+            let meta = JobMeta {
+                enqueued_ns: p.enqueued_ns,
+                deadline_ns: p.deadline_ns,
+                cancel: Some(Arc::clone(&p.ctx.cancel)),
+            };
+            ctxs.push((p.ctx, p.enqueued_ns));
+            (p.task, meta)
+        })
+        .collect();
+    let outcomes = engine.run_tagged(jobs);
+    for (outcome, (ctx, enqueued_ns)) in outcomes.into_iter().zip(ctxs) {
+        match outcome {
+            JobOutcome::Completed { run, queue_ns, service_ns } => {
+                let total_ns = shared.clock.now_ns().saturating_sub(enqueued_ns);
+                metrics.completed.fetch_add(1, Ordering::Relaxed);
+                metrics.queue.record_ns(queue_ns);
+                metrics.service.record_ns(service_ns);
+                metrics.total.record_ns(total_ns);
+                if queue_ns > shared.starvation_ns {
+                    metrics.starved.fetch_add(1, Ordering::Relaxed);
+                }
+                let _ = ctx.reply.send(ok_response(
+                    ctx.id,
+                    run.result.score,
+                    queue_ns / 1_000,
+                    service_ns / 1_000,
+                    total_ns / 1_000,
+                ));
+            }
+            JobOutcome::DroppedDeadline { queue_ns } => {
+                record_drop(shared, queue_ns);
+                let _ = ctx.reply.send(dropped_response(ctx.id, queue_ns / 1_000));
+            }
+            JobOutcome::Cancelled { queue_ns } => {
+                // The client is gone; account for it, nobody to answer.
+                metrics.cancelled.fetch_add(1, Ordering::Relaxed);
+                metrics.queue.record_ns(queue_ns);
+            }
+        }
+    }
+}
+
+fn record_drop(shared: &Arc<Shared>, queue_ns: u64) {
+    let metrics = &shared.metrics;
+    metrics.dropped_deadline.fetch_add(1, Ordering::Relaxed);
+    metrics.queue.record_ns(queue_ns);
+    metrics.total.record_ns(queue_ns);
+    if queue_ns > shared.starvation_ns {
+        metrics.starved.fetch_add(1, Ordering::Relaxed);
+    }
+}
+
+static TERM_FLAG: AtomicBool = AtomicBool::new(false);
+
+extern "C" fn on_termination_signal(_sig: i32) {
+    // Async-signal-safe: a single atomic store.
+    TERM_FLAG.store(true, Ordering::SeqCst);
+}
+
+/// Install SIGTERM/SIGINT handlers (idempotent) and return the flag they
+/// set. The CLI polls this to turn a signal into a graceful
+/// drain-and-dump shutdown. On non-Unix targets the flag simply never
+/// fires. Uses the platform libc `signal` symbol directly — no crates.
+pub fn termination_flag() -> &'static AtomicBool {
+    #[cfg(unix)]
+    {
+        extern "C" {
+            fn signal(signum: i32, handler: extern "C" fn(i32)) -> usize;
+        }
+        const SIGINT: i32 = 2;
+        const SIGTERM: i32 = 15;
+        unsafe {
+            signal(SIGTERM, on_termination_signal);
+            signal(SIGINT, on_termination_signal);
+        }
+    }
+    &TERM_FLAG
+}

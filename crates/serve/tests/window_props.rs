@@ -1,0 +1,186 @@
+//! Property test of the admission-window state machine: under random
+//! arrival / deadline / collection schedules driven by a [`MockClock`],
+//! every offered request ends in **exactly one** terminal state —
+//! rejected at admission, expired (deadline drop), or batched — never
+//! lost, never double-answered.
+
+use std::collections::HashMap;
+
+use agatha_align::Task;
+use agatha_serve::{AdmissionWindow, Clock, MockClock, Pending, WindowCfg};
+use proptest::prelude::*;
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Terminal {
+    Rejected,
+    Expired,
+    Batched,
+}
+
+/// Record a terminal state, failing on any double answer.
+fn settle(
+    outcomes: &mut HashMap<u32, Terminal>,
+    id: u32,
+    state: Terminal,
+) -> Result<(), TestCaseError> {
+    if let Some(prev) = outcomes.insert(id, state) {
+        return Err(TestCaseError::fail(format!(
+            "request {id} answered twice: {prev:?} then {state:?}"
+        )));
+    }
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(192))]
+
+    #[test]
+    fn every_offer_reaches_exactly_one_terminal_state(
+        // (advance_ns, action, deadline_offset_ns) — action 0/1 offer
+        // (without / with a deadline), 2 collect.
+        events in collection::vec((0u64..3_000_000, 0u8..3, 1u64..6_000_000), 1..160),
+        window_ns in 1u64..4_000_000,
+        max_batch in 1usize..7,
+        max_queue in 1usize..9,
+    ) {
+        let cfg = WindowCfg { window_ns, max_batch, max_queue };
+        let clock = MockClock::new();
+        let mut window: AdmissionWindow<u32> = AdmissionWindow::new(cfg).unwrap();
+        let mut outcomes: HashMap<u32, Terminal> = HashMap::new();
+        let mut deadlines: HashMap<u32, Option<u64>> = HashMap::new();
+        let mut next_id = 0u32;
+
+        for (advance_ns, action, deadline_offset) in events {
+            clock.advance_ns(advance_ns);
+            let now = clock.now_ns();
+            match action {
+                0 | 1 => {
+                    let id = next_id;
+                    next_id += 1;
+                    let deadline_ns = (action == 1).then(|| now + deadline_offset);
+                    deadlines.insert(id, deadline_ns);
+                    let queued_before = window.len();
+                    let pending = Pending {
+                        task: Task::from_strs(id, "ACGT", "ACGA"),
+                        deadline_ns,
+                        enqueued_ns: now,
+                        ctx: id,
+                    };
+                    match window.offer(pending, now) {
+                        Ok(()) => {
+                            prop_assert!(
+                                queued_before < max_queue,
+                                "admitted past the queue bound ({queued_before} >= {max_queue})"
+                            );
+                        }
+                        Err(back) => {
+                            // Rejections hand the request back untouched and
+                            // only happen at the bound.
+                            prop_assert_eq!(back.ctx, id);
+                            prop_assert_eq!(queued_before, max_queue);
+                            settle(&mut outcomes, id, Terminal::Rejected)?;
+                        }
+                    }
+                }
+                _ => {
+                    let harvest = window.collect_due(now);
+                    prop_assert!(
+                        harvest.batch.len() <= max_batch,
+                        "batch of {} exceeds max_batch {max_batch}",
+                        harvest.batch.len()
+                    );
+                    for p in harvest.expired {
+                        let d = deadlines[&p.ctx].expect("expired request had no deadline");
+                        prop_assert!(
+                            d <= now,
+                            "request {} expired at tick {now} before its deadline {d}",
+                            p.ctx
+                        );
+                        settle(&mut outcomes, p.ctx, Terminal::Expired)?;
+                    }
+                    for p in harvest.batch {
+                        if let Some(d) = deadlines[&p.ctx] {
+                            prop_assert!(
+                                d > now,
+                                "request {} was batched at tick {now} past its deadline {d}",
+                                p.ctx
+                            );
+                        }
+                        settle(&mut outcomes, p.ctx, Terminal::Batched)?;
+                    }
+                }
+            }
+            prop_assert!(window.len() <= max_queue, "queue grew past its bound");
+        }
+
+        // Final drain: step past the window repeatedly; the leftover
+        // re-open rule makes back-to-back collections due immediately, so
+        // this terminates with an empty queue.
+        let mut guard = 0;
+        loop {
+            clock.advance_ns(window_ns + 1);
+            let now = clock.now_ns();
+            let harvest = window.collect_due(now);
+            for p in harvest.expired {
+                settle(&mut outcomes, p.ctx, Terminal::Expired)?;
+            }
+            for p in harvest.batch {
+                settle(&mut outcomes, p.ctx, Terminal::Batched)?;
+            }
+            if window.is_empty() {
+                break;
+            }
+            guard += 1;
+            prop_assert!(guard < 10_000, "drain did not terminate");
+        }
+
+        // Exactly-once: every offered request has exactly one terminal
+        // state (the double-answer direction is enforced by `settle`).
+        prop_assert!(
+            outcomes.len() == next_id as usize,
+            "lost requests: answered {} of {}",
+            outcomes.len(),
+            next_id
+        );
+        for id in 0..next_id {
+            prop_assert!(outcomes.contains_key(&id), "request {id} was never answered");
+        }
+    }
+
+    /// The window-close invariants on their own: a window never closes
+    /// before `window_ns` unless a full batch arrived, and a closed
+    /// window's batch preserves FIFO order.
+    #[test]
+    fn batches_preserve_fifo_order(
+        count in 1usize..40,
+        window_ns in 1u64..1_000_000,
+        max_batch in 1usize..6,
+    ) {
+        let cfg = WindowCfg { window_ns, max_batch, max_queue: 64 };
+        let clock = MockClock::new();
+        let mut window: AdmissionWindow<u32> = AdmissionWindow::new(cfg).unwrap();
+        for id in 0..count as u32 {
+            clock.advance_ns(1);
+            let now = clock.now_ns();
+            let p = Pending {
+                task: Task::from_strs(id, "ACGT", "ACGT"),
+                deadline_ns: None,
+                enqueued_ns: now,
+                ctx: id,
+            };
+            // max_queue is 64 ≥ count: offers never reject here.
+            prop_assert!(window.offer(p, now).is_ok());
+        }
+        let mut served = Vec::new();
+        let mut guard = 0;
+        while !window.is_empty() {
+            clock.advance_ns(window_ns + 1);
+            let harvest = window.collect_due(clock.now_ns());
+            prop_assert!(harvest.expired.is_empty());
+            served.extend(harvest.batch.into_iter().map(|p| p.ctx));
+            guard += 1;
+            prop_assert!(guard < 10_000, "drain did not terminate");
+        }
+        prop_assert_eq!(served, (0..count as u32).collect::<Vec<_>>());
+    }
+}

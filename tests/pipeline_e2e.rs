@@ -75,7 +75,9 @@ fn chunked_streaming_is_bit_identical_to_whole_batch() {
     let d = dataset(Tech::Clr, 47, 150);
     let p = Pipeline::new(d.scoring, AgathaConfig::agatha());
     let whole = p.align_batch(&d.tasks);
-    for chunk_size in [11, 64, 0] {
+    // The final size spans the whole 150-task stream in one chunk (a bare
+    // `0` is a usage error since the serve hardening).
+    for chunk_size in [11, 64, 1024] {
         let mut engine = p.engine();
         let mut results = Vec::new();
         let mut chunks = 0;
