@@ -18,11 +18,11 @@
 //! their cost models for the corresponding accesses while delegating the
 //! *values* here.
 
-use crate::block::{BlockCells, BlockCells16, BLOCK_DIAGS};
+use crate::block::{block_diags, BlockCellsT};
 use crate::guided::{diag_cells, zdrop_triggered};
 use crate::result::{GuidedResult, MaxCell, StopReason};
 use crate::scoring::Scoring;
-use crate::NEG_INF;
+use crate::{MAX_BLOCK_DIAGS, NEG_INF};
 
 /// Tracks per-anti-diagonal completion, local maxima and the Z-drop
 /// condition for one alignment task.
@@ -148,21 +148,26 @@ impl DiagTracker {
     /// order against the carried-over maximum from other blocks), and cells
     /// on already-finalized anti-diagonals (run-ahead past termination) are
     /// skipped whole-diagonal at a time.
-    pub fn on_block(&mut self, cells: &BlockCells) {
-        self.fold_block(cells.i0(), cells.j0(), &cells.mask, |d, l| cells.h[d][l]);
+    ///
+    /// Generic over the block side `B`: the fold walks the first `2B−1`
+    /// staged diagonals, so both geometries share one code path and cannot
+    /// diverge semantically.
+    pub fn on_block<const B: usize>(&mut self, cells: &BlockCellsT<i32, B>) {
+        self.fold_block(cells.i0(), cells.j0(), &cells.mask, B as i64, |d, l| cells.h[d][l]);
     }
 
     /// [`DiagTracker::on_block`] for the 16-bit fill tier: folds a
-    /// [`BlockCells16`] staging buffer, widening each valid lane to score
-    /// space. Valid-lane values are bit-identical to the i32 tiers under
-    /// the `i16_exact` gate, so the fold observes exactly the same scores.
+    /// 16-bit staging buffer of either geometry, widening each valid lane
+    /// to score space. Valid-lane values are bit-identical to the i32 tiers
+    /// under the `i16_exact` gate, so the fold observes exactly the same
+    /// scores.
     ///
     /// The staging buffer must come from a gate-admitted i16 fill: that
     /// guarantees every valid lane holds a *real* score (strictly above the
     /// masked-lane sentinel band), which the vectorised per-diagonal argmax
     /// below relies on. Fills driven past the gate would already have
     /// corrupted values; this fold adds no failure mode of its own.
-    pub fn on_block_i16(&mut self, cells: &BlockCells16) {
+    pub fn on_block_i16<const B: usize>(&mut self, cells: &BlockCellsT<i16, B>) {
         #[cfg(target_arch = "x86_64")]
         match self.fold_backend {
             // SAFETY: `fold_backend` is only set to a vector variant after
@@ -173,40 +178,64 @@ impl DiagTracker {
             }
             crate::simd::WavefrontBackend::Portable => {}
         }
-        self.fold_block(cells.i0(), cells.j0(), &cells.mask, |d, l| i32::from(cells.h[d][l]));
+        self.fold_block(cells.i0(), cells.j0(), &cells.mask, B as i64, |d, l| {
+            i32::from(cells.h[d][l])
+        });
     }
 
     /// Vectorised [`DiagTracker::on_block_i16`] body: the shared fold
-    /// scaffold with one `phminposuw` per block diagonal as the argmax — it
-    /// computes the local maximum *and* its smallest lane (the canonical
+    /// scaffold with `phminposuw` as the per-diagonal argmax — it computes
+    /// the local maximum *and* its smallest lane (the canonical
     /// ascending-`i` tie-break) in a single instruction, via the
     /// order-reversing map `y = 0x7FFF - h` (max-`h` with ties to the
     /// smallest lane becomes min-`y` at the first index, which is exactly
     /// what `phminposuw` returns). Masked lanes hold [`crate::simd::NEG_INF16`],
     /// whose `y` is strictly above every real lane's, so they never win.
-    /// `inline(always)` with no `target_feature` of its own so each feature
-    /// wrapper below recompiles it at its own feature level (the AVX2 copy
-    /// gets VEX encodings); never codegenned standalone.
+    ///
+    /// `phminposuw` is 128-bit only, so the wide geometry (`B = 16`) reduces
+    /// each half-row separately and merges with ties to the low half — lane
+    /// numbers ascend with `i`, so "low half on ties" is the same
+    /// ascending-`i` tie-break. `inline(always)` with no `target_feature`
+    /// of its own so each feature wrapper below recompiles it at its own
+    /// feature level (the AVX2 copy gets VEX encodings); never codegenned
+    /// standalone.
     ///
     /// # Safety
     /// Requires SSE4.1 (guaranteed by both wrappers).
     #[cfg(target_arch = "x86_64")]
     #[inline(always)]
-    unsafe fn fold_i16_vector(&mut self, cells: &BlockCells16) {
+    unsafe fn fold_i16_vector<const B: usize>(&mut self, cells: &BlockCellsT<i16, B>) {
         #[allow(clippy::wildcard_imports)]
         use std::arch::x86_64::*;
         let bias = _mm_set1_epi16(i16::MAX);
+        // One 128-bit reduction: order-reversed min over eight i16 lanes
+        // starting at `ptr`, returning (score, lane).
+        let minpos = |ptr: *const i16| {
+            // Wrapping `0x7FFF - h` is the exact u16 bit pattern of the
+            // order-reversed score, for the full i16 range.
+            let row = _mm_loadu_si128(ptr.cast::<__m128i>());
+            let packed = _mm_cvtsi128_si32(_mm_minpos_epu16(_mm_sub_epi16(bias, row))) as u32;
+            let h = i32::from(i16::MAX) - i32::from((packed & 0xFFFF) as u16);
+            (h, (packed >> 16) as usize & 7)
+        };
         self.fold_block_argmax(
             cells.i0(),
             cells.j0(),
             &cells.mask,
+            B as i64,
             |d, _lo, _hi| {
-                // Wrapping `0x7FFF - h` is the exact u16 bit pattern of the
-                // order-reversed score, for the full i16 range.
-                let row = _mm_loadu_si128(cells.h[d].as_ptr().cast::<__m128i>());
-                let packed = _mm_cvtsi128_si32(_mm_minpos_epu16(_mm_sub_epi16(bias, row))) as u32;
-                let h = i32::from(i16::MAX) - i32::from((packed & 0xFFFF) as u16);
-                (h, (packed >> 16) as usize & 7)
+                let (h, l) = minpos(cells.h[d].as_ptr());
+                if B == crate::BLOCK {
+                    return (h, l);
+                }
+                // Wide row: reduce the high half too; strict `>` keeps the
+                // low half (smaller `i`) on equal scores.
+                let (h_hi, l_hi) = minpos(cells.h[d].as_ptr().add(8));
+                if h_hi > h {
+                    (h_hi, l_hi + 8)
+                } else {
+                    (h, l)
+                }
             },
             |d, l| i32::from(cells.h[d][l]),
         );
@@ -218,7 +247,7 @@ impl DiagTracker {
     /// Requires SSE4.1 (checked by the dispatcher).
     #[cfg(target_arch = "x86_64")]
     #[target_feature(enable = "sse4.1")]
-    unsafe fn on_block_i16_sse41(&mut self, cells: &BlockCells16) {
+    unsafe fn on_block_i16_sse41<const B: usize>(&mut self, cells: &BlockCellsT<i16, B>) {
         self.fold_i16_vector(cells);
     }
 
@@ -228,7 +257,7 @@ impl DiagTracker {
     /// Requires AVX2 (checked by the dispatcher).
     #[cfg(target_arch = "x86_64")]
     #[target_feature(enable = "avx2")]
-    unsafe fn on_block_i16_avx2(&mut self, cells: &BlockCells16) {
+    unsafe fn on_block_i16_avx2<const B: usize>(&mut self, cells: &BlockCellsT<i16, B>) {
         self.fold_i16_vector(cells);
     }
 
@@ -241,13 +270,15 @@ impl DiagTracker {
         &mut self,
         i0: i32,
         j0: i32,
-        mask: &[u8; BLOCK_DIAGS],
+        mask: &[u16; MAX_BLOCK_DIAGS],
+        b: i64,
         h: impl Fn(usize, usize) -> i32,
     ) {
         self.fold_block_argmax(
             i0,
             j0,
             mask,
+            b,
             |d, lo, hi| {
                 // Ascending-lane scan with strict `>`: equal scores keep
                 // the earlier (smaller-`i`) lane.
@@ -274,21 +305,27 @@ impl DiagTracker {
     /// staged value. Folding the diagonal-local argmax into the carried
     /// maximum with the same (score desc, `i` asc) order is equivalent to
     /// the reference ascending-`i` per-cell scan.
+    ///
+    /// Geometry arrives as one runtime value (`b` lanes per diagonal; the
+    /// `2b−1` staged-diagonal count follows from it) so the one scaffold
+    /// serves every monomorphization of the public folds.
     #[inline(always)]
     fn fold_block_argmax(
         &mut self,
         i0: i32,
         j0: i32,
-        mask: &[u8; BLOCK_DIAGS],
+        mask: &[u16; MAX_BLOCK_DIAGS],
+        b: i64,
         mut argmax: impl FnMut(usize, usize, usize) -> (i32, usize),
         h: impl Fn(usize, usize) -> i32,
     ) {
+        let diags = block_diags(b as usize);
         let c0 = i0 as usize + j0 as usize;
         // At most one cell per anti-diagonal sits on the last query column
         // (j == m-1): lane l = d - kq. Constant across the block.
         let kq = self.m - 1 - j0 as i64;
-        let block_touches_qend = (0..crate::BLOCK as i64).contains(&kq);
-        for (d, &m) in mask.iter().enumerate() {
+        let block_touches_qend = (0..b).contains(&kq);
+        for (d, &m) in mask.iter().enumerate().take(diags) {
             if m == 0 {
                 continue; // no valid cell on this block diagonal
             }
@@ -298,10 +335,12 @@ impl DiagTracker {
             }
             debug_assert!(c < self.total, "block diagonal {c} outside table");
             self.seen[c] += m.count_ones();
-            // Valid lanes form a contiguous run in ascending `i`.
+            // Valid lanes form a contiguous run in ascending `i`. The
+            // uniform `15 − lz` works for both geometries: a B=8 mask only
+            // occupies the low byte, so its leading_zeros are ≥ 8.
             let lo = m.trailing_zeros() as usize;
-            let hi = 7 - m.leading_zeros() as usize;
-            debug_assert_eq!(m, ((1u16 << (hi + 1)) - (1 << lo)) as u8, "mask must be a run");
+            let hi = 15 - m.leading_zeros() as usize;
+            debug_assert_eq!(m, ((1u32 << (hi + 1)) - (1 << lo)) as u16, "mask must be a run");
             // Every staged valid lane must be in band, not just the argmax
             // lane — a wrong band mask whose extra cell scores below the
             // diagonal max would otherwise slip past debug builds.

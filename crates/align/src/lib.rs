@@ -38,7 +38,10 @@ pub mod traceback;
 pub mod xdrop;
 
 pub use base::Base;
-pub use block::{BlockCells, BlockCells16, FillMode, FillPrecision, FillTier};
+pub use block::{
+    BlockCells, BlockCells16, BlockCells16Wide, BlockCellsT, BlockCellsWide, BlockDim, FillMode,
+    FillPrecision, FillTier,
+};
 pub use pack::PackedSeq;
 pub use result::{GuidedResult, MaxCell};
 pub use scoring::Scoring;
@@ -50,9 +53,23 @@ pub use task::{check_dims, Task, MAX_SEQ_LEN};
 /// never wrap around.
 pub const NEG_INF: i32 = i32::MIN / 2;
 
-/// Side length of the square cell block used by all GPU-style engines.
+/// Default side length of the square cell block used by all GPU-style
+/// engines.
 ///
 /// The paper packs 8 literals per 32-bit word (4 bits each) and configures
 /// the score table "in units of blocks comprising 8×8 cells, which forms the
-/// smallest unit for workload distribution" (§2.2).
+/// smallest unit for workload distribution" (§2.2). The block layer is
+/// parameterized over the side (`B ∈ {8, 16}`, see [`MAX_BLOCK`]); this is
+/// the paper's geometry and the default.
 pub const BLOCK: usize = 8;
+
+/// Widest supported block side: the 16×16 geometry whose block
+/// anti-diagonals fill all 16 lanes of an AVX2 i16 vector (the 8×8 geometry
+/// leaves half of them empty in the narrow tier).
+pub const MAX_BLOCK: usize = 16;
+
+/// Number of anti-diagonals crossing one [`MAX_BLOCK`]-sided block
+/// (`2 × 16 − 1`). Staging buffers are sized for this widest geometry at
+/// every `B` (stable Rust cannot express `[[T; B]; 2*B-1]`); only the first
+/// `2B−1` rows are used.
+pub const MAX_BLOCK_DIAGS: usize = 31;

@@ -6,7 +6,8 @@
 //! GPU-style engines: one reference word × one query word covers one block.
 
 use crate::base::Base;
-use crate::BLOCK;
+#[cfg(test)]
+use crate::{BLOCK, MAX_BLOCK};
 
 /// Bases per packed 32-bit word.
 pub const BASES_PER_WORD: usize = 8;
@@ -108,11 +109,12 @@ impl PackedSeq {
         })
     }
 
-    /// Unpack `BLOCK` consecutive base codes starting at `start` into `out`,
-    /// clamping out-of-range positions to `N`. This mirrors how a GPU thread
-    /// expands one packed word into registers when entering a block.
+    /// Unpack `B` consecutive base codes starting at `start` into `out`
+    /// (one block edge of either geometry), clamping out-of-range positions
+    /// to `N`. This mirrors how a GPU thread expands packed words into
+    /// registers when entering a block.
     #[inline]
-    pub fn unpack_block(&self, start: usize, out: &mut [u8; BLOCK]) {
+    pub fn unpack_block<const B: usize>(&self, start: usize, out: &mut [u8; B]) {
         for (k, slot) in out.iter_mut().enumerate() {
             let i = start + k;
             *slot = if i < self.len { self.code(i) } else { Base::N.code() };
@@ -183,6 +185,13 @@ mod tests {
         assert_eq!(out[0], Base::C.code());
         assert_eq!(out[1], Base::G.code());
         for &c in &out[2..] {
+            assert_eq!(c, Base::N.code());
+        }
+        // Wide-geometry unpack spans two packed words and clamps the same.
+        let mut wide = [0u8; MAX_BLOCK];
+        p.unpack_block(0, &mut wide);
+        assert_eq!(&wide[..3], &[Base::A.code(), Base::C.code(), Base::G.code()]);
+        for &c in &wide[3..] {
             assert_eq!(c, Base::N.code());
         }
     }

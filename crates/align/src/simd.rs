@@ -1,18 +1,28 @@
-//! Vectorised block fill: the 8×8 block DP recomputed as an anti-diagonal
+//! Vectorised block fill: the `B×B` block DP recomputed as an anti-diagonal
 //! wavefront, which removes every intra-iteration dependency (cells on one
 //! block anti-diagonal depend only on the previous two), so each diagonal's
-//! eight lanes compute in parallel.
+//! `B` lanes compute in parallel.
 //!
-//! Two backends share one algorithm:
+//! The fills are generic over the block side `B ∈ {8, 16}` (see
+//! [`crate::BLOCK`] / [`crate::MAX_BLOCK`]); the concrete vector kernels are
+//! monomorphic and reached through geometry-guarded dispatch:
 //!
-//! * [`fill_wavefront`] dispatches to an AVX2 kernel on x86-64 when the CPU
-//!   supports it (one 8×i32 vector per diagonal), and otherwise to a
-//!   portable fixed-lane wavefront that LLVM auto-vectorises.
-//! * Both are **bit-identical** to [`crate::block::fill_scalar`]: every
-//!   cell's `H/E/F` is computed from exactly the same inputs with exactly
-//!   the same integer operations — only the evaluation order differs, and
-//!   no reassociation of `max`/`+` takes place. The one scalar-path
-//!   difference, `saturating_add` on the diagonal term, is neutralised by
+//! * [`fill_wavefront`] (i32): at B=8 an AVX2 kernel on x86-64 when the CPU
+//!   supports it (one 8×i32 vector per diagonal — the vector is already
+//!   full), otherwise a portable fixed-lane wavefront that LLVM
+//!   auto-vectorises. At B=16 the i32 path is intentionally the portable
+//!   wavefront: AVX2 has no wider i32 vector to fill, so there is nothing
+//!   for a hand-written kernel to win (the adaptive geometry policy never
+//!   picks B=16 for the i32 tier).
+//! * [`fill_wavefront_i16`]: at B=8 the SSE4.1 kernel (8×i16, AVX2-encoded
+//!   on AVX2 hosts); at B=16 the wide AVX2 kernel that fills all 16 i16
+//!   lanes of a 256-bit vector per block diagonal — the payoff geometry.
+//! * Every backend is **bit-identical** to [`crate::block::fill_scalar`] at
+//!   the same geometry: every cell's `H/E/F` is computed from exactly the
+//!   same inputs with exactly the same integer operations — only the
+//!   evaluation order differs, and no reassociation of `max`/`+` takes
+//!   place. The one scalar-path difference, `saturating_add` on the
+//!   diagonal term, is neutralised by
 //!   [`crate::block::BlockCtx::simd_exact`], which routes tasks whose
 //!   scores could approach the `i32` limits back to the scalar fill.
 //!
@@ -34,17 +44,21 @@
 //! [`fill_wavefront_i16`] is the same wavefront at half the lane width:
 //! saturating i16 arithmetic with [`NEG_INF16`] as the sentinel, gated by
 //! [`crate::block::BlockCtx::i16_exact`] (the i16 analogue of
-//! `simd_exact`). Boundary carries stay `i32` at the interface and are
-//! converted with `i32 → i16` saturation at block entry (exact for every
-//! reachable real value under the gate; `-∞`-derived values collapse into
-//! the sentinel class, which by construction loses every `max` against a
-//! real value just as in the i32 fills). Valid-lane `H` values are
-//! therefore bit-identical to the scalar fill; only masked lanes and
-//! boundary slots for masked cells carry a different (equally ultra-
-//! negative) encoding, and nothing downstream observes those.
+//! `simd_exact`, derived per geometry — see
+//! [`crate::block::BlockCtx::with_block_dim`]). Boundary carries stay `i32`
+//! at the interface and are converted with `i32 → i16` saturation at block
+//! entry (exact for every reachable real value under the gate;
+//! `-∞`-derived values collapse into the sentinel class, which by
+//! construction loses every `max` against a real value just as in the i32
+//! fills). Valid-lane `H` values are therefore bit-identical to the scalar
+//! fill; only masked lanes and boundary slots for masked cells carry a
+//! different (equally ultra-negative) encoding, and nothing downstream
+//! observes those.
 
-use crate::block::{BlockCells, BlockCells16, BlockCtx, Boundary, BLOCK_DIAGS};
-use crate::{BLOCK, NEG_INF};
+use crate::block::{
+    block_diags, BlockCells, BlockCells16, BlockCellsT, BlockCtx, Boundary, BoundaryT, BLOCK_DIAGS,
+};
+use crate::{BLOCK, MAX_BLOCK, MAX_BLOCK_DIAGS, NEG_INF};
 
 /// Sentinel for "minus infinity" in the 16-bit tier: `i16::MIN / 2`, the
 /// same factor-two headroom [`NEG_INF`] keeps in i32 space. Saturating
@@ -60,6 +74,30 @@ pub const NEG_INF16: i16 = i16::MIN / 2;
 #[inline]
 pub(crate) fn to16(v: i32) -> i16 {
     v.clamp(i32::from(i16::MIN), i32::from(i16::MAX)) as i16
+}
+
+/// Reinterpret a reference between two monomorphizations that the caller
+/// has proven (via a `B == const` guard) to be the *same* type. The size
+/// and alignment asserts turn any misuse into a loud panic instead of UB;
+/// for a correctly guarded call they compile away.
+#[inline(always)]
+#[allow(dead_code)] // only the x86-64 dispatchers need it
+fn geom_cast<Src, Dst>(x: &Src) -> &Dst {
+    assert_eq!(std::mem::size_of::<Src>(), std::mem::size_of::<Dst>());
+    assert_eq!(std::mem::align_of::<Src>(), std::mem::align_of::<Dst>());
+    // SAFETY: size/align asserted above, and every call site sits under a
+    // geometry guard making Src and Dst the same monomorphization.
+    unsafe { &*(x as *const Src).cast::<Dst>() }
+}
+
+/// Mutable twin of [`geom_cast`].
+#[inline(always)]
+#[allow(dead_code)]
+fn geom_cast_mut<Src, Dst>(x: &mut Src) -> &mut Dst {
+    assert_eq!(std::mem::size_of::<Src>(), std::mem::size_of::<Dst>());
+    assert_eq!(std::mem::align_of::<Src>(), std::mem::align_of::<Dst>());
+    // SAFETY: as in `geom_cast`.
+    unsafe { &mut *(x as *mut Src).cast::<Dst>() }
 }
 
 /// Whether the AVX2 backend will be used on this machine.
@@ -93,11 +131,12 @@ pub fn sse41_active() -> bool {
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum WavefrontBackend {
     /// x86-64 with AVX2: one 8×i32 AVX2 vector per block diagonal in the
-    /// i32 tier, 8×i16 SSE vectors in the i16 tier.
+    /// i32 tier, 8×i16 SSE vectors in the B=8 i16 tier, and one full
+    /// 16×i16 AVX2 vector per diagonal in the B=16 i16 tier.
     Avx2,
-    /// x86-64 with SSE4.1 but not AVX2: the i16 tier still runs its vector
-    /// kernel (it needs nothing wider than 128-bit ops); the i32 tier runs
-    /// the portable wavefront.
+    /// x86-64 with SSE4.1 but not AVX2: the B=8 i16 tier still runs its
+    /// vector kernel (it needs nothing wider than 128-bit ops); the i32
+    /// tier and the B=16 geometry run the portable wavefront.
     Sse41,
     /// Fixed-lane portable wavefront for both tiers.
     Portable,
@@ -127,67 +166,81 @@ pub fn backend() -> WavefrontBackend {
 }
 
 /// Wavefront fill (drop-in replacement for [`crate::block::fill_scalar`]),
-/// dispatching on the pre-resolved backend in `ctx`.
+/// dispatching on the pre-resolved backend in `ctx` and the geometry `B`.
 #[allow(clippy::too_many_arguments)]
-pub(crate) fn fill_wavefront(
+pub(crate) fn fill_wavefront<const B: usize>(
     ctx: &BlockCtx<'_>,
     i0: i64,
     j0: i64,
-    rcodes: &[u8; BLOCK],
-    qcodes: &[u8; BLOCK],
+    rcodes: &[u8; B],
+    qcodes: &[u8; B],
     corner: i32,
-    west_h: &mut Boundary,
-    west_e: &mut Boundary,
-    north_h: &mut Boundary,
-    north_f: &mut Boundary,
-    cells: &mut BlockCells,
+    west_h: &mut BoundaryT<B>,
+    west_e: &mut BoundaryT<B>,
+    north_h: &mut BoundaryT<B>,
+    north_f: &mut BoundaryT<B>,
+    cells: &mut BlockCellsT<i32, B>,
 ) {
     #[cfg(target_arch = "x86_64")]
-    if ctx.wavefront_backend == WavefrontBackend::Avx2 {
-        // SAFETY: `backend()` only reports Avx2 after a runtime AVX2 check.
+    if B == BLOCK && ctx.wavefront_backend == WavefrontBackend::Avx2 {
+        // SAFETY: `backend()` only reports Avx2 after a runtime AVX2 check;
+        // the `B == BLOCK` guard makes every `geom_cast` an identity.
         unsafe {
             return avx2::fill(
-                ctx, i0, j0, rcodes, qcodes, corner, west_h, west_e, north_h, north_f, cells,
+                ctx,
+                i0,
+                j0,
+                geom_cast(rcodes),
+                geom_cast(qcodes),
+                corner,
+                geom_cast_mut(west_h),
+                geom_cast_mut(west_e),
+                geom_cast_mut(north_h),
+                geom_cast_mut(north_f),
+                geom_cast_mut(cells),
             );
         }
     }
+    // B=16 i32 runs portable by design: AVX2 i32 vectors are full at 8
+    // lanes, so the wide geometry only pays off in the i16 tier (and the
+    // adaptive policy only picks it there).
     fill_portable(ctx, i0, j0, rcodes, qcodes, corner, west_h, west_e, north_h, north_f, cells)
 }
 
 /// Per-diagonal valid-lane bitmask (`0` when empty), plus the inclusive
 /// bounds for the mask vector build.
 #[inline]
-fn lane_mask(ctx: &BlockCtx<'_>, i0: i64, j0: i64, d: usize) -> u8 {
+fn lane_mask(ctx: &BlockCtx<'_>, i0: i64, j0: i64, d: usize) -> u16 {
     match ctx.lane_range(i0, j0, d) {
         None => 0,
-        Some((lo, hi)) => (((1u16) << (hi + 1)) - (1 << lo)) as u8,
+        Some((lo, hi)) => (((1u32) << (hi + 1)) - (1 << lo)) as u16,
     }
 }
 
-/// Structural lane bitmask of block diagonal `d` (lanes inside the 8×8
-/// shape regardless of band/table).
+/// Structural lane bitmask of block diagonal `d` at block side `b` (lanes
+/// inside the `b×b` shape regardless of band/table).
 #[inline]
-const fn struct_mask(d: usize) -> u8 {
-    let lo = if d >= BLOCK { d - (BLOCK - 1) } else { 0 };
-    let hi = if d < BLOCK { d } else { BLOCK - 1 };
-    (((1u16 << (hi + 1)) - (1 << lo)) & 0xFF) as u8
+const fn struct_mask(b: usize, d: usize) -> u16 {
+    let lo = if d >= b { d - (b - 1) } else { 0 };
+    let hi = if d < b { d } else { b - 1 };
+    (((1u32 << (hi + 1)) - (1 << lo)) & 0xFFFF) as u16
 }
 
 /// Portable fixed-lane wavefront (also the semantic reference for the AVX2
-/// backend). Straight-line per-lane arithmetic over `[i32; 8]` rows.
+/// backend). Straight-line per-lane arithmetic over `[i32; B]` rows.
 #[allow(clippy::too_many_arguments)]
-pub(crate) fn fill_portable(
+pub(crate) fn fill_portable<const B: usize>(
     ctx: &BlockCtx<'_>,
     i0: i64,
     j0: i64,
-    rcodes: &[u8; BLOCK],
-    qcodes: &[u8; BLOCK],
+    rcodes: &[u8; B],
+    qcodes: &[u8; B],
     corner: i32,
-    west_h: &mut Boundary,
-    west_e: &mut Boundary,
-    north_h: &mut Boundary,
-    north_f: &mut Boundary,
-    cells: &mut BlockCells,
+    west_h: &mut BoundaryT<B>,
+    west_e: &mut BoundaryT<B>,
+    north_h: &mut BoundaryT<B>,
+    north_f: &mut BoundaryT<B>,
+    cells: &mut BlockCellsT<i32, B>,
 ) {
     let sc = ctx.scoring;
     let oe = sc.gap_open + sc.gap_extend;
@@ -203,32 +256,32 @@ pub(crate) fn fill_portable(
 
     // State of diagonals d-1 ("prev") and d-2 ("prev2"). `h_prev` lane 0 is
     // pre-seeded with the north boundary of row 0 ("H_{-1}").
-    let mut h_prev = [NEG_INF; BLOCK];
-    let mut e_prev = [NEG_INF; BLOCK];
-    let mut f_prev = [NEG_INF; BLOCK];
-    let mut h_prev2 = [NEG_INF; BLOCK];
+    let mut h_prev = [NEG_INF; B];
+    let mut e_prev = [NEG_INF; B];
+    let mut f_prev = [NEG_INF; B];
+    let mut h_prev2 = [NEG_INF; B];
     h_prev[0] = nh_in[0];
     f_prev[0] = nf_in[0];
 
-    for d in 0..BLOCK_DIAGS {
+    for d in 0..block_diags(B) {
         // Boundary injections for lane 0 (only meaningful while lane 0 is
-        // inside the block shape, i.e. d < BLOCK).
-        let bh = if d < BLOCK { wh_in[d] } else { NEG_INF };
-        let be = if d < BLOCK { we_in[d] } else { NEG_INF };
+        // inside the block shape, i.e. d < B).
+        let bh = if d < B { wh_in[d] } else { NEG_INF };
+        let be = if d < B { we_in[d] } else { NEG_INF };
         let bd = if d == 0 {
             corner
-        } else if d <= BLOCK {
+        } else if d <= B {
             wh_in[d - 1]
         } else {
             NEG_INF
         };
 
-        let mask = if interior { struct_mask(d) } else { lane_mask(ctx, i0, j0, d) };
+        let mask = if interior { struct_mask(B, d) } else { lane_mask(ctx, i0, j0, d) };
 
-        let mut h_cur = [NEG_INF; BLOCK];
-        let mut e_cur = [NEG_INF; BLOCK];
-        let mut f_cur = [NEG_INF; BLOCK];
-        for l in 0..BLOCK {
+        let mut h_cur = [NEG_INF; B];
+        let mut e_cur = [NEG_INF; B];
+        let mut f_cur = [NEG_INF; B];
+        for l in 0..B {
             let up_h = if l == 0 { bh } else { h_prev[l - 1] };
             let up_e = if l == 0 { be } else { e_prev[l - 1] };
             let dg = if l == 0 { bd } else { h_prev2[l - 1] };
@@ -239,7 +292,7 @@ pub(crate) fn fill_portable(
             // Out-of-shape lanes get a zero substitution score; their values
             // are masked to -∞ below and never feed an in-shape lane.
             let sub =
-                if l <= d && d - l < BLOCK { sc.substitution(rcodes[l], qcodes[d - l]) } else { 0 };
+                if l <= d && d - l < B { sc.substitution(rcodes[l], qcodes[d - l]) } else { 0 };
             let h = e.max(f).max(dg.wrapping_add(sub));
             let valid = mask & (1 << l) != 0;
             h_cur[l] = if valid { h } else { NEG_INF };
@@ -250,20 +303,20 @@ pub(crate) fn fill_portable(
         cells.h[d] = h_cur;
         cells.mask[d] = mask;
 
-        // Boundary outputs: lane 7 of diagonal 7+k is the block's last row
-        // (the west output for column k); lane l of diagonal l+7 is the
-        // block's last column (the north output for row l).
-        if d >= BLOCK - 1 {
-            let k = d - (BLOCK - 1);
-            west_h[k] = h_cur[BLOCK - 1];
-            west_e[k] = e_cur[BLOCK - 1];
+        // Boundary outputs: lane B-1 of diagonal B-1+k is the block's last
+        // row (the west output for column k); lane l of diagonal l+B-1 is
+        // the block's last column (the north output for row l).
+        if d >= B - 1 {
+            let k = d - (B - 1);
+            west_h[k] = h_cur[B - 1];
+            west_e[k] = e_cur[B - 1];
             north_h[k] = h_cur[k];
             north_f[k] = f_cur[k];
         }
 
         // Pre-seed the north boundary of row d+1 into the out-of-shape lane
         // d+1 so the next diagonals read it as left/diag with no patching.
-        if d + 1 < BLOCK {
+        if d + 1 < B {
             h_cur[d + 1] = nh_in[d + 1];
             f_cur[d + 1] = nf_in[d + 1];
         }
@@ -276,42 +329,87 @@ pub(crate) fn fill_portable(
 }
 
 /// 16-bit-tier wavefront fill (the narrow twin of [`fill_wavefront`]),
-/// staging into a [`BlockCells16`] buffer. Dispatches on the pre-resolved
-/// backend in `ctx`; both backends are bit-identical to each other and —
-/// on valid lanes, under [`BlockCtx::i16_exact`] — to the scalar fill.
+/// staging into a `BlockCellsT<i16, B>` buffer. Dispatches on the
+/// pre-resolved backend in `ctx` and the geometry `B`; all backends are
+/// bit-identical to each other and — on valid lanes, under
+/// [`BlockCtx::i16_exact`] — to the scalar fill.
 #[allow(clippy::too_many_arguments)]
-pub(crate) fn fill_wavefront_i16(
+pub(crate) fn fill_wavefront_i16<const B: usize>(
     ctx: &BlockCtx<'_>,
     i0: i64,
     j0: i64,
-    rcodes: &[u8; BLOCK],
-    qcodes: &[u8; BLOCK],
+    rcodes: &[u8; B],
+    qcodes: &[u8; B],
     corner: i32,
-    west_h: &mut Boundary,
-    west_e: &mut Boundary,
-    north_h: &mut Boundary,
-    north_f: &mut Boundary,
-    cells: &mut BlockCells16,
+    west_h: &mut BoundaryT<B>,
+    west_e: &mut BoundaryT<B>,
+    north_h: &mut BoundaryT<B>,
+    north_f: &mut BoundaryT<B>,
+    cells: &mut BlockCellsT<i16, B>,
 ) {
     #[cfg(target_arch = "x86_64")]
-    if ctx.wavefront_backend != WavefrontBackend::Portable {
-        // SAFETY: `backend()` only reports Avx2/Sse41 after a runtime CPU
-        // check, and the i16 kernel needs nothing newer than SSE4.1 (AVX2
-        // implies it); the Avx2 wrapper exists purely so the same body
-        // recompiles with VEX encodings on AVX2 machines.
-        unsafe {
-            if ctx.wavefront_backend == WavefrontBackend::Avx2 {
-                sse41_i16::fill_avx2(
-                    ctx, i0, j0, rcodes, qcodes, corner, west_h, west_e, north_h, north_f, cells,
-                );
-            } else {
-                sse41_i16::fill_sse41(
-                    ctx, i0, j0, rcodes, qcodes, corner, west_h, west_e, north_h, north_f, cells,
+    {
+        if B == BLOCK && ctx.wavefront_backend != WavefrontBackend::Portable {
+            // SAFETY: `backend()` only reports Avx2/Sse41 after a runtime
+            // CPU check, the B=8 kernel needs nothing newer than SSE4.1
+            // (AVX2 implies it; the Avx2 wrapper exists purely so the same
+            // body recompiles with VEX encodings on AVX2 machines), and the
+            // `B == BLOCK` guard makes every `geom_cast` an identity.
+            unsafe {
+                if ctx.wavefront_backend == WavefrontBackend::Avx2 {
+                    sse41_i16::fill_avx2(
+                        ctx,
+                        i0,
+                        j0,
+                        geom_cast(rcodes),
+                        geom_cast(qcodes),
+                        corner,
+                        geom_cast_mut(west_h),
+                        geom_cast_mut(west_e),
+                        geom_cast_mut(north_h),
+                        geom_cast_mut(north_f),
+                        geom_cast_mut(cells),
+                    );
+                } else {
+                    sse41_i16::fill_sse41(
+                        ctx,
+                        i0,
+                        j0,
+                        geom_cast(rcodes),
+                        geom_cast(qcodes),
+                        corner,
+                        geom_cast_mut(west_h),
+                        geom_cast_mut(west_e),
+                        geom_cast_mut(north_h),
+                        geom_cast_mut(north_f),
+                        geom_cast_mut(cells),
+                    );
+                }
+            }
+            debug_overflow_sentinel(cells);
+            return;
+        }
+        if B == MAX_BLOCK && ctx.wavefront_backend == WavefrontBackend::Avx2 {
+            // SAFETY: AVX2 verified at runtime; `B == MAX_BLOCK` guard makes
+            // every `geom_cast` an identity.
+            unsafe {
+                avx2_i16w::fill(
+                    ctx,
+                    i0,
+                    j0,
+                    geom_cast(rcodes),
+                    geom_cast(qcodes),
+                    corner,
+                    geom_cast_mut(west_h),
+                    geom_cast_mut(west_e),
+                    geom_cast_mut(north_h),
+                    geom_cast_mut(north_f),
+                    geom_cast_mut(cells),
                 );
             }
+            debug_overflow_sentinel(cells);
+            return;
         }
-        debug_overflow_sentinel(cells);
-        return;
     }
     fill_portable_i16(ctx, i0, j0, rcodes, qcodes, corner, west_h, west_e, north_h, north_f, cells);
     debug_overflow_sentinel(cells);
@@ -319,14 +417,14 @@ pub(crate) fn fill_wavefront_i16(
 
 /// Per-block overflow sentinel (debug builds): a valid lane pinned at
 /// `i16::MAX` means a real DP value positively saturated — impossible when
-/// the `i16_exact` gate admitted the task, so tripping this indicates a
-/// broken gate or dispatch. Negative saturation is by design (sentinel
-/// class) and harmless.
+/// the `i16_exact` gate admitted the task at this geometry, so tripping
+/// this indicates a broken gate or dispatch. Negative saturation is by
+/// design (sentinel class) and harmless.
 #[inline]
-fn debug_overflow_sentinel(cells: &BlockCells16) {
+fn debug_overflow_sentinel<const B: usize>(cells: &BlockCellsT<i16, B>) {
     if cfg!(debug_assertions) {
-        for d in 0..BLOCK_DIAGS {
-            for l in 0..BLOCK {
+        for d in 0..block_diags(B) {
+            for l in 0..B {
                 debug_assert!(
                     cells.mask[d] & (1 << l) == 0 || cells.h[d][l] != i16::MAX,
                     "i16 overflow sentinel: valid cell saturated at block ({},{}) \
@@ -339,22 +437,22 @@ fn debug_overflow_sentinel(cells: &BlockCells16) {
     }
 }
 
-/// Portable 16-bit wavefront (also the semantic reference for the AVX2
-/// i16 backend). Mirrors [`fill_portable`] lane for lane with saturating
-/// i16 arithmetic and [`NEG_INF16`] masking.
+/// Portable 16-bit wavefront (also the semantic reference for the vector
+/// i16 backends at both geometries). Mirrors [`fill_portable`] lane for
+/// lane with saturating i16 arithmetic and [`NEG_INF16`] masking.
 #[allow(clippy::too_many_arguments)]
-pub(crate) fn fill_portable_i16(
+pub(crate) fn fill_portable_i16<const B: usize>(
     ctx: &BlockCtx<'_>,
     i0: i64,
     j0: i64,
-    rcodes: &[u8; BLOCK],
-    qcodes: &[u8; BLOCK],
+    rcodes: &[u8; B],
+    qcodes: &[u8; B],
     corner: i32,
-    west_h: &mut Boundary,
-    west_e: &mut Boundary,
-    north_h: &mut Boundary,
-    north_f: &mut Boundary,
-    cells: &mut BlockCells16,
+    west_h: &mut BoundaryT<B>,
+    west_e: &mut BoundaryT<B>,
+    north_h: &mut BoundaryT<B>,
+    north_f: &mut BoundaryT<B>,
+    cells: &mut BlockCellsT<i16, B>,
 ) {
     let sc = ctx.scoring;
     let oe = to16(sc.gap_open + sc.gap_extend);
@@ -368,30 +466,30 @@ pub(crate) fn fill_portable_i16(
     let nf_in = north_f.map(to16);
     let corner16 = to16(corner);
 
-    let mut h_prev = [NEG_INF16; BLOCK];
-    let mut e_prev = [NEG_INF16; BLOCK];
-    let mut f_prev = [NEG_INF16; BLOCK];
-    let mut h_prev2 = [NEG_INF16; BLOCK];
+    let mut h_prev = [NEG_INF16; B];
+    let mut e_prev = [NEG_INF16; B];
+    let mut f_prev = [NEG_INF16; B];
+    let mut h_prev2 = [NEG_INF16; B];
     h_prev[0] = nh_in[0];
     f_prev[0] = nf_in[0];
 
-    for d in 0..BLOCK_DIAGS {
-        let bh = if d < BLOCK { wh_in[d] } else { NEG_INF16 };
-        let be = if d < BLOCK { we_in[d] } else { NEG_INF16 };
+    for d in 0..block_diags(B) {
+        let bh = if d < B { wh_in[d] } else { NEG_INF16 };
+        let be = if d < B { we_in[d] } else { NEG_INF16 };
         let bd = if d == 0 {
             corner16
-        } else if d <= BLOCK {
+        } else if d <= B {
             wh_in[d - 1]
         } else {
             NEG_INF16
         };
 
-        let mask = if interior { struct_mask(d) } else { lane_mask(ctx, i0, j0, d) };
+        let mask = if interior { struct_mask(B, d) } else { lane_mask(ctx, i0, j0, d) };
 
-        let mut h_cur = [NEG_INF16; BLOCK];
-        let mut e_cur = [NEG_INF16; BLOCK];
-        let mut f_cur = [NEG_INF16; BLOCK];
-        for l in 0..BLOCK {
+        let mut h_cur = [NEG_INF16; B];
+        let mut e_cur = [NEG_INF16; B];
+        let mut f_cur = [NEG_INF16; B];
+        for l in 0..B {
             let up_h = if l == 0 { bh } else { h_prev[l - 1] };
             let up_e = if l == 0 { be } else { e_prev[l - 1] };
             let dg = if l == 0 { bd } else { h_prev2[l - 1] };
@@ -399,7 +497,7 @@ pub(crate) fn fill_portable_i16(
             let left_f = f_prev[l];
             let e = up_h.saturating_sub(oe).max(up_e.saturating_sub(ext));
             let f = left_h.saturating_sub(oe).max(left_f.saturating_sub(ext));
-            let sub = if l <= d && d - l < BLOCK {
+            let sub = if l <= d && d - l < B {
                 to16(sc.substitution(rcodes[l], qcodes[d - l]))
             } else {
                 0
@@ -414,15 +512,15 @@ pub(crate) fn fill_portable_i16(
         cells.h[d] = h_cur;
         cells.mask[d] = mask;
 
-        if d >= BLOCK - 1 {
-            let k = d - (BLOCK - 1);
-            west_h[k] = i32::from(h_cur[BLOCK - 1]);
-            west_e[k] = i32::from(e_cur[BLOCK - 1]);
+        if d >= B - 1 {
+            let k = d - (B - 1);
+            west_h[k] = i32::from(h_cur[B - 1]);
+            west_e[k] = i32::from(e_cur[B - 1]);
             north_h[k] = i32::from(h_cur[k]);
             north_f[k] = i32::from(f_cur[k]);
         }
 
-        if d + 1 < BLOCK {
+        if d + 1 < B {
             h_cur[d + 1] = nh_in[d + 1];
             f_cur[d + 1] = nf_in[d + 1];
         }
@@ -437,11 +535,11 @@ pub(crate) fn fill_portable_i16(
 /// Lane-mask vector of block diagonal `d` with every in-shape lane set —
 /// the vector form of [`struct_mask`], precomputed so interior blocks load
 /// their mask instead of rebuilding it per diagonal.
-const fn struct_mask_lanes(d: usize) -> [i16; BLOCK] {
-    let mut out = [0i16; BLOCK];
+const fn struct_mask_lanes<const B: usize>(d: usize) -> [i16; B] {
+    let mut out = [0i16; B];
     let mut l = 0;
-    while l < BLOCK {
-        if struct_mask(d) & (1 << l) != 0 {
+    while l < B {
+        if struct_mask(B, d) & (1u16 << l) != 0 {
             out[l] = -1;
         }
         l += 1;
@@ -449,24 +547,51 @@ const fn struct_mask_lanes(d: usize) -> [i16; BLOCK] {
     out
 }
 
-/// All 15 structural lane-mask vectors, diagonal-indexed.
+/// All 15 structural lane-mask vectors of the default geometry,
+/// diagonal-indexed.
 static STRUCT_MASK_LANES: [[i16; BLOCK]; BLOCK_DIAGS] = {
     let mut out = [[0i16; BLOCK]; BLOCK_DIAGS];
     let mut d = 0;
     while d < BLOCK_DIAGS {
-        out[d] = struct_mask_lanes(d);
+        out[d] = struct_mask_lanes::<BLOCK>(d);
         d += 1;
     }
     out
 };
 
-/// Single-lane selector vectors (`lane l == d+1`), used to pre-seed the
-/// north boundary of the next row into the out-of-shape lane.
+/// Single-lane selector vectors (`lane l == d+1`) of the default geometry,
+/// used to pre-seed the north boundary of the next row into the
+/// out-of-shape lane.
 static SEED_MASK_LANES: [[i16; BLOCK]; BLOCK] = {
     let mut out = [[0i16; BLOCK]; BLOCK];
     let mut d = 0;
     while d < BLOCK {
         if d + 1 < BLOCK {
+            out[d][d + 1] = -1;
+        }
+        d += 1;
+    }
+    out
+};
+
+/// All 31 structural lane-mask vectors of the wide (16×16) geometry.
+static STRUCT_MASK_LANES_W: [[i16; MAX_BLOCK]; MAX_BLOCK_DIAGS] = {
+    let mut out = [[0i16; MAX_BLOCK]; MAX_BLOCK_DIAGS];
+    let mut d = 0;
+    while d < MAX_BLOCK_DIAGS {
+        out[d] = struct_mask_lanes::<MAX_BLOCK>(d);
+        d += 1;
+    }
+    out
+};
+
+/// Single-lane selector vectors of the wide geometry (see
+/// [`SEED_MASK_LANES`]).
+static SEED_MASK_LANES_W: [[i16; MAX_BLOCK]; MAX_BLOCK] = {
+    let mut out = [[0i16; MAX_BLOCK]; MAX_BLOCK];
+    let mut d = 0;
+    while d < MAX_BLOCK {
+        if d + 1 < MAX_BLOCK {
             out[d][d + 1] = -1;
         }
         d += 1;
@@ -655,14 +780,16 @@ mod sse41_i16 {
             let h = _mm_max_epi16(e, _mm_max_epi16(f, _mm_adds_epi16(dg, sub)));
 
             let (mask_bits, m) = if interior {
-                (struct_mask(d), load8(&STRUCT_MASK_LANES[d]))
+                (struct_mask(BLOCK, d), load8(&STRUCT_MASK_LANES[d]))
             } else {
                 let bits = lane_mask(ctx, i0, j0, d);
                 let v = if bits == 0 {
                     _mm_setzero_si128()
                 } else {
+                    // B=8 masks occupy the low 8 bits of the u16, so
+                    // leading_zeros ≥ 8 and hi = 15 - lz ≤ 7.
                     let lo = bits.trailing_zeros() as i16;
-                    let hi = 7 - i16::from(bits.leading_zeros() as u8);
+                    let hi = 15 - bits.leading_zeros() as i16;
                     let ge = _mm_cmpgt_epi16(lanes, _mm_set1_epi16(lo - 1));
                     let le = _mm_cmpgt_epi16(_mm_set1_epi16(hi + 1), lanes);
                     _mm_and_si128(ge, le)
@@ -820,12 +947,14 @@ mod avx2 {
             let f = _mm256_max_epi32(_mm256_sub_epi32(h_prev, oe), _mm256_sub_epi32(f_prev, ext));
             let h = _mm256_max_epi32(e, _mm256_max_epi32(f, _mm256_add_epi32(dg, sub)));
 
-            let mask_bits = if interior { struct_mask(d) } else { lane_mask(ctx, i0, j0, d) };
+            let mask_bits =
+                if interior { struct_mask(BLOCK, d) } else { lane_mask(ctx, i0, j0, d) };
             let m = if mask_bits == 0 {
                 _mm256_setzero_si256()
             } else {
+                // B=8 masks occupy the low 8 bits, so hi = 15 - lz ≤ 7.
                 let lo = mask_bits.trailing_zeros() as i32;
-                let hi = 7 - i32::from(mask_bits.leading_zeros() as u8);
+                let hi = 15 - mask_bits.leading_zeros() as i32;
                 range_mask(lanes, lo, hi)
             };
             let mut h_m = _mm256_blendv_epi8(neg_inf, h, m);
@@ -860,6 +989,198 @@ mod avx2 {
     }
 }
 
+#[cfg(target_arch = "x86_64")]
+mod avx2_i16w {
+    //! The wide-geometry (16×16) i16 kernel: one full 16×i16 AVX2 vector
+    //! per block anti-diagonal — the geometry that motivates the whole
+    //! parameterization. Same algorithm as [`super::fill_portable_i16`] at
+    //! `B = 16`; the only genuinely new machinery is the cross-128-bit-lane
+    //! `shift_up` and the qword-interleave fix in `pack_boundary` (AVX2's
+    //! in-lane instruction heritage makes both non-obvious, hence the
+    //! layout notes on each).
+
+    use super::*;
+    use crate::block::BlockCells16Wide;
+    #[allow(clippy::wildcard_imports)]
+    use std::arch::x86_64::*;
+
+    const B: usize = MAX_BLOCK;
+    const DIAGS: usize = 2 * B - 1;
+
+    /// Shift 16 i16 lanes up by one across the 128-bit halves, injecting
+    /// `boundary` at lane 0.
+    ///
+    /// `_mm256_alignr_epi8` concatenates per 128-bit half, so the carry
+    /// operand must hold — in byte position 14..16 of each half — the value
+    /// entering that half's lane 0: `boundary` for the low half, `v`'s
+    /// lane 7 for the high half. `_mm256_permute2x128_si256(set1(boundary),
+    /// v, 0x20)` builds exactly that: `[set1(boundary)_lo | v_lo]`.
+    #[inline(always)]
+    unsafe fn shift_up(v: __m256i, boundary: i16) -> __m256i {
+        let carry = _mm256_permute2x128_si256(_mm256_set1_epi16(boundary), v, 0x20);
+        _mm256_alignr_epi8(v, carry, 14)
+    }
+
+    /// Saturating-narrow one 16×i32 boundary array to 16×i16.
+    ///
+    /// `_mm256_packs_epi32(a, b)` interleaves per 128-bit half (qwords come
+    /// out as `a0..3, b0..3, a4..7, b4..7`); the `permute4x64` with
+    /// selector `0b11011000` (qword order 0,2,1,3) restores source order.
+    #[inline(always)]
+    unsafe fn pack_boundary(src: &[i32; B]) -> [i16; B] {
+        let a = _mm256_loadu_si256(src.as_ptr().cast::<__m256i>());
+        let b = _mm256_loadu_si256(src.as_ptr().add(8).cast::<__m256i>());
+        let packed = _mm256_packs_epi32(a, b);
+        let fixed = _mm256_permute4x64_epi64(packed, 0b11011000);
+        let mut out = [0i16; B];
+        _mm256_storeu_si256(out.as_mut_ptr().cast::<__m256i>(), fixed);
+        out
+    }
+
+    #[inline(always)]
+    unsafe fn store16(slot: &mut [i16; B], v: __m256i) {
+        _mm256_storeu_si256(slot.as_mut_ptr().cast::<__m256i>(), v);
+    }
+
+    #[inline(always)]
+    unsafe fn load16(slot: &[i16; B]) -> __m256i {
+        _mm256_loadu_si256(slot.as_ptr().cast::<__m256i>())
+    }
+
+    /// Wide 16-bit wavefront fill: one 16×i16 AVX2 vector per diagonal,
+    /// 31 diagonals per block. Boundary outputs are staged in
+    /// `e_tmp`/`f_tmp` and extracted after the loop, exactly as in the
+    /// B=8 kernel (see [`super::sse41_i16::fill_sse41`]).
+    ///
+    /// # Safety
+    /// Requires AVX2 (checked by the caller).
+    #[allow(clippy::too_many_arguments)]
+    #[target_feature(enable = "avx2")]
+    pub(super) unsafe fn fill(
+        ctx: &BlockCtx<'_>,
+        i0: i64,
+        j0: i64,
+        rcodes: &[u8; B],
+        qcodes: &[u8; B],
+        corner: i32,
+        west_h: &mut [i32; B],
+        west_e: &mut [i32; B],
+        north_h: &mut [i32; B],
+        north_f: &mut [i32; B],
+        cells: &mut BlockCells16Wide,
+    ) {
+        let sc = ctx.scoring;
+        let oe = _mm256_set1_epi16(to16(sc.gap_open + sc.gap_extend));
+        let ext = _mm256_set1_epi16(to16(sc.gap_extend));
+        let v_match = _mm256_set1_epi16(to16(sc.match_score));
+        let v_mis = _mm256_set1_epi16(to16(-sc.mismatch));
+        let v_amb = _mm256_set1_epi16(to16(-sc.ambig));
+        let v_acgt_max = _mm256_set1_epi16(i16::from(crate::Base::N.code()) - 1);
+        let neg_inf = _mm256_set1_epi16(NEG_INF16);
+        let lanes = _mm256_setr_epi16(0, 1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15);
+        let interior = ctx.block_interior(i0, j0);
+
+        let wh_in = pack_boundary(west_h);
+        let we_in = pack_boundary(west_e);
+        let nh_in = pack_boundary(north_h);
+        let nf_in = pack_boundary(north_f);
+
+        // Padded per-diagonal boundary injections (branch-free loop body).
+        let mut bh_pad = [NEG_INF16; DIAGS];
+        let mut be_pad = [NEG_INF16; DIAGS];
+        let mut bd_pad = [NEG_INF16; DIAGS];
+        let mut q_pad = [0i16; DIAGS];
+        bd_pad[0] = to16(corner);
+        for d in 0..B {
+            bh_pad[d] = wh_in[d];
+            be_pad[d] = we_in[d];
+            bd_pad[d + 1] = wh_in[d];
+            q_pad[d] = i16::from(qcodes[d]);
+        }
+
+        let mut r16 = [0i16; B];
+        for (slot, &c) in r16.iter_mut().zip(rcodes.iter()) {
+            *slot = i16::from(c);
+        }
+        let r_vec = load16(&r16);
+        let mut q_vec = _mm256_setzero_si256();
+
+        // "H_{-1}" / "F_{-1}": north seed of row 0 in lane 0.
+        let mut h_prev = shift_up(neg_inf, nh_in[0]);
+        let mut f_prev = shift_up(neg_inf, nf_in[0]);
+        let mut e_prev = neg_inf;
+        let mut h_prev2 = neg_inf;
+
+        let mut e_tmp = [[0i16; B]; B];
+        let mut f_tmp = [[0i16; B]; B];
+
+        for d in 0..DIAGS {
+            q_vec = shift_up(q_vec, q_pad[d]);
+
+            let up_h = shift_up(h_prev, bh_pad[d]);
+            let up_e = shift_up(e_prev, be_pad[d]);
+            let dg = shift_up(h_prev2, bd_pad[d]);
+
+            // Substitution: ambiguous beats match beats mismatch.
+            let eq = _mm256_cmpeq_epi16(r_vec, q_vec);
+            let amb = _mm256_cmpgt_epi16(_mm256_max_epi16(r_vec, q_vec), v_acgt_max);
+            let sub = _mm256_blendv_epi8(_mm256_blendv_epi8(v_mis, v_match, eq), v_amb, amb);
+
+            let e = _mm256_max_epi16(_mm256_subs_epi16(up_h, oe), _mm256_subs_epi16(up_e, ext));
+            let f = _mm256_max_epi16(_mm256_subs_epi16(h_prev, oe), _mm256_subs_epi16(f_prev, ext));
+            let h = _mm256_max_epi16(e, _mm256_max_epi16(f, _mm256_adds_epi16(dg, sub)));
+
+            let (mask_bits, m) = if interior {
+                (struct_mask(B, d), load16(&STRUCT_MASK_LANES_W[d]))
+            } else {
+                let bits = lane_mask(ctx, i0, j0, d);
+                let v = if bits == 0 {
+                    _mm256_setzero_si256()
+                } else {
+                    let lo = bits.trailing_zeros() as i16;
+                    let hi = 15 - bits.leading_zeros() as i16;
+                    let ge = _mm256_cmpgt_epi16(lanes, _mm256_set1_epi16(lo - 1));
+                    let le = _mm256_cmpgt_epi16(_mm256_set1_epi16(hi + 1), lanes);
+                    _mm256_and_si256(ge, le)
+                };
+                (bits, v)
+            };
+            let mut h_m = _mm256_blendv_epi8(neg_inf, h, m);
+            let e_m = _mm256_blendv_epi8(neg_inf, e, m);
+            let mut f_m = _mm256_blendv_epi8(neg_inf, f, m);
+
+            store16(&mut cells.h[d], h_m);
+            cells.mask[d] = mask_bits;
+
+            if d >= B - 1 {
+                let k = d - (B - 1);
+                store16(&mut e_tmp[k], e_m);
+                store16(&mut f_tmp[k], f_m);
+            }
+
+            if d + 1 < B {
+                // Pre-seed the next row's north boundary into lane d+1.
+                let seed = load16(&SEED_MASK_LANES_W[d]);
+                h_m = _mm256_blendv_epi8(h_m, _mm256_set1_epi16(nh_in[d + 1]), seed);
+                f_m = _mm256_blendv_epi8(f_m, _mm256_set1_epi16(nf_in[d + 1]), seed);
+            }
+
+            h_prev2 = h_prev;
+            h_prev = h_m;
+            e_prev = e_m;
+            f_prev = f_m;
+        }
+
+        // Boundary outputs, extracted once the stores have drained.
+        for k in 0..B {
+            west_h[k] = i32::from(cells.h[k + B - 1][B - 1]);
+            west_e[k] = i32::from(e_tmp[k][B - 1]);
+            north_h[k] = i32::from(cells.h[k + B - 1][k]);
+            north_f[k] = i32::from(f_tmp[k][k]);
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -885,22 +1206,50 @@ mod tests {
         }
     }
 
+    type Fill<const B: usize> = for<'a, 'b> fn(
+        &'a BlockCtx<'b>,
+        i64,
+        i64,
+        &'a [u8; B],
+        &'a [u8; B],
+        i32,
+        &'a mut BoundaryT<B>,
+        &'a mut BoundaryT<B>,
+        &'a mut BoundaryT<B>,
+        &'a mut BoundaryT<B>,
+        &'a mut BlockCellsT<i32, B>,
+    );
+
+    type Fill16<const B: usize> = for<'a, 'b> fn(
+        &'a BlockCtx<'b>,
+        i64,
+        i64,
+        &'a [u8; B],
+        &'a [u8; B],
+        i32,
+        &'a mut BoundaryT<B>,
+        &'a mut BoundaryT<B>,
+        &'a mut BoundaryT<B>,
+        &'a mut BoundaryT<B>,
+        &'a mut BlockCellsT<i16, B>,
+    );
+
     /// Run one block through both fills and assert identical staging
     /// buffers (on structural lanes), masks, and boundary outputs.
     #[allow(clippy::too_many_arguments)]
-    fn check_block(
+    fn check_block<const B: usize>(
         ctx: &BlockCtx<'_>,
         i0: i64,
         j0: i64,
-        rcodes: &[u8; BLOCK],
-        qcodes: &[u8; BLOCK],
+        rcodes: &[u8; B],
+        qcodes: &[u8; B],
         corner: i32,
-        west_h: Boundary,
-        west_e: Boundary,
-        north_h: Boundary,
-        north_f: Boundary,
+        west_h: BoundaryT<B>,
+        west_e: BoundaryT<B>,
+        north_h: BoundaryT<B>,
+        north_f: BoundaryT<B>,
     ) {
-        let mut cells_s = BlockCells::new();
+        let mut cells_s = BlockCellsT::<i32, B>::new();
         let (mut wh_s, mut we_s, mut nh_s, mut nf_s) = (west_h, west_e, north_h, north_f);
         fill_scalar(
             ctx,
@@ -916,23 +1265,11 @@ mod tests {
             &mut cells_s,
         );
 
-        type Fill = for<'a, 'b> fn(
-            &'a BlockCtx<'b>,
-            i64,
-            i64,
-            &'a [u8; BLOCK],
-            &'a [u8; BLOCK],
-            i32,
-            &'a mut Boundary,
-            &'a mut Boundary,
-            &'a mut Boundary,
-            &'a mut Boundary,
-            &'a mut BlockCells,
-        );
-        for (name, fill) in
-            [("portable", fill_portable as Fill), ("dispatch", fill_wavefront as Fill)]
-        {
-            let mut cells_v = BlockCells::new();
+        for (name, fill) in [
+            ("portable", fill_portable::<B> as Fill<B>),
+            ("dispatch", fill_wavefront::<B> as Fill<B>),
+        ] {
+            let mut cells_v = BlockCellsT::<i32, B>::new();
             let (mut wh_v, mut we_v, mut nh_v, mut nf_v) = (west_h, west_e, north_h, north_f);
             fill(
                 ctx,
@@ -948,9 +1285,9 @@ mod tests {
                 &mut cells_v,
             );
             assert_eq!(cells_v.mask, cells_s.mask, "{name}: masks at ({i0},{j0})");
-            for d in 0..BLOCK_DIAGS {
-                let sm = struct_mask(d);
-                for l in 0..BLOCK {
+            for d in 0..block_diags(B) {
+                let sm = struct_mask(B, d);
+                for l in 0..B {
                     if sm & (1 << l) != 0 {
                         assert_eq!(
                             cells_v.h[d][l], cells_s.h[d][l],
@@ -978,25 +1315,12 @@ mod tests {
                     assert!(got16 <= i32::from(NEG_INF16), "i16: {what} class at ({i0},{j0})");
                 }
             };
-            type Fill16 = for<'a, 'b> fn(
-                &'a BlockCtx<'b>,
-                i64,
-                i64,
-                &'a [u8; BLOCK],
-                &'a [u8; BLOCK],
-                i32,
-                &'a mut Boundary,
-                &'a mut Boundary,
-                &'a mut Boundary,
-                &'a mut Boundary,
-                &'a mut BlockCells16,
-            );
             let mut runs = Vec::new();
             for (name, fill) in [
-                ("portable16", fill_portable_i16 as Fill16),
-                ("dispatch16", fill_wavefront_i16 as Fill16),
+                ("portable16", fill_portable_i16::<B> as Fill16<B>),
+                ("dispatch16", fill_wavefront_i16::<B> as Fill16<B>),
             ] {
-                let mut cells_n = BlockCells16::new();
+                let mut cells_n = BlockCellsT::<i16, B>::new();
                 let (mut wh_n, mut we_n, mut nh_n, mut nf_n) = (west_h, west_e, north_h, north_f);
                 fill(
                     ctx,
@@ -1012,14 +1336,14 @@ mod tests {
                     &mut cells_n,
                 );
                 assert_eq!(cells_n.mask, cells_s.mask, "{name}: masks at ({i0},{j0})");
-                for d in 0..BLOCK_DIAGS {
-                    for l in 0..BLOCK {
+                for d in 0..block_diags(B) {
+                    for l in 0..B {
                         if cells_s.mask[d] & (1 << l) != 0 {
                             same(i32::from(cells_n.h[d][l]), cells_s.h[d][l], "H");
                         }
                     }
                 }
-                for k in 0..BLOCK {
+                for k in 0..B {
                     same(wh_n[k], wh_s[k], "west H");
                     same(we_n[k], we_s[k], "west E");
                     same(nh_n[k], nh_s[k], "north H");
@@ -1028,30 +1352,31 @@ mod tests {
                 runs.push((cells_n.h, wh_n, we_n, nh_n, nf_n));
             }
             // The two i16 backends must agree exactly, sentinel encodings
-            // included (the portable fill is the AVX2 backend's reference).
+            // included (the portable fill is the vector backends' reference).
             assert_eq!(runs[0], runs[1], "i16 backends diverge at ({i0},{j0})");
         }
     }
 
-    #[test]
-    fn wavefront_matches_scalar_on_random_blocks() {
+    /// Sweep every block of several scorings/shapes at geometry `B`,
+    /// feeding random codes and boundaries.
+    fn random_blocks_sweep<const B: usize>(seed: u64) {
         let scorings = [
             Scoring::figure1(),
             Scoring::new(2, 4, 4, 2, Scoring::NO_ZDROP, 3),
             Scoring::new(1, 9, 0, 1, 40, 11),
             Scoring::new(5, 1, 7, 3, Scoring::NO_ZDROP, Scoring::NO_BAND),
         ];
-        let mut rng = Rng(0x5EED);
+        let mut rng = Rng(seed);
         for (si, sc) in scorings.iter().enumerate() {
             let (n, m) = (40 + si * 7, 33 + si * 5);
-            let ctx = BlockCtx::new(n, m, sc);
+            let ctx = BlockCtx::with_block_dim(n, m, sc, B);
             assert!(ctx.simd_exact);
             for bi in 0..ctx.ref_blocks() {
                 for bj in 0..ctx.query_blocks() {
-                    let mut rcodes = [0u8; BLOCK];
-                    let mut qcodes = [0u8; BLOCK];
-                    let mut bounds = [[0i32; BLOCK]; 4];
-                    for l in 0..BLOCK {
+                    let mut rcodes = [0u8; B];
+                    let mut qcodes = [0u8; B];
+                    let mut bounds = [[0i32; B]; 4];
+                    for l in 0..B {
                         rcodes[l] = rng.code();
                         qcodes[l] = rng.code();
                         for b in &mut bounds {
@@ -1060,8 +1385,8 @@ mod tests {
                     }
                     check_block(
                         &ctx,
-                        bi * BLOCK as i64,
-                        bj * BLOCK as i64,
+                        bi * B as i64,
+                        bj * B as i64,
                         &rcodes,
                         &qcodes,
                         rng.val(),
@@ -1075,52 +1400,62 @@ mod tests {
         }
     }
 
+    #[test]
+    fn wavefront_matches_scalar_on_random_blocks() {
+        random_blocks_sweep::<BLOCK>(0x5EED);
+    }
+
+    #[test]
+    fn wavefront_matches_scalar_on_random_blocks_wide() {
+        random_blocks_sweep::<MAX_BLOCK>(0x51DE);
+    }
+
     /// One step of the block-grid protocol: compute the block at
     /// `(i0, j0)` (with whichever fill the harness is exercising) and feed
     /// the tracker. Boundary arrays follow the [`crate::block::compute_block`]
     /// in/out convention.
-    type GridStep<'a> = &'a mut dyn FnMut(
+    type GridStep<'a, const B: usize> = &'a mut dyn FnMut(
         &BlockCtx<'_>,
         i64,
         i64,
-        &[u8; BLOCK],
-        &[u8; BLOCK],
+        &[u8; B],
+        &[u8; B],
         i32,
-        &mut Boundary,
-        &mut Boundary,
-        &mut Boundary,
-        &mut Boundary,
+        &mut BoundaryT<B>,
+        &mut BoundaryT<B>,
+        &mut BoundaryT<B>,
+        &mut BoundaryT<B>,
         &mut crate::diag::DiagTracker,
     );
 
     /// Drive the block grid end-to-end (the one copy of the grid-driving
     /// protocol shared by every fill-tier harness) and return the complete
     /// guided result.
-    fn grid_run_with(
+    fn grid_run_with<const B: usize>(
         r: &PackedSeq,
         q: &PackedSeq,
         sc: &Scoring,
-        step: GridStep<'_>,
+        step: GridStep<'_, B>,
     ) -> crate::result::GuidedResult {
         use crate::diag::DiagTracker;
-        let ctx = BlockCtx::new(r.len(), q.len(), sc);
+        let ctx = BlockCtx::with_block_dim(r.len(), q.len(), sc, B);
         let mut tracker = DiagTracker::new(r.len(), q.len(), sc);
-        let b = BLOCK as i64;
+        let b = B as i64;
         let padded_n = (ctx.ref_blocks() * b) as usize;
         let mut row_h = vec![NEG_INF; padded_n];
         let mut row_f = vec![NEG_INF; padded_n];
-        let (mut rb, mut qb) = ([0u8; BLOCK], [0u8; BLOCK]);
+        let (mut rb, mut qb) = ([0u8; B], [0u8; B]);
         'rows: for bj in 0..ctx.query_blocks() {
             let j0 = bj * b;
             let Some((lo, hi)) = ctx.row_block_range(bj) else { continue };
             q.unpack_block(j0 as usize, &mut qb);
-            let (mut wh, mut we) = crate::block::west_init(&ctx, lo * b, j0);
+            let (mut wh, mut we) = crate::block::west_init::<B>(&ctx, lo * b, j0);
             let mut corner = crate::block::corner_read(&ctx, lo * b, j0, &row_h);
             for bi in lo..=hi {
                 let i0 = bi * b;
                 r.unpack_block(i0 as usize, &mut rb);
-                let (mut nh, mut nf) = crate::block::north_read(&ctx, i0, j0, &row_h, &row_f);
-                let next_corner = nh[BLOCK - 1];
+                let (mut nh, mut nf) = crate::block::north_read::<B>(&ctx, i0, j0, &row_h, &row_f);
+                let next_corner = nh[B - 1];
                 step(
                     &ctx,
                     i0,
@@ -1134,8 +1469,8 @@ mod tests {
                     &mut nf,
                     &mut tracker,
                 );
-                row_h[i0 as usize..i0 as usize + BLOCK].copy_from_slice(&nh);
-                row_f[i0 as usize..i0 as usize + BLOCK].copy_from_slice(&nf);
+                row_h[i0 as usize..i0 as usize + B].copy_from_slice(&nh);
+                row_f[i0 as usize..i0 as usize + B].copy_from_slice(&nf);
                 corner = next_corner;
                 if tracker.is_finished() {
                     break 'rows;
@@ -1149,14 +1484,14 @@ mod tests {
     }
 
     /// [`grid_run_with`] using an explicit [`crate::block::FillMode`].
-    fn grid_run(
+    fn grid_run<const B: usize>(
         r: &PackedSeq,
         q: &PackedSeq,
         sc: &Scoring,
         mode: crate::block::FillMode,
     ) -> crate::result::GuidedResult {
-        let mut cells = BlockCells::new();
-        grid_run_with(r, q, sc, &mut |ctx, i0, j0, rb, qb, corner, wh, we, nh, nf, tracker| {
+        let mut cells = BlockCellsT::<i32, B>::new();
+        grid_run_with::<B>(r, q, sc, &mut |ctx, i0, j0, rb, qb, corner, wh, we, nh, nf, tracker| {
             crate::block::compute_block_mode(
                 mode, ctx, i0, j0, rb, qb, corner, wh, we, nh, nf, &mut cells,
             );
@@ -1165,15 +1500,19 @@ mod tests {
     }
 
     /// [`grid_run_with`] on the 16-bit tier:
-    /// [`crate::block::compute_block_i16`] staging into [`BlockCells16`],
+    /// [`crate::block::compute_block_i16`] staging into a 16-bit buffer,
     /// folded by `on_block_i16`.
-    fn grid_run_i16(r: &PackedSeq, q: &PackedSeq, sc: &Scoring) -> crate::result::GuidedResult {
+    fn grid_run_i16<const B: usize>(
+        r: &PackedSeq,
+        q: &PackedSeq,
+        sc: &Scoring,
+    ) -> crate::result::GuidedResult {
         assert!(
-            BlockCtx::new(r.len(), q.len(), sc).i16_exact,
+            BlockCtx::with_block_dim(r.len(), q.len(), sc, B).i16_exact,
             "grid_run_i16 callers must pick gate-admitted tasks"
         );
-        let mut cells = BlockCells16::new();
-        grid_run_with(r, q, sc, &mut |ctx, i0, j0, rb, qb, corner, wh, we, nh, nf, tracker| {
+        let mut cells = BlockCellsT::<i16, B>::new();
+        grid_run_with::<B>(r, q, sc, &mut |ctx, i0, j0, rb, qb, corner, wh, we, nh, nf, tracker| {
             crate::block::compute_block_i16(
                 ctx, i0, j0, rb, qb, corner, wh, we, nh, nf, &mut cells,
             );
@@ -1184,12 +1523,9 @@ mod tests {
     #[test]
     fn wavefront_matches_scalar_via_block_grid() {
         // End-to-end: drive block_grid_align manually with each fill tier
-        // and compare complete guided results.
+        // at each geometry and compare complete guided results.
         use crate::block::FillMode;
         use crate::guided::guided_align;
-
-        let run = grid_run;
-        let run16 = grid_run_i16;
 
         let mut rng = Rng(0xA11E);
         for case in 0..12 {
@@ -1205,11 +1541,17 @@ mod tests {
                 _ => Scoring::new(3, 2, 5, 2, 15, Scoring::NO_BAND),
             };
             let want = guided_align(&rp, &qp, &sc);
-            let scalar = run(&rp, &qp, &sc, FillMode::Scalar);
-            let simd = run(&rp, &qp, &sc, FillMode::Simd);
-            let narrow = run16(&rp, &qp, &sc);
+            let scalar = grid_run::<BLOCK>(&rp, &qp, &sc, FillMode::Scalar);
+            let simd = grid_run::<BLOCK>(&rp, &qp, &sc, FillMode::Simd);
+            let narrow = grid_run_i16::<BLOCK>(&rp, &qp, &sc);
             assert_eq!(scalar, simd, "case {case}: scalar vs simd fill");
             assert_eq!(scalar, narrow, "case {case}: scalar vs i16 fill");
+            // The wide geometry tiles the same table differently but must
+            // produce the identical guided result in both precisions.
+            let wide = grid_run::<MAX_BLOCK>(&rp, &qp, &sc, FillMode::Simd);
+            let wide16 = grid_run_i16::<MAX_BLOCK>(&rp, &qp, &sc);
+            assert_eq!(scalar, wide, "case {case}: scalar vs wide i32 fill");
+            assert_eq!(scalar, wide16, "case {case}: scalar vs wide i16 fill");
             assert!(scalar.same_alignment(&want), "case {case}: {scalar:?} vs {want:?}");
             assert_eq!(scalar.cells, want.cells, "case {case}");
         }
@@ -1293,15 +1635,15 @@ mod tests {
         let q = PackedSeq::from_codes(&[0u8; 62]);
         let want = guided_align(&r, &q, &sc);
         assert_eq!(want.score, 62 * 64, "all-match task must reach the gate's score regime");
-        let scalar = grid_run(&r, &q, &sc, FillMode::Scalar);
-        let narrow = grid_run_i16(&r, &q, &sc);
+        let scalar = grid_run::<BLOCK>(&r, &q, &sc, FillMode::Scalar);
+        let narrow = grid_run_i16::<BLOCK>(&r, &q, &sc);
         assert_eq!(scalar, narrow, "i16 tier at the gate boundary must equal scalar");
         assert!(scalar.same_alignment(&want));
 
         // At the gate, the demoted (i32 wavefront) tier equals scalar too.
         let q2 = PackedSeq::from_codes(&[0u8; 63]);
-        let scalar2 = grid_run(&r, &q2, &sc, FillMode::Scalar);
-        let demoted = grid_run(&r, &q2, &sc, FillMode::Simd);
+        let scalar2 = grid_run::<BLOCK>(&r, &q2, &sc, FillMode::Scalar);
+        let demoted = grid_run::<BLOCK>(&r, &q2, &sc, FillMode::Simd);
         assert_eq!(scalar2, demoted, "demoted task must run the exact i32 path");
         assert_eq!(scalar2.score, 63 * 64);
     }

@@ -2,9 +2,11 @@
 //! tasks/sec of (a) the whole-batch path, (b) the chunked streaming engine,
 //! (c) single-threaded kernel execution with fresh vs reused workspaces,
 //! (d) the SIMD (wavefront) vs scalar block fill on the same fixed-seed
-//! dataset, and (e) the i16 vs i32 wavefront tiers on a fixed-seed
-//! short-read workload (the regime whose scores provably fit i16). Writes
-//! `BENCH_pipeline.json` so CI tracks the perf trajectory run over run.
+//! dataset, (e) the i16 vs i32 wavefront tiers on a fixed-seed short-read
+//! workload (the regime whose scores provably fit i16), and (f) the narrow
+//! (8×8) vs wide (16×16) block geometry — forced and adaptive — on that
+//! same workload. Writes `BENCH_pipeline.json` so CI tracks the perf
+//! trajectory run over run.
 //!
 //! Every fill path is always compiled (the `simd` cargo feature only flips
 //! the *default*), so one binary reports the whole scalar/i32/i16 matrix
@@ -18,7 +20,7 @@
 
 use std::time::Instant;
 
-use agatha_align::{FillPrecision, FillTier, Scoring, Task};
+use agatha_align::{BlockDim, FillPrecision, FillTier, Scoring, Task};
 use agatha_core::{kernel::run_task, run_task_ws, AgathaConfig, KernelWorkspace, Pipeline};
 use agatha_datasets::{generate, DatasetSpec, Tech};
 
@@ -102,11 +104,14 @@ fn main() {
     // SIMD vs scalar block fill, single thread over the CLR dataset (reads
     // long enough that per-cell compute — not allocation — dominates, the
     // regime the wavefront fill targets). Both runs use one reused
-    // workspace so the comparison isolates the fill.
+    // workspace so the comparison isolates the fill, and both pin the
+    // paper's 8×8 geometry: the adaptive dispatch would widen only the
+    // simd side, folding a tiling change into a fill comparison (and
+    // breaking the block-count checksum).
     let mut fill_secs = [0.0f64; 2];
     let mut fill_sums = [0u64; 2];
     for (slot, simd) in [(0usize, false), (1usize, true)] {
-        let cfg = pipeline.config.clone().with_simd_fill(simd);
+        let cfg = pipeline.config.clone().with_simd_fill(simd).with_block_dim(BlockDim::B8);
         let mut ws = KernelWorkspace::new();
         let (secs, sum) = best_of(|| {
             tasks.iter().map(|t| run_task_ws(&mut ws, t, &pipeline.scoring, &cfg).blocks).sum()
@@ -116,10 +121,16 @@ fn main() {
     }
     assert_eq!(fill_sums[0], fill_sums[1], "simd fill must execute identical work");
 
-    // i16 vs i32 wavefront tier, single thread over a fixed-seed
-    // *short-read* workload: ~240 bp reads under a BWA-style preset, the
-    // regime where every task passes the i16 exactness gate. Same reused-
-    // workspace methodology as the simd/scalar pair above.
+    // i16 vs i32 wavefront tier and narrow vs wide block geometry, single
+    // thread over a fixed-seed *short-read* workload: ~240 bp reads under a
+    // BWA-style preset, the regime where every task passes the i16
+    // exactness gate (at both geometries). Same reused-workspace
+    // methodology as the simd/scalar pair above. The i32/i16 slots pin the
+    // paper's 8×8 geometry so their rows stay comparable to the tracked
+    // history; the b16 slot forces the wide 16×16 tile (16 i16 lanes per
+    // block diagonal instead of 8) and the auto slot lets the per-task
+    // dispatch choose. Checksums sum *scores*, not blocks (block counts are
+    // tiling artifacts), so their equality asserts geometry bit-identity.
     let short_scoring = Scoring::preset_bwa();
     let short_tasks: Vec<Task> = (0..1500u64)
         .map(|i| {
@@ -136,29 +147,50 @@ fn main() {
             Task::from_strs(i as u32, &r, &q)
         })
         .collect();
-    let mut tier_secs = [0.0f64; 2];
-    let mut tier_sums = [0u64; 2];
-    for (slot, precision) in [(0usize, FillPrecision::I32), (1usize, FillPrecision::I16)] {
-        let cfg = pipeline.config.clone().with_simd_fill(true).with_fill_precision(precision);
+    let tier_cases: [(FillPrecision, BlockDim, Option<FillTier>); 4] = [
+        (FillPrecision::I32, BlockDim::B8, Some(FillTier::I32)),
+        (FillPrecision::I16, BlockDim::B8, Some(FillTier::I16)),
+        (FillPrecision::I16, BlockDim::B16, Some(FillTier::I16)),
+        (FillPrecision::I16, BlockDim::Auto, None),
+    ];
+    let mut tier_secs = [0.0f64; 4];
+    let mut tier_sums = [0u64; 4];
+    for (slot, &(precision, block, want)) in tier_cases.iter().enumerate() {
+        let cfg = pipeline
+            .config
+            .clone()
+            .with_simd_fill(true)
+            .with_fill_precision(precision)
+            .with_block_dim(block);
         // Every short-read task must actually resolve to the requested tier
-        // or the speedup row would silently compare the wrong kernels.
-        let want = if slot == 0 { FillTier::I32 } else { FillTier::I16 };
-        for t in &short_tasks {
-            assert_eq!(
-                cfg.fill_tier_for(t.ref_len(), t.query_len(), &short_scoring),
-                want,
-                "short-read workload must stay inside the {} gate",
-                want.name()
-            );
+        // or the speedup rows would silently compare the wrong kernels.
+        if let Some(want) = want {
+            for t in &short_tasks {
+                assert_eq!(
+                    cfg.fill_tier_for(t.ref_len(), t.query_len(), &short_scoring),
+                    want,
+                    "short-read workload must stay inside the {} gate at block {}",
+                    want.name(),
+                    block.name()
+                );
+            }
         }
         let mut ws = KernelWorkspace::new();
         let (secs, sum) = best_of(|| {
-            short_tasks.iter().map(|t| run_task_ws(&mut ws, t, &short_scoring, &cfg).blocks).sum()
+            short_tasks
+                .iter()
+                .map(|t| {
+                    run_task_ws(&mut ws, t, &short_scoring, &cfg).result.score.unsigned_abs() as u64
+                })
+                .sum()
         });
         tier_secs[slot] = secs;
         tier_sums[slot] = sum;
     }
-    assert_eq!(tier_sums[0], tier_sums[1], "i16 fill must execute identical work");
+    assert!(
+        tier_sums.iter().all(|&s| s == tier_sums[0]),
+        "every (precision × geometry) pair must score bit-identically: {tier_sums:?}"
+    );
 
     let tps = |secs: f64, n: usize| n as f64 / secs;
     let json = format!(
@@ -166,6 +198,7 @@ fn main() {
          \"chunk\": {CHUNK},\n  \
          \"default_fill\": \"{}\",\n  \
          \"default_precision\": \"{}\",\n  \
+         \"block_dim\": \"{}\",\n  \
          \"fill_backend\": \"{}\",\n  \
          \"whole_batch_tasks_per_sec\": {:.1},\n  \
          \"streaming_tasks_per_sec\": {:.1},\n  \
@@ -178,10 +211,14 @@ fn main() {
          \"short_read_tasks\": {},\n  \
          \"kernel_i32_fill_tasks_per_sec\": {:.1},\n  \
          \"kernel_i16_fill_tasks_per_sec\": {:.1},\n  \
-         \"i16_fill_speedup\": {:.3}\n}}\n",
+         \"i16_fill_speedup\": {:.3},\n  \
+         \"kernel_b16_fill_tasks_per_sec\": {:.1},\n  \
+         \"kernel_auto_geom_tasks_per_sec\": {:.1},\n  \
+         \"geometry_speedup\": {:.3}\n}}\n",
         tasks.len(),
         if cfg!(feature = "simd") { "simd" } else { "scalar" },
         agatha_core::options::default_fill_precision().name(),
+        agatha_core::options::default_block_dim().name(),
         agatha_align::simd::backend().name(),
         tps(whole_s, tasks.len()),
         tps(stream_s, tasks.len()),
@@ -195,6 +232,9 @@ fn main() {
         tps(tier_secs[0], short_tasks.len()),
         tps(tier_secs[1], short_tasks.len()),
         tier_secs[0] / tier_secs[1],
+        tps(tier_secs[2], short_tasks.len()),
+        tps(tier_secs[3], short_tasks.len()),
+        tier_secs[1] / tier_secs[2],
     );
     std::fs::write("BENCH_pipeline.json", &json).expect("write BENCH_pipeline.json");
     print!("{json}");

@@ -206,10 +206,14 @@ fn main() {
     }
 
     let body: Vec<String> = points.iter().map(point_json).collect();
+    // The active block geometry (the `AGATHA_BLOCK` override, else the
+    // adaptive default): serving numbers from different geometries are not
+    // comparable, same as `fill_backend` in the pipeline bench.
+    let block_dim = daemon_config().config.block_dim.name();
     let json = format!(
         "{{\n  \"bench\": \"serve\",\n  \"seed\": {SEED},\n  \
          \"window_ms\": {WINDOW_MS},\n  \"deadline_ms\": {DEADLINE_MS},\n  \
-         \"max_queue\": {MAX_QUEUE},\n  \
+         \"max_queue\": {MAX_QUEUE},\n  \"block_dim\": \"{block_dim}\",\n  \
          \"capacity_est_rps\": {:.1},\n  \"load_points\": [\n{}\n  ]\n}}\n",
         capacity,
         body.join(",\n"),

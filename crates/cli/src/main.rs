@@ -27,7 +27,7 @@ use std::path::PathBuf;
 use std::process::ExitCode;
 use std::sync::atomic::Ordering;
 
-use agatha_align::{FillPrecision, FillTier, Scoring, Task};
+use agatha_align::{BlockDim, FillPrecision, FillTier, Scoring, Task};
 use agatha_baselines::{run_baseline, Baseline};
 use agatha_core::{AgathaConfig, Pipeline};
 use agatha_datasets::{generate, DatasetSpec, Tech};
@@ -95,7 +95,11 @@ common options:
                   auto | i32 | i16. auto/i16 run the 16-bit wavefront on
                   every task whose scores provably fit i16 and demote the
                   rest to i32 — results are bit-identical across tiers
-  --verbose       print per-task fill-precision tier counts
+  --block B       host block geometry (agatha engine only): auto | 8 | 16.
+                  auto widens to 16x16 blocks (16 i16 lanes per diagonal)
+                  on tasks where the wider tile amortises its staging cost;
+                  results are bit-identical across geometries
+  --verbose       print per-task fill-precision tier and geometry counts
   -o DIR          output directory (default ./output)
   --tech T        demo technology: hifi | clr | ont (default clr)
   --reads N       demo task count (default 160)
@@ -131,6 +135,9 @@ struct HostOpts {
     /// `--precision` when given explicitly (also forces the wavefront fill
     /// on); `None` keeps the build/environment default.
     precision: Option<FillPrecision>,
+    /// `--block` when given explicitly; `None` keeps the build/environment
+    /// default (adaptive per-task geometry).
+    block: Option<BlockDim>,
     verbose: bool,
 }
 
@@ -148,6 +155,10 @@ fn host_opts(args: &Args) -> Result<HostOpts, String> {
             FillPrecision::parse(v).map_err(|e| format!("{e}\nusage: --precision auto|i32|i16"))?,
         ),
     };
+    let block = match args.get("block") {
+        None => None,
+        Some(v) => Some(BlockDim::parse(v).map_err(|e| format!("{e}\nusage: --block auto|8|16"))?),
+    };
     let chunk = args.get_num_checked("chunk", DEFAULT_CHUNK)?;
     if chunk == 0 {
         // `--chunk 0` used to mean "whole batch in one chunk", which
@@ -160,6 +171,7 @@ fn host_opts(args: &Args) -> Result<HostOpts, String> {
         threads: args.get_num_checked("threads", 0usize)?,
         chunk,
         precision,
+        block,
         verbose: args.has("verbose"),
     })
 }
@@ -167,25 +179,35 @@ fn host_opts(args: &Args) -> Result<HostOpts, String> {
 /// The kernel configuration implied by the host options: full AGAThA, with
 /// an explicit `--precision` both selecting the tier and switching the
 /// wavefront fill on (requesting a lane width only makes sense for the
-/// vectorised fill, whatever the build-time default).
+/// vectorised fill, whatever the build-time default). `--block` pins the
+/// block geometry but leaves the fill mode alone: the tiling is valid (and
+/// bit-identical) under every fill implementation.
 fn agatha_config(opts: &HostOpts) -> AgathaConfig {
-    match opts.precision {
-        None => AgathaConfig::agatha(),
-        Some(p) => AgathaConfig::agatha().with_simd_fill(true).with_fill_precision(p),
+    let mut cfg = AgathaConfig::agatha();
+    if let Some(p) = opts.precision {
+        cfg = cfg.with_simd_fill(true).with_fill_precision(p);
     }
+    if let Some(b) = opts.block {
+        cfg = cfg.with_block_dim(b);
+    }
+    cfg
 }
 
 /// Per-tier task counts for `--verbose`: how many tasks each fill tier
-/// served, and how many were demoted from a requested i16.
+/// served, how many were demoted from a requested i16, and which block
+/// geometry each task resolved to.
 #[derive(Default)]
 struct TierStats {
     counts: [u64; 3],
     demoted: u64,
+    /// Tasks resolved to the narrow (8x8) / wide (16x16) geometry.
+    blocks: [u64; 2],
 }
 
 impl TierStats {
     fn tally(&mut self, cfg: &AgathaConfig, scoring: &Scoring, task: &Task) {
-        let tier = cfg.fill_tier_for(task.ref_len(), task.query_len(), scoring);
+        let (n, m) = (task.ref_len(), task.query_len());
+        let tier = cfg.fill_tier_for(n, m, scoring);
         let slot = match tier {
             FillTier::I16 => 0,
             FillTier::I32 => 1,
@@ -197,6 +219,8 @@ impl TierStats {
         if wants_i16 && tier != FillTier::I16 {
             self.demoted += 1;
         }
+        let b = if cfg.block_dim_for(n, m, scoring) == agatha_align::BLOCK { 0 } else { 1 };
+        self.blocks[b] += 1;
     }
 
     fn print(&self) {
@@ -204,6 +228,7 @@ impl TierStats {
             "fill precision: i16={} i32={} scalar={} (demoted={})",
             self.counts[0], self.counts[1], self.counts[2], self.demoted
         );
+        println!("block geometry: b8={} b16={}", self.blocks[0], self.blocks[1]);
     }
 }
 
@@ -236,6 +261,12 @@ fn check_baseline_gpus(engine: &str, opts: &HostOpts) -> Result<(), String> {
         return Err(format!(
             "--precision is only supported by the agatha engine; baseline '{engine}' runs \
              its reference fill (drop --precision or use --engine agatha)"
+        ));
+    }
+    if opts.block.is_some() {
+        return Err(format!(
+            "--block is only supported by the agatha engine; baseline '{engine}' runs \
+             its reference block geometry (drop --block or use --engine agatha)"
         ));
     }
     Ok(())

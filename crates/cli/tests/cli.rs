@@ -310,6 +310,82 @@ fn precision_rejected_for_baseline_engines() {
 }
 
 #[test]
+fn block_geometry_is_forceable_and_bit_identical() {
+    // `--block 8` and `--block 16` must both be accepted and score
+    // identically (and identically to the adaptive default): geometry is
+    // a tiling choice, never a numerics choice.
+    let dir = std::env::temp_dir().join(format!("agatha_cli_blk_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let refs = dir.join("ref.fasta");
+    let queries = dir.join("query.fasta");
+    let mut rf = String::new();
+    let mut qf = String::new();
+    for i in 0..6 {
+        rf.push_str(&format!(">r{i}\n{}\n", "ACGTTGCAACGTTGCA".repeat(i % 4 + 1)));
+        qf.push_str(&format!(">q{i}\n{}\n", "ACGTAGCAACGTTGCA".repeat(i % 4 + 1)));
+    }
+    std::fs::write(&refs, rf).unwrap();
+    std::fs::write(&queries, qf).unwrap();
+    let run = |block: &str, out: &str| {
+        let out_dir = dir.join(out);
+        let st = agatha()
+            .args(["align", "-w", "100", "--block", block, "--verbose"])
+            .args(["-o", out_dir.to_str().unwrap()])
+            .arg(refs.to_str().unwrap())
+            .arg(queries.to_str().unwrap())
+            .output()
+            .unwrap();
+        assert!(st.status.success(), "stderr: {}", String::from_utf8_lossy(&st.stderr));
+        let text = String::from_utf8_lossy(&st.stdout).to_string();
+        (std::fs::read_to_string(out_dir.join("score.log")).unwrap(), text)
+    };
+    let (narrow, narrow_text) = run("8", "b8");
+    let (wide, wide_text) = run("16", "b16");
+    let (auto, _) = run("auto", "auto");
+    assert_eq!(narrow, wide, "scores must be bit-identical across geometries");
+    assert_eq!(narrow, auto, "adaptive geometry must not change scores");
+    assert_eq!(narrow.lines().count(), 6);
+    // The --verbose geometry line reflects the forced tiling.
+    assert!(narrow_text.contains("block geometry: b8=6 b16=0"), "stdout: {narrow_text}");
+    assert!(wide_text.contains("block geometry: b8=0 b16=6"), "stdout: {wide_text}");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn block_bogus_is_a_usage_error() {
+    let dir = std::env::temp_dir().join(format!("agatha_cli_bbad_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let refs = dir.join("ref.fasta");
+    let queries = dir.join("query.fasta");
+    std::fs::write(&refs, ">1\nACGT\n").unwrap();
+    std::fs::write(&queries, ">1\nACGT\n").unwrap();
+    let out = agatha()
+        .args(["align", "--block", "12"])
+        .arg(refs.to_str().unwrap())
+        .arg(queries.to_str().unwrap())
+        .output()
+        .unwrap();
+    assert!(!out.status.success(), "--block 12 must fail");
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        err.contains("'12'") && err.contains("--block") && err.contains("auto|8|16"),
+        "stderr must carry a usage message: {err}"
+    );
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn block_rejected_for_baseline_engines() {
+    let out = agatha()
+        .args(["demo", "--reads", "4", "--engine", "saloba", "--block", "16"])
+        .output()
+        .unwrap();
+    assert!(!out.status.success(), "--block must not be silently ignored by baselines");
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("agatha engine"), "stderr: {err}");
+}
+
+#[test]
 fn zero_reads_is_an_error() {
     // `--reads 0` used to be silently clamped to 1.
     let out = agatha().args(["demo", "--reads", "0"]).output().unwrap();

@@ -2,7 +2,7 @@
 
 use std::sync::OnceLock;
 
-use agatha_align::block::FillPrecision;
+use agatha_align::block::{BlockDim, FillPrecision};
 use agatha_gpu_sim::WARP_LANES;
 
 /// Process-default [`FillPrecision`]: the `AGATHA_PRECISION` environment
@@ -16,6 +16,20 @@ pub fn default_fill_precision() -> FillPrecision {
         Err(_) => FillPrecision::Auto,
         Ok(v) => FillPrecision::parse(&v)
             .unwrap_or_else(|e| panic!("AGATHA_PRECISION environment override: {e}")),
+    })
+}
+
+/// Process-default [`BlockDim`]: the `AGATHA_BLOCK` environment variable
+/// (`auto` | `8` | `16`) when set, else `Auto` — the geometry analogue of
+/// [`default_fill_precision`], and the lever CI uses to force the whole
+/// suite through one block geometry.
+pub fn default_block_dim() -> BlockDim {
+    static CACHE: OnceLock<BlockDim> = OnceLock::new();
+    *CACHE.get_or_init(|| match std::env::var("AGATHA_BLOCK") {
+        Err(_) => BlockDim::Auto,
+        Ok(v) => {
+            BlockDim::parse(&v).unwrap_or_else(|e| panic!("AGATHA_BLOCK environment override: {e}"))
+        }
     })
 }
 
@@ -65,6 +79,14 @@ pub struct AgathaConfig {
     /// bit-identical across all tiers. Defaults to the `AGATHA_PRECISION`
     /// environment override, else `Auto`.
     pub fill_precision: FillPrecision,
+    /// Block geometry for the host-side fill: `Auto` resolves the block
+    /// side per task ([`agatha_align::block::BlockCtx::geometry_for`] picks
+    /// 16×16 when the task amortizes the wider staging, else the paper's
+    /// 8×8), `B8`/`B16` force one side. Orthogonal to `fill_precision`:
+    /// geometry picks the tiling, precision the lane width within it, and
+    /// every (geometry × precision) pair is bit-identical. Defaults to the
+    /// `AGATHA_BLOCK` environment override, else `Auto`.
+    pub block_dim: BlockDim,
 }
 
 impl AgathaConfig {
@@ -83,6 +105,7 @@ impl AgathaConfig {
             use_dpx: false,
             simd_fill: cfg!(feature = "simd"),
             fill_precision: default_fill_precision(),
+            block_dim: default_block_dim(),
         }
     }
 
@@ -155,6 +178,15 @@ impl AgathaConfig {
         }
     }
 
+    /// Select the block geometry (mirrors
+    /// [`AgathaConfig::with_fill_precision`]). Results are bit-identical
+    /// across every geometry; benchmarks and the CLI `--block` flag use
+    /// this to pin a side per run.
+    pub fn with_block_dim(mut self, block_dim: BlockDim) -> AgathaConfig {
+        self.block_dim = block_dim;
+        self
+    }
+
     /// The fill tier this configuration resolves to for an `n × m` task —
     /// the same per-task decision [`crate::kernel::run_task_ws`] makes, so
     /// callers (CLI `--verbose` stats, benches) can observe i16 demotions
@@ -166,8 +198,17 @@ impl AgathaConfig {
         m: usize,
         scoring: &agatha_align::Scoring,
     ) -> agatha_align::block::FillTier {
-        agatha_align::block::BlockCtx::new(n, m, scoring)
+        let b = self.block_dim_for(n, m, scoring);
+        agatha_align::block::BlockCtx::with_block_dim(n, m, scoring, b)
             .fill_tier(self.fill_mode(), self.fill_precision)
+    }
+
+    /// The block side this configuration resolves to for an `n × m` task —
+    /// the geometry analogue of [`AgathaConfig::fill_tier_for`], again the
+    /// exact per-task decision [`crate::kernel::run_task_ws`] makes.
+    #[inline]
+    pub fn block_dim_for(&self, n: usize, m: usize, scoring: &agatha_align::Scoring) -> usize {
+        self.block_dim.resolve(n, m, scoring, self.fill_mode(), self.fill_precision)
     }
 
     /// Set the subwarp size (Fig. 14).
@@ -244,6 +285,44 @@ mod tests {
         assert_eq!(FillPrecision::parse("i16"), Ok(FillPrecision::I16));
         let err = FillPrecision::parse("bogus").unwrap_err();
         assert!(err.contains("'bogus'") && err.contains("auto"), "{err}");
+    }
+
+    #[test]
+    fn block_dim_names_parse() {
+        assert_eq!(BlockDim::parse("auto"), Ok(BlockDim::Auto));
+        assert_eq!(BlockDim::parse("8"), Ok(BlockDim::B8));
+        assert_eq!(BlockDim::parse("B16"), Ok(BlockDim::B16));
+        let err = BlockDim::parse("12").unwrap_err();
+        assert!(err.contains("'12'") && err.contains("auto"), "{err}");
+    }
+
+    #[test]
+    fn block_dim_resolution_is_per_task() {
+        use agatha_align::{BLOCK, MAX_BLOCK};
+        let s = agatha_align::Scoring::preset_bwa();
+        let cfg = AgathaConfig::agatha().with_simd_fill(true).with_block_dim(BlockDim::Auto);
+        // Forced geometries resolve to themselves regardless of the task.
+        assert_eq!(cfg.clone().with_block_dim(BlockDim::B8).block_dim_for(240, 240, &s), BLOCK);
+        assert_eq!(
+            cfg.clone().with_block_dim(BlockDim::B16).block_dim_for(240, 240, &s),
+            MAX_BLOCK
+        );
+        // Auto under the scalar fill always stays at the paper geometry
+        // (the wide side only pays off via the 16-lane i16 wavefront).
+        let scalar = cfg.clone().with_simd_fill(false);
+        assert_eq!(scalar.block_dim_for(240, 240, &s), BLOCK);
+        // Auto with the i32 precision pin also stays narrow.
+        let wide_lanes = cfg.clone().with_fill_precision(FillPrecision::I32);
+        assert_eq!(wide_lanes.block_dim_for(240, 240, &s), BLOCK);
+        // Tiny tasks never pick the wide geometry.
+        assert_eq!(cfg.block_dim_for(16, 16, &s), BLOCK);
+        // The fill tier resolver agrees with the geometry resolver's pick
+        // (a B16-forced short read still proves the i16 gate).
+        if cfg!(feature = "simd") {
+            use agatha_align::block::FillTier;
+            let forced = cfg.with_block_dim(BlockDim::B16);
+            assert_eq!(forced.fill_tier_for(240, 240, &s), FillTier::I16);
+        }
     }
 
     #[test]

@@ -364,14 +364,19 @@ mod tests {
 
     #[test]
     fn subwarp_block_accounting_conserves_work() {
+        use agatha_align::block::BlockDim;
         let scoring = Scoring::new(2, 4, 4, 2, 60, 16);
         let tasks = mk_tasks(20, 90, 21);
-        let p = Pipeline::new(scoring, AgathaConfig::agatha());
-        let rep = p.align_batch(&tasks);
-        let assigned: u64 = rep.subwarp_blocks.iter().map(|&(a, _)| a).sum();
-        let executed: f64 = rep.subwarp_blocks.iter().map(|&(_, e)| e).sum();
-        assert_eq!(assigned, rep.stats.computed_cells / 64);
-        assert!((executed - assigned as f64).abs() / (assigned as f64) < 1e-9);
+        // Geometry is pinned per run so block counts convert to cells with
+        // one factor; both geometries must conserve work.
+        for (bd, block_cells) in [(BlockDim::B8, 64), (BlockDim::B16, 256)] {
+            let p = Pipeline::new(scoring, AgathaConfig::agatha().with_block_dim(bd));
+            let rep = p.align_batch(&tasks);
+            let assigned: u64 = rep.subwarp_blocks.iter().map(|&(a, _)| a).sum();
+            let executed: f64 = rep.subwarp_blocks.iter().map(|&(_, e)| e).sum();
+            assert_eq!(assigned, rep.stats.computed_cells / block_cells, "{}", bd.name());
+            assert!((executed - assigned as f64).abs() / (assigned as f64) < 1e-9);
+        }
     }
 
     #[test]

@@ -205,7 +205,11 @@ mod tests {
 
     #[test]
     fn rejoining_speeds_up_imbalanced_warp() {
-        let cfg = AgathaConfig::agatha();
+        // Pinned to the paper's 8×8 geometry: the imbalanced-warp regime
+        // this test characterizes assumes the block-row granularity of the
+        // GPU kernel, and a forced wide geometry (AGATHA_BLOCK=16) halves
+        // the rows per slice, collapsing the imbalance being measured.
+        let cfg = AgathaConfig::agatha().with_block_dim(agatha_align::BlockDim::B8);
         let big = mk_run(600, 3, &cfg);
         let small = mk_run(100, 5, &cfg);
         let queues = vec![vec![&big], vec![&small], vec![&small], vec![&small]];

@@ -6,7 +6,7 @@ use agatha_suite::align::banded::banded_align;
 use agatha_suite::align::block::block_grid_align;
 use agatha_suite::align::guided::guided_align;
 use agatha_suite::align::matrix::full_align;
-use agatha_suite::align::{FillPrecision, PackedSeq, Scoring, Task};
+use agatha_suite::align::{BlockDim, FillPrecision, PackedSeq, Scoring, Task};
 use agatha_suite::core::bucketing::{build_warps, OrderingStrategy};
 use agatha_suite::core::{kernel::run_task, AgathaConfig};
 use agatha_suite::gpu_sim::sched;
@@ -78,8 +78,10 @@ proptest! {
             .with_subwarp(8 << subwarp_pow);
         let got = run_task(&task, &s, &cfg);
         prop_assert!(got.result.same_alignment(&want), "got={:?} want={want:?}", got.result);
-        // Run-ahead never loses reference cells.
-        prop_assert!(got.computed_cells() + 64 >= want.cells);
+        // Run-ahead never loses reference cells; the slack is one block of
+        // whichever geometry the task resolved to.
+        let b = u64::from(got.block_dim);
+        prop_assert!(got.computed_cells() + b * b >= want.cells);
     }
 
     /// The SIMD (wavefront) and scalar block fills are bit-identical: same
@@ -95,6 +97,7 @@ proptest! {
         zdrop_on in proptest::bool::ANY,
         slice in 1usize..20,
         horizontal in proptest::bool::ANY,
+        wide in proptest::bool::ANY,
     ) {
         let s = if banded { s } else { s.with_band(Scoring::NO_BAND) };
         let s = if zdrop_on { s } else { s.with_zdrop(Scoring::NO_ZDROP) };
@@ -105,6 +108,9 @@ proptest! {
         } else {
             AgathaConfig::agatha().with_slice_width(slice)
         };
+        // Pinned geometry: the adaptive choice depends on the fill mode, so
+        // whole-run equality across fills is only defined at a fixed tiling.
+        let cfg = cfg.with_block_dim(if wide { BlockDim::B16 } else { BlockDim::B8 });
         let scalar = run_task(&task, &s, &cfg.clone().with_simd_fill(false));
         let simd = run_task(&task, &s, &cfg.with_simd_fill(true));
         prop_assert_eq!(scalar, simd);
@@ -126,6 +132,7 @@ proptest! {
         zdrop_on in proptest::bool::ANY,
         slice in 1usize..20,
         horizontal in proptest::bool::ANY,
+        wide in proptest::bool::ANY,
     ) {
         let mut s = s;
         s.match_score *= [1, 64, 4096][boost];
@@ -138,6 +145,8 @@ proptest! {
         } else {
             AgathaConfig::agatha().with_slice_width(slice)
         };
+        // Pinned geometry, as in `simd_scalar_bit_identity`.
+        let cfg = cfg.with_block_dim(if wide { BlockDim::B16 } else { BlockDim::B8 });
         let scalar = run_task(&task, &s, &cfg.clone().with_simd_fill(false));
         let wide = run_task(
             &task,
@@ -151,6 +160,52 @@ proptest! {
         );
         prop_assert_eq!(&scalar, &wide);
         prop_assert_eq!(&scalar, &narrow);
+    }
+
+    /// Block geometry is a pure tiling choice. At a pinned geometry every
+    /// fill tier — i16 wavefront, i32 wavefront, scalar — stays fully
+    /// bit-identical (whole `TaskRun` equality), over random tasks ×
+    /// bands × z-drop × tilings. Across the two geometries the unit
+    /// schedules and block counts legitimately differ (they describe the
+    /// tiling), but the alignment result itself must not move.
+    #[test]
+    fn geometry_sweep_bit_identity(
+        r in dna(150),
+        q in dna(150),
+        s in scoring_strategy(),
+        banded in proptest::bool::ANY,
+        zdrop_on in proptest::bool::ANY,
+        slice in 1usize..20,
+        horizontal in proptest::bool::ANY,
+    ) {
+        let s = if banded { s } else { s.with_band(Scoring::NO_BAND) };
+        let s = if zdrop_on { s } else { s.with_zdrop(Scoring::NO_ZDROP) };
+        let (rp, qp) = (PackedSeq::from_codes(&r), PackedSeq::from_codes(&q));
+        let task = Task { id: 0, reference: rp, query: qp };
+        let base = if horizontal {
+            AgathaConfig::baseline()
+        } else {
+            AgathaConfig::agatha().with_slice_width(slice)
+        };
+        let mut per_geometry = Vec::new();
+        for bd in [BlockDim::B8, BlockDim::B16] {
+            let cfg = base.clone().with_block_dim(bd);
+            let scalar = run_task(&task, &s, &cfg.clone().with_simd_fill(false));
+            let i32_run = run_task(
+                &task,
+                &s,
+                &cfg.clone().with_simd_fill(true).with_fill_precision(FillPrecision::I32),
+            );
+            let i16_run = run_task(
+                &task,
+                &s,
+                &cfg.with_simd_fill(true).with_fill_precision(FillPrecision::I16),
+            );
+            prop_assert_eq!(&scalar, &i32_run);
+            prop_assert_eq!(&scalar, &i16_run);
+            per_geometry.push(scalar);
+        }
+        prop_assert_eq!(&per_geometry[0].result, &per_geometry[1].result);
     }
 
     /// The guided score is monotone in the band width (a wider band can
