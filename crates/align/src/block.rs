@@ -113,6 +113,12 @@ pub struct BlockCtx<'a> {
     /// Wavefront backend resolved once per task (CPU feature detection is
     /// not free enough to repeat per block).
     pub wavefront_backend: crate::simd::WavefrontBackend,
+    /// Precomputed per-query score rows ([`crate::profile::QueryProfile`])
+    /// for substitution-matrix models: the SIMD fills read `S(c, Q[j])`
+    /// from these rows instead of the two-level matrix lookup. `None` means
+    /// the fills fall back to direct lookups (bit-identical by
+    /// construction); the fixed model never uses a profile.
+    pub profile: Option<&'a crate::profile::QueryProfile>,
 }
 
 impl<'a> BlockCtx<'a> {
@@ -155,13 +161,15 @@ impl<'a> BlockCtx<'a> {
     pub fn with_block_dim(n: usize, m: usize, scoring: &'a Scoring, b: usize) -> BlockCtx<'a> {
         assert!(b == BLOCK || b == MAX_BLOCK, "unsupported block dim {b}: expected 8 or 16");
         let (ni, mi) = (n as i64, m as i64);
-        // Largest scoring increment that can be applied per DP step.
+        // Largest scoring increment that can be applied per DP step,
+        // derived from the model's declared substitution bounds (for the
+        // fixed DNA model this reproduces the historical
+        // max(mismatch, ambig, match_score) arm exactly).
         let step = [
             scoring.gap_open as i64 + scoring.gap_extend as i64,
             scoring.gap_extend as i64,
-            scoring.mismatch as i64,
-            scoring.ambig as i64,
-            scoring.match_score as i64,
+            scoring.max_score() as i64,
+            -(scoring.min_score() as i64),
         ]
         .into_iter()
         .max()
@@ -179,7 +187,16 @@ impl<'a> BlockCtx<'a> {
             simd_exact,
             i16_exact,
             wavefront_backend: crate::simd::backend(),
+            profile: None,
         }
+    }
+
+    /// Attach a prepared per-query score profile (matrix models only; see
+    /// [`BlockCtx::profile`]). A profile built for a different matrix or
+    /// query is ignored by the fills, so attaching is always safe.
+    pub fn with_profile(mut self, profile: Option<&'a crate::profile::QueryProfile>) -> Self {
+        self.profile = profile;
+        self
     }
 
     /// Pick the block side for one task: the wide (16×16) geometry exactly
@@ -1000,6 +1017,37 @@ mod tests {
         assert_eq!(I16_REACH_BOUND, 1 << 13);
         assert_eq!(I32_SENTINEL_MAG, 1 << 30);
         assert_eq!(I16_SENTINEL_MAG, 1 << 14);
+    }
+
+    #[test]
+    fn matrix_model_gates_derive_from_declared_bounds() {
+        // Under BLOSUM62 the per-step increment is the declared matrix
+        // maximum (11, tying gap_open + gap_extend = 11 in the preset), not
+        // any DNA constant: reach = 11 × (n + m + 2).
+        let sc = Scoring::preset_blosum62();
+        // 250×250 → 11 × 502 = 5522 < 2^13: both geometries stay i16-exact.
+        for b in [BLOCK, MAX_BLOCK] {
+            let ctx = BlockCtx::with_block_dim(250, 250, &sc, b);
+            assert!(ctx.simd_exact && ctx.i16_exact, "b={b}");
+        }
+        // 400×400 → 11 × 802 = 8822 ≥ 2^13: the i16 tier demotes while the
+        // i32 gate (bound 2^29) is nowhere near.
+        for b in [BLOCK, MAX_BLOCK] {
+            let ctx = BlockCtx::with_block_dim(400, 400, &sc, b);
+            assert!(!ctx.i16_exact, "b={b}");
+            assert!(ctx.simd_exact, "b={b}");
+        }
+        // A fixed model with the same magnitudes gates identically — the
+        // step is model-independent once the bounds agree.
+        let fixed = Scoring::new(11, 4, 10, 1, sc.zdrop, sc.band_width);
+        assert_eq!(
+            BlockCtx::with_block_dim(250, 250, &fixed, BLOCK).i16_exact,
+            BlockCtx::with_block_dim(250, 250, &sc, BLOCK).i16_exact
+        );
+        assert_eq!(
+            BlockCtx::with_block_dim(400, 400, &fixed, BLOCK).i16_exact,
+            BlockCtx::with_block_dim(400, 400, &sc, BLOCK).i16_exact
+        );
     }
 
     #[test]

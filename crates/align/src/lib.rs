@@ -30,6 +30,7 @@ pub mod diag;
 pub mod guided;
 pub mod matrix;
 pub mod pack;
+pub mod profile;
 pub mod result;
 pub mod scoring;
 pub mod simd;
@@ -43,8 +44,9 @@ pub use block::{
     FillPrecision, FillTier,
 };
 pub use pack::PackedSeq;
+pub use profile::QueryProfile;
 pub use result::{GuidedResult, MaxCell};
-pub use scoring::Scoring;
+pub use scoring::{ScoreModel, Scoring, SubstMatrix, BLOSUM62};
 pub use task::{check_dims, Task, MAX_SEQ_LEN};
 
 /// Sentinel for "minus infinity" in score space.

@@ -1,0 +1,124 @@
+//! Per-query score profiles for substitution-matrix models.
+//!
+//! The fixed DNA model lets the SIMD fills compute `S(x, y)` with a
+//! compare/blend against broadcast constants. A substitution matrix cannot:
+//! each cell needs a table lookup. The classic striped-SW answer is a *query
+//! profile* — for each residue code `c`, precompute the row
+//! `row[c][j] = S(c, Q[j])` once per task, so the per-block work becomes
+//! contiguous row reads indexed by the block's reference codes instead of
+//! two-level `scores[x * dim + y]` gathers.
+//!
+//! Rows carry [`crate::MAX_BLOCK`] tail slots holding `S(c, pad)` so a block
+//! whose query span hangs past the sequence end still reads the same scores
+//! the direct lookup produces for pad codes — the profile path is
+//! bit-identical to the lookup path by construction.
+
+use crate::pack::PackedSeq;
+use crate::scoring::{Scoring, SubstMatrix};
+use crate::MAX_BLOCK;
+
+/// Precomputed `S(c, Q[j])` rows for one (matrix, query) pair, reusable
+/// across tasks like the kernel workspace that owns it.
+#[derive(Debug, Clone, Default)]
+pub struct QueryProfile {
+    /// `dim` rows of `stride` i16 scores each (matrix entries fit i8).
+    rows: Vec<i16>,
+    /// Row length: query length + [`MAX_BLOCK`] pad slots.
+    stride: usize,
+    /// Alphabet size of the matrix the rows were built for.
+    dim: usize,
+    /// Query length the rows were built for.
+    query_len: usize,
+    /// The matrix the rows were built for (`None` = inactive).
+    matrix: Option<&'static SubstMatrix>,
+}
+
+impl QueryProfile {
+    /// Empty, inactive profile.
+    pub fn new() -> QueryProfile {
+        QueryProfile::default()
+    }
+
+    /// Build (or rebuild, reusing the allocation) the rows for `query`
+    /// under `scoring`. A fixed-model scoring deactivates the profile — the
+    /// fills then use their compare/blend constants as before.
+    pub fn prepare(&mut self, query: &PackedSeq, scoring: &Scoring) {
+        let Some(m) = scoring.model.matrix() else {
+            self.matrix = None;
+            return;
+        };
+        self.matrix = Some(m);
+        self.dim = m.dim;
+        self.query_len = query.len();
+        self.stride = query.len() + MAX_BLOCK;
+        self.rows.clear();
+        self.rows.resize(self.dim * self.stride, 0);
+        let pad = m.pad_code();
+        for c in 0..self.dim {
+            let row = &mut self.rows[c * self.stride..(c + 1) * self.stride];
+            for (j, slot) in row.iter_mut().enumerate().take(query.len()) {
+                *slot = m.score(c as u8, query.code(j)) as i16;
+            }
+            let tail = m.score(c as u8, pad) as i16;
+            row[query.len()..].fill(tail);
+        }
+    }
+
+    /// Whether these rows were built for exactly this matrix and query
+    /// length (the fills' guard before reading rows).
+    #[inline]
+    pub fn covers(&self, matrix: &'static SubstMatrix, query_len: usize) -> bool {
+        self.matrix.is_some_and(|m| std::ptr::eq(m, matrix)) && self.query_len == query_len
+    }
+
+    /// Score row for residue code `c` (clamped to the ambiguous residue,
+    /// matching [`SubstMatrix::score`]): `row[j] = S(c, Q[j])`, with
+    /// `S(c, pad)` in the [`MAX_BLOCK`] tail slots past the query end.
+    #[inline]
+    pub fn row(&self, c: u8) -> &[i16] {
+        let c = (c as usize).min(self.dim - 1);
+        &self.rows[c * self.stride..(c + 1) * self.stride]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scoring::BLOSUM62;
+
+    #[test]
+    fn rows_match_direct_lookup() {
+        let sc = Scoring::preset_blosum62();
+        let codes: Vec<u8> = (0..50u8).map(|i| i % 21).collect();
+        let q = PackedSeq::from_codes_wide(&codes, 8, BLOSUM62.pad_code());
+        let mut p = QueryProfile::new();
+        p.prepare(&q, &sc);
+        assert!(p.covers(&BLOSUM62, q.len()));
+        for c in 0..BLOSUM62.dim as u8 {
+            let row = p.row(c);
+            assert_eq!(row.len(), q.len() + MAX_BLOCK);
+            for (j, &slot) in row.iter().take(q.len()).enumerate() {
+                assert_eq!(i32::from(slot), BLOSUM62.score(c, q.code(j)), "c={c} j={j}");
+            }
+            for slot in &row[q.len()..] {
+                assert_eq!(
+                    i32::from(*slot),
+                    BLOSUM62.score(c, BLOSUM62.pad_code()),
+                    "tail must score like the pad residue"
+                );
+            }
+        }
+        // Out-of-alphabet row requests clamp exactly like SubstMatrix::score.
+        assert_eq!(p.row(200), p.row(BLOSUM62.pad_code()));
+    }
+
+    #[test]
+    fn fixed_model_deactivates() {
+        let mut p = QueryProfile::new();
+        let q = PackedSeq::from_codes(&[0, 1, 2, 3]);
+        p.prepare(&q, &Scoring::preset_blosum62());
+        assert!(p.covers(&BLOSUM62, 4));
+        p.prepare(&q, &Scoring::preset_bwa());
+        assert!(!p.covers(&BLOSUM62, 4));
+    }
+}

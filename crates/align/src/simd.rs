@@ -76,6 +76,48 @@ pub(crate) fn to16(v: i32) -> i16 {
     v.clamp(i32::from(i16::MIN), i32::from(i16::MAX)) as i16
 }
 
+/// Per-diagonal substitution lanes for a matrix score model: entry
+/// `[d][l] = S(R[l], Q[d-l])` for every in-wavefront lane (`l ≤ d < l+B`),
+/// zero elsewhere (those lanes are masked off downstream). The vector
+/// kernels load one row per diagonal in place of the fixed-model
+/// compare/blend sequence.
+///
+/// When the block context carries a [`crate::QueryProfile`] built for this
+/// matrix and query, rows come from its precomputed `S(c, Q[j])` tables
+/// (contiguous reads, no two-level gather); otherwise they fall back to
+/// direct matrix lookups. Both paths produce identical lanes: profile tail
+/// slots score the pad residue exactly as `unpack_block`'s pad-clamped
+/// `qcodes` do.
+#[inline]
+fn matrix_sub_lanes<const B: usize>(
+    ctx: &BlockCtx<'_>,
+    m: &'static crate::scoring::SubstMatrix,
+    j0: i64,
+    rcodes: &[u8; B],
+    qcodes: &[u8; B],
+) -> [[i16; B]; MAX_BLOCK_DIAGS] {
+    let mut out = [[0i16; B]; MAX_BLOCK_DIAGS];
+    match ctx.profile {
+        Some(p) if p.covers(m, ctx.m as usize) => {
+            debug_assert!(j0 >= 0 && j0 < ctx.m, "block starts inside the query");
+            for (l, &rc) in rcodes.iter().enumerate() {
+                let row = &p.row(rc)[j0 as usize..j0 as usize + B];
+                for (k, &s) in row.iter().enumerate() {
+                    out[l + k][l] = s;
+                }
+            }
+        }
+        _ => {
+            for (l, &rc) in rcodes.iter().enumerate() {
+                for (k, &qc) in qcodes.iter().enumerate() {
+                    out[l + k][l] = m.score(rc, qc) as i16;
+                }
+            }
+        }
+    }
+    out
+}
+
 /// Reinterpret a reference between two monomorphizations that the caller
 /// has proven (via a `B == const` guard) to be the *same* type. The size
 /// and alignment asserts turn any misuse into a loud panic instead of UB;
@@ -714,10 +756,15 @@ mod sse41_i16 {
         let sc = ctx.scoring;
         let oe = _mm_set1_epi16(to16(sc.gap_open + sc.gap_extend));
         let ext = _mm_set1_epi16(to16(sc.gap_extend));
-        let v_match = _mm_set1_epi16(to16(sc.match_score));
-        let v_mis = _mm_set1_epi16(to16(-sc.mismatch));
-        let v_amb = _mm_set1_epi16(to16(-sc.ambig));
+        // Fixed-model compare/blend constants (zeroed and unused under a
+        // matrix model, where per-diagonal rows replace them).
+        let (f_match, f_mis, f_amb) = sc.model.fixed_params().unwrap_or((0, 0, 0));
+        let v_match = _mm_set1_epi16(to16(f_match));
+        let v_mis = _mm_set1_epi16(to16(-f_mis));
+        let v_amb = _mm_set1_epi16(to16(-f_amb));
         let v_acgt_max = _mm_set1_epi16(i16::from(crate::Base::N.code()) - 1);
+        let sub_rows =
+            sc.model.matrix().map(|m| matrix_sub_lanes::<BLOCK>(ctx, m, j0, rcodes, qcodes));
         let neg_inf = _mm_set1_epi16(NEG_INF16);
         let lanes = _mm_setr_epi16(0, 1, 2, 3, 4, 5, 6, 7);
         let interior = ctx.block_interior(i0, j0);
@@ -770,10 +817,16 @@ mod sse41_i16 {
             let up_e = shift_up(e_prev, _mm_set1_epi16(be_pad[d]));
             let dg = shift_up(h_prev2, _mm_set1_epi16(bd_pad[d]));
 
-            // Substitution: ambiguous beats match beats mismatch.
-            let eq = _mm_cmpeq_epi16(r_vec, q_vec);
-            let amb = _mm_cmpgt_epi16(_mm_max_epi16(r_vec, q_vec), v_acgt_max);
-            let sub = _mm_blendv_epi8(_mm_blendv_epi8(v_mis, v_match, eq), v_amb, amb);
+            // Substitution: matrix rows when present, else the fixed-model
+            // blend (ambiguous beats match beats mismatch).
+            let sub = match &sub_rows {
+                Some(rows) => load8(&rows[d]),
+                None => {
+                    let eq = _mm_cmpeq_epi16(r_vec, q_vec);
+                    let amb = _mm_cmpgt_epi16(_mm_max_epi16(r_vec, q_vec), v_acgt_max);
+                    _mm_blendv_epi8(_mm_blendv_epi8(v_mis, v_match, eq), v_amb, amb)
+                }
+            };
 
             let e = _mm_max_epi16(_mm_subs_epi16(up_h, oe), _mm_subs_epi16(up_e, ext));
             let f = _mm_max_epi16(_mm_subs_epi16(h_prev, oe), _mm_subs_epi16(f_prev, ext));
@@ -886,10 +939,15 @@ mod avx2 {
         let sc = ctx.scoring;
         let oe = _mm256_set1_epi32(sc.gap_open + sc.gap_extend);
         let ext = _mm256_set1_epi32(sc.gap_extend);
-        let v_match = _mm256_set1_epi32(sc.match_score);
-        let v_mis = _mm256_set1_epi32(-sc.mismatch);
-        let v_amb = _mm256_set1_epi32(-sc.ambig);
+        // Fixed-model compare/blend constants (zeroed and unused under a
+        // matrix model, where per-diagonal rows replace them).
+        let (f_match, f_mis, f_amb) = sc.model.fixed_params().unwrap_or((0, 0, 0));
+        let v_match = _mm256_set1_epi32(f_match);
+        let v_mis = _mm256_set1_epi32(-f_mis);
+        let v_amb = _mm256_set1_epi32(-f_amb);
         let v_acgt_max = _mm256_set1_epi32(i32::from(crate::Base::N.code()) - 1);
+        let sub_rows =
+            sc.model.matrix().map(|m| matrix_sub_lanes::<BLOCK>(ctx, m, j0, rcodes, qcodes));
         let neg_inf = _mm256_set1_epi32(NEG_INF);
         let lanes = _mm256_setr_epi32(0, 1, 2, 3, 4, 5, 6, 7);
         let interior = ctx.block_interior(i0, j0);
@@ -938,10 +996,19 @@ mod avx2 {
             let up_e = shift_up(e_prev, be);
             let dg = shift_up(h_prev2, bd);
 
-            // Substitution: ambiguous beats match beats mismatch.
-            let eq = _mm256_cmpeq_epi32(r_vec, q_vec);
-            let amb = _mm256_cmpgt_epi32(_mm256_max_epi32(r_vec, q_vec), v_acgt_max);
-            let sub = _mm256_blendv_epi8(_mm256_blendv_epi8(v_mis, v_match, eq), v_amb, amb);
+            // Substitution: matrix rows (sign-extended i16 → i32) when
+            // present, else the fixed-model blend (ambiguous beats match
+            // beats mismatch).
+            let sub = match &sub_rows {
+                Some(rows) => {
+                    _mm256_cvtepi16_epi32(_mm_loadu_si128(rows[d].as_ptr().cast::<__m128i>()))
+                }
+                None => {
+                    let eq = _mm256_cmpeq_epi32(r_vec, q_vec);
+                    let amb = _mm256_cmpgt_epi32(_mm256_max_epi32(r_vec, q_vec), v_acgt_max);
+                    _mm256_blendv_epi8(_mm256_blendv_epi8(v_mis, v_match, eq), v_amb, amb)
+                }
+            };
 
             let e = _mm256_max_epi32(_mm256_sub_epi32(up_h, oe), _mm256_sub_epi32(up_e, ext));
             let f = _mm256_max_epi32(_mm256_sub_epi32(h_prev, oe), _mm256_sub_epi32(f_prev, ext));
@@ -1072,10 +1139,14 @@ mod avx2_i16w {
         let sc = ctx.scoring;
         let oe = _mm256_set1_epi16(to16(sc.gap_open + sc.gap_extend));
         let ext = _mm256_set1_epi16(to16(sc.gap_extend));
-        let v_match = _mm256_set1_epi16(to16(sc.match_score));
-        let v_mis = _mm256_set1_epi16(to16(-sc.mismatch));
-        let v_amb = _mm256_set1_epi16(to16(-sc.ambig));
+        // Fixed-model compare/blend constants (zeroed and unused under a
+        // matrix model, where per-diagonal rows replace them).
+        let (f_match, f_mis, f_amb) = sc.model.fixed_params().unwrap_or((0, 0, 0));
+        let v_match = _mm256_set1_epi16(to16(f_match));
+        let v_mis = _mm256_set1_epi16(to16(-f_mis));
+        let v_amb = _mm256_set1_epi16(to16(-f_amb));
         let v_acgt_max = _mm256_set1_epi16(i16::from(crate::Base::N.code()) - 1);
+        let sub_rows = sc.model.matrix().map(|m| matrix_sub_lanes::<B>(ctx, m, j0, rcodes, qcodes));
         let neg_inf = _mm256_set1_epi16(NEG_INF16);
         let lanes = _mm256_setr_epi16(0, 1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15);
         let interior = ctx.block_interior(i0, j0);
@@ -1121,10 +1192,16 @@ mod avx2_i16w {
             let up_e = shift_up(e_prev, be_pad[d]);
             let dg = shift_up(h_prev2, bd_pad[d]);
 
-            // Substitution: ambiguous beats match beats mismatch.
-            let eq = _mm256_cmpeq_epi16(r_vec, q_vec);
-            let amb = _mm256_cmpgt_epi16(_mm256_max_epi16(r_vec, q_vec), v_acgt_max);
-            let sub = _mm256_blendv_epi8(_mm256_blendv_epi8(v_mis, v_match, eq), v_amb, amb);
+            // Substitution: matrix rows when present, else the fixed-model
+            // blend (ambiguous beats match beats mismatch).
+            let sub = match &sub_rows {
+                Some(rows) => load16(&rows[d]),
+                None => {
+                    let eq = _mm256_cmpeq_epi16(r_vec, q_vec);
+                    let amb = _mm256_cmpgt_epi16(_mm256_max_epi16(r_vec, q_vec), v_acgt_max);
+                    _mm256_blendv_epi8(_mm256_blendv_epi8(v_mis, v_match, eq), v_amb, amb)
+                }
+            };
 
             let e = _mm256_max_epi16(_mm256_subs_epi16(up_h, oe), _mm256_subs_epi16(up_e, ext));
             let f = _mm256_max_epi16(_mm256_subs_epi16(h_prev, oe), _mm256_subs_epi16(f_prev, ext));
@@ -1410,6 +1487,67 @@ mod tests {
         random_blocks_sweep::<MAX_BLOCK>(0x51DE);
     }
 
+    /// Sweep every block of a substitution-matrix scoring at geometry `B`:
+    /// all tiers against the scalar fill, with the matrix path exercised
+    /// both through direct lookups and through a prepared query profile
+    /// (the two must be bit-identical by construction).
+    fn matrix_blocks_sweep<const B: usize>(seed: u64) {
+        use crate::profile::QueryProfile;
+        use crate::scoring::BLOSUM62;
+
+        let sc = Scoring::preset_blosum62();
+        let mut rng = Rng(seed);
+        let (n, m) = (53usize, 47usize);
+        // A real packed query, so the profile rows and the unpacked block
+        // codes describe the same residues.
+        let qfull: Vec<u8> = (0..m).map(|_| (rng.next() % 21) as u8).collect();
+        let q = PackedSeq::from_protein_codes(&qfull, &BLOSUM62);
+        let mut prof = QueryProfile::new();
+        prof.prepare(&q, &sc);
+        for use_profile in [false, true] {
+            let ctx =
+                BlockCtx::with_block_dim(n, m, &sc, B).with_profile(use_profile.then_some(&prof));
+            assert!(ctx.simd_exact && ctx.i16_exact, "blosum62 at {n}×{m} fits both gates");
+            for bi in 0..ctx.ref_blocks() {
+                for bj in 0..ctx.query_blocks() {
+                    let (i0, j0) = (bi * B as i64, bj * B as i64);
+                    let mut rcodes = [0u8; B];
+                    let mut qb = [0u8; B];
+                    q.unpack_block(j0 as usize, &mut qb);
+                    let mut bounds = [[0i32; B]; 4];
+                    for l in 0..B {
+                        rcodes[l] = (rng.next() % 21) as u8;
+                        for b in &mut bounds {
+                            b[l] = rng.val();
+                        }
+                    }
+                    check_block(
+                        &ctx,
+                        i0,
+                        j0,
+                        &rcodes,
+                        &qb,
+                        rng.val(),
+                        bounds[0],
+                        bounds[1],
+                        bounds[2],
+                        bounds[3],
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn matrix_model_matches_scalar_on_random_blocks() {
+        matrix_blocks_sweep::<BLOCK>(0xB105);
+    }
+
+    #[test]
+    fn matrix_model_matches_scalar_on_random_blocks_wide() {
+        matrix_blocks_sweep::<MAX_BLOCK>(0xB162);
+    }
+
     /// One step of the block-grid protocol: compute the block at
     /// `(i0, j0)` (with whichever fill the harness is exercising) and feed
     /// the tracker. Boundary arrays follow the [`crate::block::compute_block`]
@@ -1550,6 +1688,42 @@ mod tests {
             // produce the identical guided result in both precisions.
             let wide = grid_run::<MAX_BLOCK>(&rp, &qp, &sc, FillMode::Simd);
             let wide16 = grid_run_i16::<MAX_BLOCK>(&rp, &qp, &sc);
+            assert_eq!(scalar, wide, "case {case}: scalar vs wide i32 fill");
+            assert_eq!(scalar, wide16, "case {case}: scalar vs wide i16 fill");
+            assert!(scalar.same_alignment(&want), "case {case}: {scalar:?} vs {want:?}");
+            assert_eq!(scalar.cells, want.cells, "case {case}");
+        }
+    }
+
+    #[test]
+    fn matrix_model_matches_scalar_via_block_grid() {
+        // End-to-end under BLOSUM62: every fill tier at both geometries
+        // must reproduce the scalar guided result on protein tasks.
+        use crate::block::FillMode;
+        use crate::guided::guided_align;
+        use crate::scoring::BLOSUM62;
+
+        let mut rng = Rng(0xB10C);
+        for case in 0..6 {
+            let len_r = 16 + (rng.next() % 100) as usize;
+            let len_q = 16 + (rng.next() % 100) as usize;
+            let rcodes: Vec<u8> = (0..len_r).map(|_| (rng.next() % 21) as u8).collect();
+            let qcodes: Vec<u8> = (0..len_q).map(|_| (rng.next() % 21) as u8).collect();
+            let rp = PackedSeq::from_protein_codes(&rcodes, &BLOSUM62);
+            let qp = PackedSeq::from_protein_codes(&qcodes, &BLOSUM62);
+            let sc = if case % 2 == 0 {
+                Scoring::preset_blosum62()
+            } else {
+                Scoring::preset_blosum62().with_zdrop(Scoring::NO_ZDROP).with_band(Scoring::NO_BAND)
+            };
+            let want = guided_align(&rp, &qp, &sc);
+            let scalar = grid_run::<BLOCK>(&rp, &qp, &sc, FillMode::Scalar);
+            let simd = grid_run::<BLOCK>(&rp, &qp, &sc, FillMode::Simd);
+            let narrow = grid_run_i16::<BLOCK>(&rp, &qp, &sc);
+            let wide = grid_run::<MAX_BLOCK>(&rp, &qp, &sc, FillMode::Simd);
+            let wide16 = grid_run_i16::<MAX_BLOCK>(&rp, &qp, &sc);
+            assert_eq!(scalar, simd, "case {case}: scalar vs simd fill");
+            assert_eq!(scalar, narrow, "case {case}: scalar vs i16 fill");
             assert_eq!(scalar, wide, "case {case}: scalar vs wide i32 fill");
             assert_eq!(scalar, wide16, "case {case}: scalar vs wide i16 fill");
             assert!(scalar.same_alignment(&want), "case {case}: {scalar:?} vs {want:?}");

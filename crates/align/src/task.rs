@@ -56,6 +56,28 @@ impl Task {
         }
     }
 
+    /// Build a task from ASCII sequences under a score model's alphabet:
+    /// DNA 4-bit packing for the fixed model, the matrix's residue codes at
+    /// 8 bits otherwise. Input paths that accept a model-parameterised
+    /// workload (the serve daemon, scenario-aware FASTA readers) must pack
+    /// through this so residue codes always index the model that scores
+    /// them.
+    pub fn from_strs_model(
+        id: u32,
+        reference: &str,
+        query: &str,
+        model: &crate::scoring::ScoreModel,
+    ) -> Task {
+        match model.matrix() {
+            None => Task::from_strs(id, reference, query),
+            Some(m) => Task {
+                id,
+                reference: PackedSeq::from_protein_str(reference, m),
+                query: PackedSeq::from_protein_str(query, m),
+            },
+        }
+    }
+
     /// Checked admission: every engine narrows this task's cell coordinates
     /// to `i32` downstream, so dimensions beyond [`MAX_SEQ_LEN`] must be
     /// rejected up front (see [`check_dims`]).
@@ -104,6 +126,18 @@ mod tests {
         assert_eq!(t.ref_len(), 8);
         assert_eq!(t.query_len(), 8);
         assert_eq!(t.antidiags(), 15);
+    }
+
+    #[test]
+    fn model_aware_packing_follows_the_alphabet() {
+        use crate::scoring::{ScoreModel, BLOSUM62};
+        let fixed = ScoreModel::Fixed { match_score: 2, mismatch: 4, ambig: 1 };
+        let t = Task::from_strs_model(0, "ACGT", "ACGA", &fixed);
+        assert_eq!(t.reference.bits(), crate::pack::BITS_PER_BASE);
+        let t = Task::from_strs_model(0, "ARND", "WWWW", &ScoreModel::Matrix(&BLOSUM62));
+        assert_eq!(t.reference.bits(), 8);
+        assert_eq!(t.query.pad(), BLOSUM62.pad_code());
+        assert_eq!(t.reference.code(1), 1, "R packs to its BLOSUM62 row index");
     }
 
     #[test]

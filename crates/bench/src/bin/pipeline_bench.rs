@@ -16,18 +16,76 @@
 //! wavefront backend (AVX2 or portable) this machine runs — without it,
 //! per-tier rows from different machines were not comparable.
 //!
+//! A `"scenarios"` array carries one row per registered workload scenario
+//! (tasks/sec at the default config, the i16-gate share, and the declared
+//! gate check) — the rows iterate the `agatha-datasets` registry, so a
+//! newly declared scenario gets benched with no edit here. With
+//! `AGATHA_SCENARIO` set, only that scenario's row runs and the heavy
+//! sections are skipped (the CI scenario matrix's smoke mode).
+//!
 //! Run with `cargo run --release -p agatha-bench --bin pipeline_bench`.
 
 use std::time::Instant;
 
 use agatha_align::{BlockDim, FillPrecision, FillTier, Scoring, Task};
 use agatha_core::{kernel::run_task, run_task_ws, AgathaConfig, KernelWorkspace, Pipeline};
-use agatha_datasets::{generate, DatasetSpec, Tech};
+use agatha_datasets::{generate, scenarios, DatasetSpec, Tech, SCENARIOS};
 
 const SEED: u64 = 1234;
 const READS: usize = 1200;
 const CHUNK: usize = 128;
 const REPS: usize = 3;
+/// Per-scenario row size: enough tasks to time the kernel meaningfully,
+/// small enough that the long-read scenarios stay cheap in smoke mode.
+const SCENARIO_READS: usize = 48;
+
+/// One JSON row per scenario in `which`: fixed-seed tasks through the
+/// default AGAThA config with a reused workspace, plus the share of tasks
+/// the i16 exactness gate admits and the registry's declared-gate check.
+fn scenario_rows(which: &[&'static scenarios::Scenario]) -> String {
+    let cfg = AgathaConfig::agatha();
+    let rows: Vec<String> = which
+        .iter()
+        .map(|s| {
+            assert!(s.check_gate(), "{}: registered gate diverges from the derived gate", s.name);
+            let sc = (s.scoring)();
+            let tasks = (s.tasks)(SEED, SCENARIO_READS);
+            // Share of tasks the i16 exactness gate admits, from the gate
+            // derivation itself (the build's default fill mode would hide
+            // it behind feature flags).
+            let i16_tasks = tasks
+                .iter()
+                .filter(|t| {
+                    agatha_align::block::BlockCtx::with_block_dim(
+                        t.ref_len(),
+                        t.query_len(),
+                        &sc,
+                        agatha_align::BLOCK,
+                    )
+                    .i16_exact
+                })
+                .count();
+            let mut ws = KernelWorkspace::new();
+            let (secs, sum) = best_of(|| {
+                tasks
+                    .iter()
+                    .map(|t| run_task_ws(&mut ws, t, &sc, &cfg).result.score.unsigned_abs() as u64)
+                    .sum()
+            });
+            format!(
+                "    {{\"name\": \"{}\", \"model\": \"{}\", \"tasks\": {}, \
+                 \"tasks_per_sec\": {:.1}, \"i16_share\": {:.3}, \"gate_ok\": true, \
+                 \"score_checksum\": {sum}}}",
+                s.name,
+                sc.model.name(),
+                tasks.len(),
+                tasks.len() as f64 / secs,
+                i16_tasks as f64 / tasks.len() as f64,
+            )
+        })
+        .collect();
+    format!("  \"scenarios\": [\n{}\n  ]", rows.join(",\n"))
+}
 
 /// Best-of-`REPS` wall time, in seconds, of `f`.
 fn best_of<F: FnMut() -> u64>(mut f: F) -> (f64, u64) {
@@ -42,6 +100,22 @@ fn best_of<F: FnMut() -> u64>(mut f: F) -> (f64, u64) {
 }
 
 fn main() {
+    // Smoke mode (the CI scenario matrix): AGATHA_SCENARIO selects one
+    // registered scenario; bench only its row and skip the heavy sections.
+    if let Some(name) = agatha_core::options::default_scenario() {
+        let s = scenarios::find(name).unwrap_or_else(|| {
+            let known: Vec<&str> = SCENARIOS.iter().map(|s| s.name).collect();
+            panic!("AGATHA_SCENARIO: unknown scenario '{name}' (registered: {})", known.join(", "))
+        });
+        let json = format!(
+            "{{\n  \"bench\": \"pipeline-scenario\",\n  \"seed\": {SEED},\n{}\n}}\n",
+            scenario_rows(&[s])
+        );
+        std::fs::write("BENCH_pipeline.json", &json).expect("write BENCH_pipeline.json");
+        print!("{json}");
+        return;
+    }
+
     let ds = generate(&DatasetSpec {
         name: "pipeline bench".to_string(),
         tech: Tech::Clr,
@@ -214,7 +288,7 @@ fn main() {
          \"i16_fill_speedup\": {:.3},\n  \
          \"kernel_b16_fill_tasks_per_sec\": {:.1},\n  \
          \"kernel_auto_geom_tasks_per_sec\": {:.1},\n  \
-         \"geometry_speedup\": {:.3}\n}}\n",
+         \"geometry_speedup\": {:.3},\n{}\n}}\n",
         tasks.len(),
         if cfg!(feature = "simd") { "simd" } else { "scalar" },
         agatha_core::options::default_fill_precision().name(),
@@ -235,6 +309,7 @@ fn main() {
         tps(tier_secs[2], short_tasks.len()),
         tps(tier_secs[3], short_tasks.len()),
         tier_secs[1] / tier_secs[2],
+        scenario_rows(SCENARIOS),
     );
     std::fs::write("BENCH_pipeline.json", &json).expect("write BENCH_pipeline.json");
     print!("{json}");

@@ -8,6 +8,7 @@
 //! agatha demo  [--tech hifi|clr|ont] [--reads N] [-o DIR]
 //! agatha serve [--port N] [--window-ms N] [--max-queue N] [--deadline-ms N]
 //! agatha engines
+//! agatha scenarios [--names]
 //! ```
 //!
 //! `align` scores each pair `(REF[i], QUERY[i])` and writes `score.log`
@@ -30,9 +31,9 @@ use std::sync::atomic::Ordering;
 use agatha_align::{BlockDim, FillPrecision, FillTier, Scoring, Task};
 use agatha_baselines::{run_baseline, Baseline};
 use agatha_core::{AgathaConfig, Pipeline};
-use agatha_datasets::{generate, DatasetSpec, Tech};
+use agatha_datasets::{generate, scenarios, DatasetSpec, Scenario, Tech, SCENARIOS};
 use agatha_gpu_sim::GpuSpec;
-use agatha_io::{open_fasta_pairs, write_score_log, write_time_json, Args};
+use agatha_io::{open_fasta_pairs_model, write_score_log, write_time_json, Args};
 use agatha_serve::{termination_flag, ServeConfig};
 
 /// Default `--chunk`: tasks held in memory at once when streaming.
@@ -41,12 +42,13 @@ const DEFAULT_CHUNK: usize = 4096;
 fn main() -> ExitCode {
     let argv: Vec<String> = std::env::args().skip(1).collect();
     let Some(command) = argv.first().cloned() else {
-        eprintln!("{USAGE}");
+        eprintln!("{}", usage());
         return ExitCode::FAILURE;
     };
-    // `--verbose` is a switch: without declaring it, `--verbose REF.fasta`
-    // would swallow the first input path as the flag's value.
-    let args = Args::parse_with_switches(argv.into_iter().skip(1), &["verbose"]);
+    // `--verbose` / `--names` are switches: without declaring them,
+    // `--verbose REF.fasta` would swallow the first input path as the
+    // flag's value.
+    let args = Args::parse_with_switches(argv.into_iter().skip(1), &["verbose", "names"]);
     let result = match command.as_str() {
         "align" => cmd_align(&args),
         "demo" => cmd_demo(&args),
@@ -55,11 +57,15 @@ fn main() -> ExitCode {
             cmd_engines();
             Ok(())
         }
-        "help" | "--help" | "-h" => {
-            println!("{USAGE}");
+        "scenarios" => {
+            cmd_scenarios(&args);
             Ok(())
         }
-        other => Err(format!("unknown command '{other}'\n{USAGE}")),
+        "help" | "--help" | "-h" => {
+            println!("{}", usage());
+            Ok(())
+        }
+        other => Err(format!("unknown command '{other}'\n{}", usage())),
     };
     match result {
         Ok(()) => ExitCode::SUCCESS,
@@ -76,6 +82,7 @@ usage:
   agatha demo  [options]                         run on a synthetic dataset
   agatha serve [options]                         run the online alignment daemon
   agatha engines                                 list available engines
+  agatha scenarios [--names]                     list registered scenarios
 
 alignment options (AGAThA.sh compatible):
   -a N     match score            (default 2)
@@ -86,6 +93,11 @@ alignment options (AGAThA.sh compatible):
   -w N     band width             (default 400)
 
 common options:
+  --scenario S    score under a registered scenario's model instead of the
+                  -a/-b/-q/-r flags (which then conflict; -z/-w still
+                  override the scenario's guides). `demo --scenario` also
+                  generates the scenario's workload. Defaults to the
+                  AGATHA_SCENARIO environment variable when set.
   --engine NAME   agatha (default) or a baseline (see `agatha engines`)
   --gpus N        simulate N GPUs (agatha engine only, default 1)
   --threads N     host worker threads (default: all cores)
@@ -116,15 +128,71 @@ serve options (plus the alignment and common options above):
                   in the queue are dropped before kernel dispatch
                   (default: none — requests wait forever)";
 
-fn scoring_from_args(args: &Args) -> Result<Scoring, String> {
-    Ok(Scoring::new(
-        args.get_num_checked("a", 2)?,
-        args.get_num_checked("b", 4)?,
-        args.get_num_checked("q", 4)?,
-        args.get_num_checked("r", 2)?,
-        args.get_num_checked("z", 400)?,
-        args.get_num_checked("w", 400)?,
-    ))
+/// [`USAGE`] plus the registered `--scenario` values. The scenario list is
+/// iterated from the registry so a newly declared scenario appears in the
+/// help with no edit here.
+fn usage() -> String {
+    let names: Vec<&str> = SCENARIOS.iter().map(|s| s.name).collect();
+    format!("{USAGE}\n\nregistered scenarios (--scenario): {}", names.join(", "))
+}
+
+/// The scenario selected by `--scenario` (or the `AGATHA_SCENARIO`
+/// environment default), if any.
+fn scenario_from_args(args: &Args) -> Result<Option<&'static Scenario>, String> {
+    let name = match args.get("scenario").filter(|s| !s.is_empty()) {
+        Some(n) => n,
+        None => match agatha_core::options::default_scenario() {
+            Some(n) => n,
+            None => return Ok(None),
+        },
+    };
+    match scenarios::find(name) {
+        Some(s) => Ok(Some(s)),
+        None => {
+            let known: Vec<&str> = SCENARIOS.iter().map(|s| s.name).collect();
+            Err(format!("unknown scenario '{name}' (registered: {})", known.join(", ")))
+        }
+    }
+}
+
+/// Scoring from the CLI flags, plus the scenario that supplied it (if any).
+///
+/// With `--scenario`, the scenario's preset carries the score model; the
+/// fixed-model substitution flags `-a/-b/-q/-r` then conflict (they would
+/// be silently ignored) while the guide flags `-z/-w` still override. All
+/// parameters go through [`Scoring::try_new`]-style validation so invalid
+/// values (`-a 0`, negative penalties) surface as usage errors instead of
+/// panics.
+fn scoring_from_args(args: &Args) -> Result<(Scoring, Option<&'static Scenario>), String> {
+    let scenario = scenario_from_args(args)?;
+    let scoring = match scenario {
+        Some(s) => {
+            for flag in ["a", "b", "q", "r"] {
+                if args.has(flag) {
+                    return Err(format!(
+                        "-{flag} conflicts with --scenario {}: the scenario's score model \
+                         defines the substitution scores (drop -{flag} or the --scenario)",
+                        s.name
+                    ));
+                }
+            }
+            let mut sc = (s.scoring)();
+            sc = sc.with_zdrop(args.get_num_checked("z", sc.zdrop)?);
+            sc = sc.with_band(args.get_num_checked("w", sc.band_width)?);
+            sc
+        }
+        None => Scoring::try_new(
+            args.get_num_checked("a", 2)?,
+            args.get_num_checked("b", 4)?,
+            args.get_num_checked("q", 4)?,
+            args.get_num_checked("r", 2)?,
+            args.get_num_checked("z", 400)?,
+            args.get_num_checked("w", 400)?,
+        )
+        .map_err(|e| format!("invalid scoring parameters (-a/-b/-q/-r/-z/-w): {e}"))?,
+    };
+    scoring.validate().map_err(|e| format!("invalid scoring parameters (-z/-w): {e}"))?;
+    Ok((scoring, scenario))
 }
 
 /// Numeric knobs shared by `align` and `demo`.
@@ -303,12 +371,15 @@ fn run_engine(
 fn cmd_align(args: &Args) -> Result<(), String> {
     let pos = args.positional();
     if pos.len() != 2 {
-        return Err(format!("align needs REF.fasta and QUERY.fasta\n{USAGE}"));
+        return Err(format!("align needs REF.fasta and QUERY.fasta\n{}", usage()));
     }
-    let scoring = scoring_from_args(args)?;
+    let (scoring, _) = scoring_from_args(args)?;
     let engine = args.get("engine").filter(|s| !s.is_empty()).unwrap_or("agatha");
     let opts = host_opts(args)?;
-    let pairs = open_fasta_pairs(&PathBuf::from(&pos[0]), &PathBuf::from(&pos[1]))?;
+    // Input packs under the score model's alphabet: a matrix scenario reads
+    // the FASTA as 8-bit protein residues, the fixed model as 4-bit DNA.
+    let pairs =
+        open_fasta_pairs_model(&PathBuf::from(&pos[0]), &PathBuf::from(&pos[1]), &scoring.model)?;
 
     let (name, scores, ms, tasks) = if engine.eq_ignore_ascii_case("agatha") {
         // Streaming path: tasks flow straight from the files into the
@@ -359,39 +430,63 @@ fn cmd_align(args: &Args) -> Result<(), String> {
 }
 
 fn cmd_demo(args: &Args) -> Result<(), String> {
-    let tech = match args.get("tech").unwrap_or("clr").to_ascii_lowercase().as_str() {
-        "hifi" => Tech::HiFi,
-        "clr" | "" => Tech::Clr,
-        "ont" => Tech::Ont,
-        other => return Err(format!("unknown tech '{other}'")),
-    };
     let reads = args.get_num_checked("reads", 160usize)?;
     if reads == 0 {
         return Err("--reads must be at least 1 (got 0)".to_string());
     }
-    let spec = DatasetSpec { name: format!("{} demo", tech.name()), tech, seed: 1234, reads };
-    let ds = generate(&spec);
+    // `--scenario` runs the registered workload: its generator produces the
+    // tasks and its preset scores them (with -z/-w overrides). Otherwise
+    // `--tech` selects one of the paper's synthetic dataset profiles; an
+    // explicit `--tech` also supersedes an AGATHA_SCENARIO environment
+    // default (only the explicit flag pair conflicts).
+    let explicit_scenario = args.get("scenario").filter(|s| !s.is_empty()).is_some();
+    let scenario = scenario_from_args(args)?.filter(|_| explicit_scenario || !args.has("tech"));
+    let (demo_name, tasks, scoring) = match scenario {
+        Some(s) => {
+            if args.has("tech") {
+                return Err(format!(
+                    "--tech conflicts with --scenario {}: the scenario defines the workload \
+                     (drop --tech or the --scenario)",
+                    s.name
+                ));
+            }
+            let (scoring, _) = scoring_from_args(args)?;
+            (format!("{} scenario", s.name), (s.tasks)(1234, reads), scoring)
+        }
+        None => {
+            let tech = match args.get("tech").unwrap_or("clr").to_ascii_lowercase().as_str() {
+                "hifi" => Tech::HiFi,
+                "clr" | "" => Tech::Clr,
+                "ont" => Tech::Ont,
+                other => return Err(format!("unknown tech '{other}'")),
+            };
+            let spec =
+                DatasetSpec { name: format!("{} demo", tech.name()), tech, seed: 1234, reads };
+            let ds = generate(&spec);
+            (ds.name, ds.tasks, ds.scoring)
+        }
+    };
     let engine = args.get("engine").filter(|s| !s.is_empty()).unwrap_or("agatha");
     let opts = host_opts(args)?;
-    let (name, scores, ms) = run_engine(engine, &ds.tasks, &ds.scoring, &opts)?;
+    let (name, scores, ms) = run_engine(engine, &tasks, &scoring, &opts)?;
     if opts.verbose && engine.eq_ignore_ascii_case("agatha") {
         let config = agatha_config(&opts);
         let mut tiers = TierStats::default();
-        for t in &ds.tasks {
-            tiers.tally(&config, &ds.scoring, t);
+        for t in &tasks {
+            tiers.tally(&config, &scoring, t);
         }
         tiers.print();
     }
 
     let dir = out_dir(args)?;
     write_score_log(&dir.join("score.log"), &scores)?;
-    write_time_json(&dir.join("time.json"), &name, ms, ds.tasks.len())?;
-    println!("{}: {} tasks via {name}: {ms:.3} ms simulated", ds.name, ds.tasks.len());
+    write_time_json(&dir.join("time.json"), &name, ms, tasks.len())?;
+    println!("{demo_name}: {} tasks via {name}: {ms:.3} ms simulated", tasks.len());
     Ok(())
 }
 
 fn cmd_serve(args: &Args) -> Result<(), String> {
-    let scoring = scoring_from_args(args)?;
+    let (scoring, _) = scoring_from_args(args)?;
     let opts = host_opts(args)?;
     let port: u16 = args.get_num_checked("port", 0u16)?;
     let window_ms: u64 = args.get_num_checked("window-ms", 5u64)?;
@@ -453,6 +548,39 @@ fn cmd_serve(args: &Args) -> Result<(), String> {
         .map_err(|e| format!("write {}: {e}", stats_path.display()))?;
     println!("wrote {}", stats_path.display());
     Ok(())
+}
+
+/// List the scenario registry. `--names` prints bare names (one per line)
+/// for scripting — the CI scenario matrix iterates that output, so a newly
+/// registered scenario joins the matrix with no workflow edit.
+fn cmd_scenarios(args: &Args) {
+    if args.has("names") {
+        for s in SCENARIOS {
+            println!("{}", s.name);
+        }
+        return;
+    }
+    for s in SCENARIOS {
+        let sc = (s.scoring)();
+        let (n, m) = s.gate.typical_dims;
+        println!("{}", s.name);
+        println!("  {}", s.summary);
+        println!(
+            "  model {} (scores {:+}..{:+}), gaps {}+{}k, z={} w={}",
+            sc.model.name(),
+            sc.min_score(),
+            sc.max_score(),
+            sc.gap_open,
+            sc.gap_extend,
+            sc.zdrop,
+            sc.band_width
+        );
+        println!(
+            "  typical {n}x{m}: i16 wavefront {}; baselines: {}",
+            if s.gate.i16_exact { "exact" } else { "demoted to i32" },
+            s.baselines.join(", ")
+        );
+    }
 }
 
 fn cmd_engines() {

@@ -3,7 +3,12 @@
 use std::process::Command;
 
 fn agatha() -> Command {
-    Command::new(env!("CARGO_BIN_EXE_agatha"))
+    let mut cmd = Command::new(env!("CARGO_BIN_EXE_agatha"));
+    // Hermetic against the CI scenario matrix: an ambient AGATHA_SCENARIO
+    // would re-score every DNA fixture below under the scenario's model.
+    // Tests that exercise the override set it explicitly with .env().
+    cmd.env_remove("AGATHA_SCENARIO");
+    cmd
 }
 
 #[test]
@@ -426,6 +431,226 @@ fn serve_zero_knobs_are_usage_errors() {
         let err = String::from_utf8_lossy(&out.stderr);
         assert!(err.contains(flag) && err.contains("at least 1"), "{flag}: stderr: {err}");
     }
+}
+
+#[test]
+fn invalid_scoring_flags_are_usage_errors() {
+    // `Scoring::new` panics on invalid parameters; the CLI must instead
+    // surface the validation error as a usage error (non-zero exit plus a
+    // message naming the constraint). `serve` hits scoring_from_args before
+    // binding anything, so it exercises the path without file setup.
+    for (flag, value, needle) in [
+        ("-a", "0", "match_score"),
+        ("-b", "-1", "mismatch"),
+        ("-r", "-1", "gap_extend"),
+        ("-q", "-2", "gap_open"),
+    ] {
+        let out = agatha().args(["serve", flag, value]).output().unwrap();
+        assert!(!out.status.success(), "{flag} {value} must be a usage error, not a panic");
+        let err = String::from_utf8_lossy(&out.stderr);
+        assert!(
+            err.contains(needle) && err.contains("agatha:") && !err.contains("panicked"),
+            "{flag} {value}: stderr: {err}"
+        );
+    }
+
+    // The align subcommand goes through the same validation.
+    let dir = std::env::temp_dir().join(format!("agatha_cli_sc0_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let refs = dir.join("ref.fasta");
+    let queries = dir.join("query.fasta");
+    std::fs::write(&refs, ">1\nACGT\n").unwrap();
+    std::fs::write(&queries, ">1\nACGT\n").unwrap();
+    let out = agatha()
+        .args(["align", "-a", "0"])
+        .arg(refs.to_str().unwrap())
+        .arg(queries.to_str().unwrap())
+        .output()
+        .unwrap();
+    assert!(!out.status.success(), "-a 0 must fail on align too");
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("match_score") && !err.contains("panicked"), "stderr: {err}");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn scenarios_subcommand_lists_the_registry() {
+    let out = agatha().arg("scenarios").output().unwrap();
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    for name in ["dna-short", "dna-long", "protein-blosum62", "ont-accuracy"] {
+        assert!(text.contains(name), "missing scenario {name}: {text}");
+    }
+    assert!(text.contains("blosum62"), "matrix model name shown: {text}");
+    assert!(text.contains("i16 wavefront"), "gate expectation shown: {text}");
+
+    // `--names` is the scripting form the CI matrix iterates: bare names,
+    // one per line, nothing else.
+    let out = agatha().args(["scenarios", "--names"]).output().unwrap();
+    assert!(out.status.success());
+    let names: Vec<&str> = std::str::from_utf8(&out.stdout).unwrap().lines().collect();
+    assert!(names.contains(&"protein-blosum62"), "{names:?}");
+    assert!(names.len() >= 4, "{names:?}");
+    assert!(names.iter().all(|n| !n.contains(' ')), "bare names only: {names:?}");
+
+    // The registry also feeds the help text.
+    let out = agatha().arg("help").output().unwrap();
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("--scenario"), "help lists the flag: {text}");
+    assert!(text.contains("protein-blosum62"), "help lists registered scenarios: {text}");
+}
+
+#[test]
+fn scenario_conflicts_and_unknown_names_are_usage_errors() {
+    let out = agatha()
+        .args(["demo", "--scenario", "dna-short", "--reads", "2", "-a", "3"])
+        .output()
+        .unwrap();
+    assert!(!out.status.success(), "-a with --scenario must not be silently ignored");
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("conflicts") && err.contains("dna-short"), "stderr: {err}");
+
+    let out = agatha()
+        .args(["demo", "--scenario", "dna-short", "--tech", "ont", "--reads", "2"])
+        .output()
+        .unwrap();
+    assert!(!out.status.success(), "--tech with --scenario must conflict");
+    assert!(String::from_utf8_lossy(&out.stderr).contains("conflicts"));
+
+    let out = agatha().args(["demo", "--scenario", "no-such", "--reads", "2"]).output().unwrap();
+    assert!(!out.status.success());
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        err.contains("unknown scenario 'no-such'") && err.contains("protein-blosum62"),
+        "error lists registered names: {err}"
+    );
+}
+
+#[test]
+fn protein_scenario_aligns_fasta_end_to_end() {
+    // Under `--scenario protein-blosum62` the FASTA input packs as 8-bit
+    // BLOSUM62 residue codes: four W/W matches at +11 each score 44 (the
+    // DNA packer would have mangled W into N).
+    let dir = std::env::temp_dir().join(format!("agatha_cli_prot_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let refs = dir.join("ref.fasta");
+    let queries = dir.join("query.fasta");
+    std::fs::write(&refs, ">1\nWWWW\n>2\nARNDARND\n").unwrap();
+    std::fs::write(&queries, ">1\nWWWW\n>2\nARNDARND\n").unwrap();
+    let out_dir = dir.join("out");
+    let out = agatha()
+        .args(["align", "--scenario", "protein-blosum62"])
+        .args(["-o", out_dir.to_str().unwrap()])
+        .arg(refs.to_str().unwrap())
+        .arg(queries.to_str().unwrap())
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "stderr: {}", String::from_utf8_lossy(&out.stderr));
+    let scores = std::fs::read_to_string(out_dir.join("score.log")).unwrap();
+    // A/A=4 R/R=5 N/N=6 D/D=6 twice = 42.
+    assert_eq!(scores, "44\n42\n");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn demo_runs_a_registered_scenario_workload() {
+    let dir = std::env::temp_dir().join(format!("agatha_cli_dscn_{}", std::process::id()));
+    let out = agatha()
+        .args(["demo", "--scenario", "protein-blosum62", "--reads", "5"])
+        .args(["-o", dir.to_str().unwrap()])
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "stderr: {}", String::from_utf8_lossy(&out.stderr));
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("protein-blosum62 scenario"), "stdout: {text}");
+    let scores = std::fs::read_to_string(dir.join("score.log")).unwrap();
+    assert_eq!(scores.lines().count(), 5);
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn env_scenario_default_applies_and_flags_win() {
+    // AGATHA_SCENARIO supplies the default workload…
+    let dir = std::env::temp_dir().join(format!("agatha_cli_escn_{}", std::process::id()));
+    let out = agatha()
+        .args(["demo", "--reads", "3"])
+        .args(["-o", dir.to_str().unwrap()])
+        .env("AGATHA_SCENARIO", "dna-short")
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "stderr: {}", String::from_utf8_lossy(&out.stderr));
+    assert!(String::from_utf8_lossy(&out.stdout).contains("dna-short scenario"));
+
+    // …an explicit --scenario overrides it…
+    let out = agatha()
+        .args(["demo", "--reads", "3", "--scenario", "protein-blosum62"])
+        .args(["-o", dir.to_str().unwrap()])
+        .env("AGATHA_SCENARIO", "dna-short")
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "stderr: {}", String::from_utf8_lossy(&out.stderr));
+    assert!(String::from_utf8_lossy(&out.stdout).contains("protein-blosum62 scenario"));
+
+    // …and an explicit --tech supersedes the environment default instead of
+    // conflicting with it.
+    let out = agatha()
+        .args(["demo", "--reads", "3", "--tech", "hifi"])
+        .args(["-o", dir.to_str().unwrap()])
+        .env("AGATHA_SCENARIO", "dna-short")
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "stderr: {}", String::from_utf8_lossy(&out.stderr));
+    assert!(String::from_utf8_lossy(&out.stdout).contains("HiFi demo"));
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn serve_aligns_protein_under_a_scenario() {
+    use std::io::{BufRead, BufReader, Write};
+
+    let dir = std::env::temp_dir().join(format!("agatha_cli_psrv_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let mut child = agatha()
+        .args(["serve", "--port", "0", "--window-ms", "2", "--threads", "2"])
+        .args(["--scenario", "protein-blosum62"])
+        .args(["-o", dir.to_str().unwrap()])
+        .stdout(std::process::Stdio::piped())
+        .stderr(std::process::Stdio::piped())
+        .spawn()
+        .unwrap();
+    let mut child_out = BufReader::new(child.stdout.take().unwrap());
+    let mut line = String::new();
+    child_out.read_line(&mut line).unwrap();
+    let addr = line.trim().rsplit(' ').next().expect("address in startup line").to_string();
+
+    let sock = std::net::TcpStream::connect(&addr).unwrap();
+    let mut reader = BufReader::new(sock.try_clone().unwrap());
+    let mut sock = sock;
+    let mut roundtrip = |req: &str| {
+        sock.write_all(req.as_bytes()).unwrap();
+        sock.write_all(b"\n").unwrap();
+        let mut resp = String::new();
+        reader.read_line(&mut resp).unwrap();
+        resp
+    };
+    // Four W/W matches at +11 under BLOSUM62 — impossible under the DNA
+    // packer, which would collapse W to the ambiguous base.
+    let resp = roundtrip("{\"id\":1,\"ref\":\"WWWW\",\"query\":\"WWWW\"}");
+    assert!(resp.contains("\"score\":44"), "align response: {resp}");
+    assert!(roundtrip("{\"cmd\":\"shutdown\"}").contains("shutting-down"));
+
+    let t0 = std::time::Instant::now();
+    loop {
+        if child.try_wait().unwrap().is_some() {
+            break;
+        }
+        if t0.elapsed() > std::time::Duration::from_secs(30) {
+            child.kill().ok();
+            panic!("serve did not exit after shutdown request");
+        }
+        std::thread::sleep(std::time::Duration::from_millis(20));
+    }
+    std::fs::remove_dir_all(&dir).ok();
 }
 
 #[test]

@@ -13,7 +13,7 @@ use agatha_align::block::{
     BlockCtx, FillMode, FillTier,
 };
 use agatha_align::diag::DiagTracker;
-use agatha_align::{GuidedResult, Scoring, Task, BLOCK, MAX_BLOCK, NEG_INF};
+use agatha_align::{GuidedResult, QueryProfile, Scoring, Task, BLOCK, MAX_BLOCK, NEG_INF};
 use agatha_gpu_sim::{CostModel, KernelStats};
 
 use crate::options::AgathaConfig;
@@ -120,6 +120,9 @@ pub struct KernelWorkspace {
     units_pool: Vec<Vec<SliceUnit>>,
     /// Spent `row_cols` vectors harvested from recycled units.
     row_cols_pool: Vec<Vec<u16>>,
+    /// Per-query substitution rows for matrix score models (inactive under
+    /// fixed models); rebuilt per task, reusing the allocation.
+    profile: QueryProfile,
 }
 
 /// Bounds on the recycled-buffer pools: a task needs one `units` vector and
@@ -139,6 +142,7 @@ impl KernelWorkspace {
             tracker: DiagTracker::new(0, 0, &Scoring::default()),
             units_pool: Vec::new(),
             row_cols_pool: Vec::new(),
+            profile: QueryProfile::new(),
         }
     }
 
@@ -219,7 +223,20 @@ fn run_task_geom<const B: usize>(
 ) -> TaskRun {
     let n = task.ref_len();
     let m = task.query_len();
-    let ctx = BlockCtx::with_block_dim(n, m, scoring, B);
+    let KernelWorkspace {
+        row_h,
+        row_f,
+        carries,
+        unit_rows,
+        tracker,
+        units_pool,
+        row_cols_pool,
+        profile,
+    } = ws;
+    // Matrix score models get their per-query substitution rows built once
+    // per task (a no-op that deactivates the profile under fixed models).
+    profile.prepare(&task.query, scoring);
+    let ctx = BlockCtx::with_block_dim(n, m, scoring, B).with_profile(Some(&*profile));
     // Per-task tier resolution: the narrowest fill whose exactness gate
     // holds (i16 → i32 → scalar under Auto/I16; see BlockCtx::fill_tier).
     let tier = ctx.fill_tier(cfg.fill_mode(), cfg.fill_precision);
@@ -227,8 +244,6 @@ fn run_task_geom<const B: usize>(
         FillTier::I32 => FillMode::Simd,
         _ => FillMode::Scalar,
     };
-    let KernelWorkspace { row_h, row_f, carries, unit_rows, tracker, units_pool, row_cols_pool } =
-        ws;
     tracker.reset(n, m, scoring);
     if n == 0 || m == 0 {
         return TaskRun {

@@ -5,18 +5,26 @@ use std::sync::OnceLock;
 use agatha_align::block::{BlockDim, FillPrecision};
 use agatha_gpu_sim::WARP_LANES;
 
+/// The one shared reader for `AGATHA_*` process-default overrides: unset →
+/// `default`, set → `parse`d value, unparseable (garbage, empty) → a loud
+/// panic naming the variable, rather than silently running the wrong
+/// configuration. Every env-driven default below goes through here so the
+/// unset/garbage semantics cannot drift between variables.
+fn env_override<T>(name: &str, default: T, parse: impl FnOnce(&str) -> Result<T, String>) -> T {
+    match std::env::var(name) {
+        Err(_) => default,
+        Ok(v) => parse(&v).unwrap_or_else(|e| panic!("{name} environment override: {e}")),
+    }
+}
+
 /// Process-default [`FillPrecision`]: the `AGATHA_PRECISION` environment
 /// variable (`auto` | `i32` | `i16`) when set, else `Auto`. This is how CI
 /// forces the whole test suite through one precision tier without touching
-/// every construction site; an unparseable value panics loudly rather than
-/// silently running the wrong tier.
+/// every construction site.
 pub fn default_fill_precision() -> FillPrecision {
     static CACHE: OnceLock<FillPrecision> = OnceLock::new();
-    *CACHE.get_or_init(|| match std::env::var("AGATHA_PRECISION") {
-        Err(_) => FillPrecision::Auto,
-        Ok(v) => FillPrecision::parse(&v)
-            .unwrap_or_else(|e| panic!("AGATHA_PRECISION environment override: {e}")),
-    })
+    *CACHE
+        .get_or_init(|| env_override("AGATHA_PRECISION", FillPrecision::Auto, FillPrecision::parse))
 }
 
 /// Process-default [`BlockDim`]: the `AGATHA_BLOCK` environment variable
@@ -25,12 +33,30 @@ pub fn default_fill_precision() -> FillPrecision {
 /// suite through one block geometry.
 pub fn default_block_dim() -> BlockDim {
     static CACHE: OnceLock<BlockDim> = OnceLock::new();
-    *CACHE.get_or_init(|| match std::env::var("AGATHA_BLOCK") {
-        Err(_) => BlockDim::Auto,
-        Ok(v) => {
-            BlockDim::parse(&v).unwrap_or_else(|e| panic!("AGATHA_BLOCK environment override: {e}"))
-        }
-    })
+    *CACHE.get_or_init(|| env_override("AGATHA_BLOCK", BlockDim::Auto, BlockDim::parse))
+}
+
+/// Validate one `AGATHA_SCENARIO` value: names must be non-empty after
+/// trimming. Resolution against the scenario registry happens at the
+/// consumer (the CLI / benches own the registry); this layer only rejects
+/// values that cannot possibly name a scenario.
+fn parse_scenario_name(v: &str) -> Result<Option<String>, String> {
+    let name = v.trim();
+    if name.is_empty() {
+        Err("empty scenario name".to_string())
+    } else {
+        Ok(Some(name.to_string()))
+    }
+}
+
+/// Process-default scenario name: the `AGATHA_SCENARIO` environment
+/// variable when set, else `None`. The workload analogue of
+/// [`default_fill_precision`] / [`default_block_dim`]: CI's scenario matrix
+/// exports it once per job instead of threading `--scenario` through every
+/// invocation.
+pub fn default_scenario() -> Option<&'static str> {
+    static CACHE: OnceLock<Option<String>> = OnceLock::new();
+    CACHE.get_or_init(|| env_override("AGATHA_SCENARIO", None, parse_scenario_name)).as_deref()
 }
 
 /// Configuration of the AGAThA kernel. Every §4 technique can be toggled
@@ -246,6 +272,48 @@ impl Default for AgathaConfig {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn env_override_unset_returns_default() {
+        assert_eq!(
+            env_override("AGATHA_TEST_DEFINITELY_UNSET", FillPrecision::Auto, FillPrecision::parse),
+            FillPrecision::Auto
+        );
+        assert_eq!(env_override("AGATHA_TEST_DEFINITELY_UNSET", None, parse_scenario_name), None);
+    }
+
+    #[test]
+    fn env_override_parses_set_values() {
+        std::env::set_var("AGATHA_TEST_PRECISION_OK", "i16");
+        assert_eq!(
+            env_override("AGATHA_TEST_PRECISION_OK", FillPrecision::Auto, FillPrecision::parse),
+            FillPrecision::I16
+        );
+        std::env::set_var("AGATHA_TEST_BLOCK_OK", "16");
+        assert_eq!(
+            env_override("AGATHA_TEST_BLOCK_OK", BlockDim::Auto, BlockDim::parse),
+            BlockDim::B16
+        );
+        std::env::set_var("AGATHA_TEST_SCENARIO_OK", " protein-blosum62 ");
+        assert_eq!(
+            env_override("AGATHA_TEST_SCENARIO_OK", None, parse_scenario_name),
+            Some("protein-blosum62".to_string())
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "AGATHA_TEST_BLOCK_BAD environment override")]
+    fn env_override_panics_on_garbage() {
+        std::env::set_var("AGATHA_TEST_BLOCK_BAD", "7");
+        env_override("AGATHA_TEST_BLOCK_BAD", BlockDim::Auto, BlockDim::parse);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty scenario name")]
+    fn env_override_rejects_empty_scenario() {
+        std::env::set_var("AGATHA_TEST_SCENARIO_EMPTY", "   ");
+        env_override("AGATHA_TEST_SCENARIO_EMPTY", None, parse_scenario_name);
+    }
 
     #[test]
     fn defaults_match_paper() {

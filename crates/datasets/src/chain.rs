@@ -318,7 +318,7 @@ mod tests {
             let r = guided_align(&task.reference, &task.query, &scoring);
             // The read came verbatim from the genome and the chain anchors
             // the right locus: the extension must recover ~full score.
-            let ideal = scoring.match_score * len as i32;
+            let ideal = scoring.max_score() * len as i32;
             assert!(r.score > ideal * 7 / 10, "task {id}: {} vs ideal {ideal}", r.score);
         }
         assert!(found >= 8, "chaining should locate most reads, found {found}");

@@ -26,8 +26,10 @@ pub mod genome;
 pub mod mixes;
 pub mod profiles;
 pub mod reads;
+pub mod scenarios;
 pub mod spec;
 
 pub use mixes::long_short_mix;
 pub use profiles::{Tech, TechProfile};
+pub use scenarios::{Scenario, ALL as SCENARIOS};
 pub use spec::{generate, Dataset, DatasetSpec};

@@ -148,7 +148,7 @@ mod tests {
             let r = guided_align(&t.reference, &t.query, &scoring);
             // A clean HiFi read must align nearly end-to-end: score close to
             // match_score × len.
-            let ideal = scoring.match_score * t.query_len() as i32;
+            let ideal = scoring.max_score() * t.query_len() as i32;
             assert!(r.score > ideal * 8 / 10, "task {id}: score {} vs ideal {ideal}", r.score);
         }
     }

@@ -12,7 +12,7 @@
 use std::io::{BufRead, BufReader, Write};
 use std::path::Path;
 
-use agatha_align::{PackedSeq, Task};
+use agatha_align::{PackedSeq, ScoreModel, SubstMatrix, Task};
 
 /// One FASTA record.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -34,6 +34,9 @@ pub struct FastaReader<B: BufRead> {
     pending: Option<String>,
     line: String,
     finished: bool,
+    /// Pack sequences under this substitution matrix's alphabet (8-bit
+    /// residue codes) instead of the default 4-bit DNA packing.
+    matrix: Option<&'static SubstMatrix>,
 }
 
 impl<B: BufRead> FastaReader<B> {
@@ -44,7 +47,30 @@ impl<B: BufRead> FastaReader<B> {
 
     /// Stream records from `src`, prefixing errors with `label`.
     pub fn with_label(src: B, label: String) -> FastaReader<B> {
-        FastaReader { src, label, lineno: 0, pending: None, line: String::new(), finished: false }
+        FastaReader {
+            src,
+            label,
+            lineno: 0,
+            pending: None,
+            line: String::new(),
+            finished: false,
+            matrix: None,
+        }
+    }
+
+    /// Pack records under `matrix`'s alphabet (`None` keeps DNA packing).
+    /// Scenario-selected score models flow through here so protein input
+    /// packs to the residue codes that index the matrix.
+    pub fn with_matrix(mut self, matrix: Option<&'static SubstMatrix>) -> FastaReader<B> {
+        self.matrix = matrix;
+        self
+    }
+
+    fn pack(&self, seq: &str) -> PackedSeq {
+        match self.matrix {
+            None => PackedSeq::from_str_seq(seq),
+            Some(m) => PackedSeq::from_protein_str(seq, m),
+        }
     }
 
     fn err(&self, msg: String) -> String {
@@ -110,7 +136,7 @@ impl<B: BufRead> Iterator for FastaReader<B> {
                 seq.push_str(line);
             }
         }
-        name.map(|n| Ok(FastaRecord { name: n, seq: PackedSeq::from_str_seq(&seq) }))
+        name.map(|n| Ok(FastaRecord { name: n, seq: self.pack(&seq) }))
     }
 }
 
@@ -138,13 +164,27 @@ impl<A: BufRead, B: BufRead> FastaPairs<A, B> {
     }
 }
 
-/// Open a reference/query FASTA file pair as a streaming task source.
+/// Open a reference/query FASTA file pair as a streaming task source
+/// (4-bit DNA packing).
 #[allow(clippy::type_complexity)]
 pub fn open_fasta_pairs(
     refs: &Path,
     queries: &Path,
 ) -> Result<FastaPairs<BufReader<std::fs::File>, BufReader<std::fs::File>>, String> {
     Ok(FastaPairs::new(open_fasta(refs)?, open_fasta(queries)?))
+}
+
+/// Open a reference/query FASTA file pair packed under `model`'s alphabet:
+/// DNA packing for the fixed model, the matrix's 8-bit residue codes for a
+/// substitution-matrix model.
+#[allow(clippy::type_complexity)]
+pub fn open_fasta_pairs_model(
+    refs: &Path,
+    queries: &Path,
+    model: &ScoreModel,
+) -> Result<FastaPairs<BufReader<std::fs::File>, BufReader<std::fs::File>>, String> {
+    let m = model.matrix();
+    Ok(FastaPairs::new(open_fasta(refs)?.with_matrix(m), open_fasta(queries)?.with_matrix(m)))
 }
 
 impl<A: BufRead, B: BufRead> Iterator for FastaPairs<A, B> {
@@ -359,6 +399,30 @@ mod tests {
         assert!(pairs.next().unwrap().is_ok());
         let err = pairs.next().unwrap().unwrap_err();
         assert!(err.contains("reference input"), "{err}");
+    }
+
+    #[test]
+    fn matrix_reader_packs_protein_codes() {
+        use agatha_align::BLOSUM62;
+        let recs: Vec<FastaRecord> = FastaReader::new(">p\nARNd\nw?\n".as_bytes())
+            .with_matrix(Some(&BLOSUM62))
+            .map(|r| r.unwrap())
+            .collect();
+        assert_eq!(recs.len(), 1);
+        let seq = &recs[0].seq;
+        assert_eq!(seq.bits(), 8, "matrix alphabets pack at 8 bits");
+        assert_eq!(seq.len(), 6);
+        // Case-insensitive residue codes; unknown letters become the pad
+        // residue (X).
+        let codes: Vec<u8> = (0..seq.len()).map(|i| seq.code(i)).collect();
+        assert_eq!(codes, [0, 1, 2, 3, 17, BLOSUM62.pad_code()]);
+
+        // The pair reader under a matrix model packs both sides alike.
+        let refs = FastaReader::new(">1\nWWWW\n".as_bytes()).with_matrix(Some(&BLOSUM62));
+        let queries = FastaReader::new(">1\nWWWW\n".as_bytes()).with_matrix(Some(&BLOSUM62));
+        let tasks: Vec<Task> = FastaPairs::new(refs, queries).map(|t| t.unwrap()).collect();
+        assert_eq!(tasks[0].reference.bits(), 8);
+        assert_eq!(tasks[0].query.code(0), 17);
     }
 
     #[test]

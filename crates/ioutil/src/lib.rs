@@ -12,7 +12,7 @@ pub mod output;
 
 pub use args::Args;
 pub use fasta::{
-    open_fasta, open_fasta_pairs, read_fasta, read_fasta_str, write_fasta, FastaPairs, FastaReader,
-    FastaRecord,
+    open_fasta, open_fasta_pairs, open_fasta_pairs_model, read_fasta, read_fasta_str, write_fasta,
+    FastaPairs, FastaReader, FastaRecord,
 };
 pub use output::{write_score_log, write_time_json};

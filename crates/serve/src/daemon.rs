@@ -30,7 +30,7 @@ use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
 use std::time::Duration;
 
-use agatha_align::{Scoring, Task};
+use agatha_align::{ScoreModel, Scoring, Task};
 use agatha_core::clock::{Clock, SystemClock};
 use agatha_core::engine::{BatchEngine, JobMeta, JobOutcome};
 use agatha_core::{AgathaConfig, Pipeline};
@@ -134,6 +134,10 @@ struct Shared {
     /// Engine-side task ids (diagnostic only; response routing uses the
     /// client id in [`ReqCtx`]).
     task_seq: AtomicU32,
+    /// Score model the daemon aligns under; request sequences pack to this
+    /// model's alphabet (DNA for the fixed model, 8-bit residue codes for a
+    /// substitution matrix).
+    model: ScoreModel,
 }
 
 impl Shared {
@@ -212,6 +216,7 @@ pub fn serve_with_clock(cfg: ServeConfig, clock: Arc<dyn Clock>) -> Result<Serve
         starvation_ns: cfg.starvation_threshold_ns(),
         default_deadline_ns: cfg.default_deadline_ns,
         task_seq: AtomicU32::new(0),
+        model: cfg.scoring.model,
     });
 
     let mut pipeline = Pipeline::new(cfg.scoring, cfg.config.clone()).with_gpus(cfg.gpus);
@@ -356,10 +361,11 @@ fn handle_line(
                 let _ = reply_tx.send(rejected_response(a.id));
                 return Flow::Continue;
             }
-            let task = Task::from_strs(
+            let task = Task::from_strs_model(
                 shared.task_seq.fetch_add(1, Ordering::Relaxed),
                 &a.reference,
                 &a.query,
+                &shared.model,
             );
             if let Err(e) = task.admit() {
                 let _ = reply_tx.send(error_response(Some(a.id), &e));

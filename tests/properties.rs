@@ -6,7 +6,9 @@ use agatha_suite::align::banded::banded_align;
 use agatha_suite::align::block::block_grid_align;
 use agatha_suite::align::guided::guided_align;
 use agatha_suite::align::matrix::full_align;
-use agatha_suite::align::{BlockDim, FillPrecision, PackedSeq, Scoring, Task};
+use agatha_suite::align::{
+    BlockDim, FillPrecision, PackedSeq, ScoreModel, Scoring, Task, BLOSUM62,
+};
 use agatha_suite::core::bucketing::{build_warps, OrderingStrategy};
 use agatha_suite::core::{kernel::run_task, AgathaConfig};
 use agatha_suite::gpu_sim::sched;
@@ -18,6 +20,34 @@ fn dna(max_len: usize) -> impl Strategy<Value = Vec<u8>> {
 fn scoring_strategy() -> impl Strategy<Value = Scoring> {
     (1i32..6, 1i32..8, 0i32..10, 1i32..4, 1i32..80, 1i32..40)
         .prop_map(|(a, b, q, r, z, w)| Scoring::new(a, b, q, r, z, w))
+}
+
+/// Protein residue codes over the full BLOSUM62 alphabet (including the
+/// ambiguous/pad residue `X` = 20).
+fn protein(max_len: usize) -> impl Strategy<Value = Vec<u8>> {
+    proptest::collection::vec(0u8..21, 1..max_len)
+}
+
+/// DNA with injected runs of the ambiguous base `N`: a base sequence plus
+/// up to three (position, length) runs overwritten with code 4. Ambiguity
+/// takes three different shapes across the fill tiers — the scalar fill
+/// reads `S(N, ·)` per cell, the fixed-model SIMD kernels blend a splatted
+/// `-ambig` penalty behind a comparison mask, and the i16 kernel does so in
+/// half-width lanes — so N runs are exactly where a masking bug would
+/// diverge them.
+fn dna_with_n_runs(max_len: usize) -> impl Strategy<Value = Vec<u8>> {
+    (dna(max_len), proptest::collection::vec((0usize..1usize << 16, 1usize..24), 1..4)).prop_map(
+        |(mut seq, runs)| {
+            for (pos, len) in runs {
+                let start = pos % seq.len();
+                let end = (start + len).min(seq.len());
+                for c in &mut seq[start..end] {
+                    *c = 4;
+                }
+            }
+            seq
+        },
+    )
 }
 
 proptest! {
@@ -135,7 +165,9 @@ proptest! {
         wide in proptest::bool::ANY,
     ) {
         let mut s = s;
-        s.match_score *= [1, 64, 4096][boost];
+        if let ScoreModel::Fixed { ref mut match_score, .. } = s.model {
+            *match_score *= [1, 64, 4096][boost];
+        }
         let s = if banded { s } else { s.with_band(Scoring::NO_BAND) };
         let s = if zdrop_on { s } else { s.with_zdrop(Scoring::NO_ZDROP) };
         let (rp, qp) = (PackedSeq::from_codes(&r), PackedSeq::from_codes(&q));
@@ -206,6 +238,99 @@ proptest! {
             per_geometry.push(scalar);
         }
         prop_assert_eq!(&per_geometry[0].result, &per_geometry[1].result);
+    }
+
+    /// `geometry_sweep_bit_identity` under the substitution-matrix score
+    /// model: random protein tasks (full BLOSUM62 alphabet including the
+    /// pad residue X) through every fill tier × both block geometries, with
+    /// full `TaskRun` equality at each pinned geometry. This is the gate
+    /// re-derivation's proof obligation for matrix models: the i16/i32
+    /// overflow gates use the matrix's declared ±bounds, and the SIMD
+    /// matrix-lookup path (with and without the query profile) must be
+    /// bit-identical to the scalar `S(x, y)` reads.
+    #[test]
+    fn matrix_geometry_sweep_bit_identity(
+        r in protein(150),
+        q in protein(150),
+        banded in proptest::bool::ANY,
+        zdrop_on in proptest::bool::ANY,
+        slice in 1usize..20,
+        horizontal in proptest::bool::ANY,
+    ) {
+        let s = Scoring::preset_blosum62();
+        let s = if banded { s } else { s.with_band(Scoring::NO_BAND) };
+        let s = if zdrop_on { s } else { s.with_zdrop(Scoring::NO_ZDROP) };
+        let rp = PackedSeq::from_protein_codes(&r, &BLOSUM62);
+        let qp = PackedSeq::from_protein_codes(&q, &BLOSUM62);
+        let want = guided_align(&rp, &qp, &s);
+        let task = Task { id: 0, reference: rp, query: qp };
+        let base = if horizontal {
+            AgathaConfig::baseline()
+        } else {
+            AgathaConfig::agatha().with_slice_width(slice)
+        };
+        let mut per_geometry = Vec::new();
+        for bd in [BlockDim::B8, BlockDim::B16] {
+            let cfg = base.clone().with_block_dim(bd);
+            let scalar = run_task(&task, &s, &cfg.clone().with_simd_fill(false));
+            let i32_run = run_task(
+                &task,
+                &s,
+                &cfg.clone().with_simd_fill(true).with_fill_precision(FillPrecision::I32),
+            );
+            let i16_run = run_task(
+                &task,
+                &s,
+                &cfg.with_simd_fill(true).with_fill_precision(FillPrecision::I16),
+            );
+            prop_assert_eq!(&scalar, &i32_run);
+            prop_assert_eq!(&scalar, &i16_run);
+            per_geometry.push(scalar);
+        }
+        prop_assert_eq!(&per_geometry[0].result, &per_geometry[1].result);
+        prop_assert!(per_geometry[0].result.same_alignment(&want),
+            "kernel={:?} want={want:?}", per_geometry[0].result);
+    }
+
+    /// Ambiguous-base (`N`) scoring is bit-identical across all three fill
+    /// tiers: sequences with injected N runs through scalar, i32 wavefront
+    /// and i16 wavefront fills at both geometries, full `TaskRun` equality.
+    /// The ambiguity penalty is varied (including 0) because the SIMD
+    /// kernels apply it by blending a splatted constant where the scalar
+    /// fill reads the score function directly.
+    #[test]
+    fn ambiguous_base_tiers_bit_identity(
+        r in dna_with_n_runs(150),
+        q in dna_with_n_runs(150),
+        s in scoring_strategy(),
+        ambig in 0i32..3,
+        banded in proptest::bool::ANY,
+        zdrop_on in proptest::bool::ANY,
+        wide in proptest::bool::ANY,
+    ) {
+        let mut s = s;
+        if let ScoreModel::Fixed { ambig: ref mut a, .. } = s.model {
+            *a = ambig;
+        }
+        let s = if banded { s } else { s.with_band(Scoring::NO_BAND) };
+        let s = if zdrop_on { s } else { s.with_zdrop(Scoring::NO_ZDROP) };
+        let (rp, qp) = (PackedSeq::from_codes(&r), PackedSeq::from_codes(&q));
+        let task = Task { id: 0, reference: rp, query: qp };
+        let cfg = AgathaConfig::agatha()
+            .with_block_dim(if wide { BlockDim::B16 } else { BlockDim::B8 });
+        let scalar = run_task(&task, &s, &cfg.clone().with_simd_fill(false));
+        let i32_run = run_task(
+            &task,
+            &s,
+            &cfg.clone().with_simd_fill(true).with_fill_precision(FillPrecision::I32),
+        );
+        let i16_run = run_task(
+            &task,
+            &s,
+            &cfg.with_simd_fill(true).with_fill_precision(FillPrecision::I16),
+        );
+        prop_assert_eq!(&scalar, &i32_run);
+        prop_assert_eq!(&scalar, &i16_run);
     }
 
     /// The guided score is monotone in the band width (a wider band can
