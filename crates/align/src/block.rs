@@ -209,8 +209,10 @@ impl<'a> BlockCtx<'a> {
     ///
     /// * scalar mode or a forced `I32` precision → B=8 (the i32 wavefront
     ///   already fills its AVX2 vector at 8 lanes; B=16 i32 would fall back
-    ///   to the portable fill);
-    /// * no AVX2 → B=8 (SSE4.1 i16 vectors hold 8 lanes — nothing to gain);
+    ///   to the portable fill below the AVX-512 backend);
+    /// * below AVX2 → B=8 (SSE4.1 i16 vectors hold 8 lanes — nothing to
+    ///   gain); AVX2 and AVX-512 both qualify (16×i16 kernels exist for
+    ///   each);
     /// * the i16 gate must hold *at the wide geometry* (16-wide blocks
     ///   drift sentinels further; see [`BlockCtx::with_block_dim`]);
     /// * both sequences must span at least two wide blocks and the band
@@ -227,7 +229,10 @@ impl<'a> BlockCtx<'a> {
         if mode != FillMode::Simd || precision == FillPrecision::I32 {
             return BLOCK;
         }
-        if crate::simd::backend() != crate::simd::WavefrontBackend::Avx2 {
+        if !matches!(
+            crate::simd::backend(),
+            crate::simd::WavefrontBackend::Avx2 | crate::simd::WavefrontBackend::Avx512
+        ) {
             return BLOCK;
         }
         let wide = BlockCtx::with_block_dim(n, m, scoring, MAX_BLOCK);
@@ -1072,6 +1077,9 @@ mod tests {
     #[test]
     fn geometry_policy_is_conservative() {
         use crate::simd::WavefrontBackend;
+        // The `want` computation below observes the resolved backend, which
+        // forced-backend tests in `simd.rs` flip under this same lock.
+        let _guard = crate::simd::backend_test_lock();
         let bwa = Scoring::preset_bwa();
         // Scalar mode and forced-i32 precision never pick the wide geometry.
         assert_eq!(
@@ -1098,8 +1106,16 @@ mod tests {
             BlockCtx::geometry_for(240, 240, &hot, FillMode::Simd, FillPrecision::Auto),
             BLOCK
         );
-        // The amortizable short-read shape picks 16 exactly on AVX2 hosts.
-        let want = if crate::simd::backend() == WavefrontBackend::Avx2 { MAX_BLOCK } else { BLOCK };
+        // The amortizable short-read shape picks 16 exactly on AVX2-or-wider
+        // hosts (both have a 16×i16 kernel).
+        let want = if matches!(
+            crate::simd::backend(),
+            WavefrontBackend::Avx2 | WavefrontBackend::Avx512
+        ) {
+            MAX_BLOCK
+        } else {
+            BLOCK
+        };
         assert_eq!(
             BlockCtx::geometry_for(240, 240, &bwa, FillMode::Simd, FillPrecision::Auto),
             want

@@ -100,6 +100,11 @@ impl DiagTracker {
         if let Err(e) = crate::task::check_dims(n, m) {
             panic!("DiagTracker: {e}");
         }
+        // Re-resolve the fold backend per task, not just at construction:
+        // benches and the backend-sweep tests flip the process-wide choice
+        // between runs while reusing one workspace, and the fold must
+        // follow the fill's resolution for the same task.
+        self.fold_backend = crate::simd::backend();
         let (ni, mi) = (n as i64, m as i64);
         let w = if scoring.banded() { scoring.band_width as i64 } else { ni + mi };
         let total = if n == 0 || m == 0 { 0 } else { n + m - 1 };
@@ -172,6 +177,9 @@ impl DiagTracker {
         match self.fold_backend {
             // SAFETY: `fold_backend` is only set to a vector variant after
             // the runtime CPU check in `crate::simd::backend()`.
+            crate::simd::WavefrontBackend::Avx512 => {
+                return unsafe { self.on_block_i16_avx512(cells) }
+            }
             crate::simd::WavefrontBackend::Avx2 => return unsafe { self.on_block_i16_avx2(cells) },
             crate::simd::WavefrontBackend::Sse41 => {
                 return unsafe { self.on_block_i16_sse41(cells) }
@@ -259,6 +267,222 @@ impl DiagTracker {
     #[target_feature(enable = "avx2")]
     unsafe fn on_block_i16_avx2<const B: usize>(&mut self, cells: &BlockCellsT<i16, B>) {
         self.fold_i16_vector(cells);
+    }
+
+    /// [`DiagTracker::on_block_i16`] at the AVX-512 level. For the wide
+    /// geometry this is a *batched* fold, not the shared scaffold: phase 1
+    /// runs the `phminposuw` argmax over every staged row branch-free
+    /// (masked lanes hold [`crate::simd::NEG_INF16`] so invalid rows cost
+    /// nothing to reduce and are discarded by mask later), packing each
+    /// row's result into a single order-reversed key
+    /// `(y << 4) | (half << 3) | lane` whose numeric minimum is the
+    /// maximum `H` at its smallest lane — the canonical ascending-`i`
+    /// tie-break (`y = 0x7FFF − h` descends as `h` ascends; the half bit
+    /// and lane index break ties toward smaller `i`). Phase 2 then merges
+    /// all 31 candidates into the per-anti-diagonal `local_score` /
+    /// `local_i` arrays — which a block's rows hit *contiguously* at
+    /// `c0..c0+31` — as two 16-lane masked compare/blend/store steps, and
+    /// folds the `seen` accounting into the same masked windows (a
+    /// nibble-LUT popcount over the staged mask vectors replaces the
+    /// scaffold's 31 scalar read-modify-writes).
+    ///
+    /// The point is the merge: the scaffold's per-row scalar
+    /// read-compare-update is a data-dependent branch per diagonal
+    /// (mispredicted whenever a block does or does not improve on the
+    /// carried maximum — i.e. constantly, on real workloads), and those
+    /// mispredictions dominate the shared fold's cost at B = 16. The
+    /// mask-register merge is branch-free, and the fault-suppressing
+    /// masked loads/stores let the two 16-lane steps straddle the table
+    /// edge without scalar tail handling. Run-ahead rows (`c < next`),
+    /// empty rows, and rows past the last valid diagonal are all cleared
+    /// from one `valid` bitmask; `seen` accounting, the `qend` column
+    /// extract, and the debug-build band checks mirror the scaffold
+    /// exactly.
+    ///
+    /// # Safety
+    /// Requires AVX-512BW/VL (checked by the dispatcher; AVX-512F and the
+    /// SSE4.1 `phminposuw` ride along on any AVX-512 machine).
+    #[cfg(target_arch = "x86_64")]
+    #[target_feature(enable = "avx512bw,avx512vl")]
+    unsafe fn on_block_i16_avx512<const B: usize>(&mut self, cells: &BlockCellsT<i16, B>) {
+        #[allow(clippy::wildcard_imports)]
+        use std::arch::x86_64::*;
+        if B == crate::BLOCK {
+            // Narrow staging: eight lanes per row and eight rows of merge
+            // give the batched path nothing to amortize; run the shared
+            // fold at AVX-512 codegen.
+            return self.fold_i16_vector(cells);
+        }
+        let diags = 2 * B - 1;
+        let i0 = cells.i0();
+        let j0 = cells.j0();
+        let c0 = i0 as usize + j0 as usize;
+
+        // Valid rows: non-empty mask, not run-ahead past a finalized
+        // diagonal. One bit per staged row, built from two 16-lane mask
+        // compares (the second load is masked: the staging array holds
+        // `MAX_BLOCK_DIAGS` = 31 rows, one short of two full vectors).
+        let mp = cells.mask.as_ptr().cast::<i16>();
+        let m_lo = _mm256_loadu_si256(mp.cast::<__m256i>());
+        let m_hi = _mm256_maskz_loadu_epi16(0x7FFF, mp.add(16));
+        let z = _mm256_setzero_si256();
+        let mut valid = u32::from(_mm256_cmpneq_epi16_mask(m_lo, z))
+            | u32::from(_mm256_cmpneq_epi16_mask(m_hi, z)) << 16;
+        valid &= (1u32 << diags) - 1;
+        let skip = self.next.saturating_sub(c0).min(diags);
+        valid &= !0u32 << skip;
+        if valid == 0 {
+            return;
+        }
+        let hi_d = 31 - valid.leading_zeros() as usize;
+        debug_assert!(c0 + hi_d < self.total, "block diagonal {} outside table", c0 + hi_d);
+
+        #[cfg(debug_assertions)]
+        for d in skip..=hi_d {
+            let m = cells.mask[d];
+            if m == 0 {
+                continue;
+            }
+            let lo = m.trailing_zeros() as usize;
+            let hi = 15 - m.leading_zeros() as usize;
+            debug_assert_eq!(m, ((1u32 << (hi + 1)) - (1 << lo)) as u16, "mask must be a run");
+            for l in lo..=hi {
+                let i = i64::from(i0) + l as i64;
+                let c = (c0 + d) as i64;
+                debug_assert!(
+                    (i - (c - i)).abs() <= self.w,
+                    "out-of-band cell ({i},{}) staged for tracker (w = {})",
+                    c - i,
+                    self.w
+                );
+            }
+        }
+
+        // Phase 1: branch-free per-row argmax. Each half-row reduces with
+        // one `phminposuw` on the order-reversed map `y = 0x7FFF − h`
+        // (exact over the full i16 range; see
+        // [`DiagTracker::fold_i16_vector`]), packing to `(lane << 16) | y`.
+        // Structural skip: block diagonal `d` only occupies lanes
+        // `max(0, d−B+1)..=min(d, B−1)`, so rows `d < 8` have an empty high
+        // half and rows `d ≥ B+7` an empty low half — those reductions are
+        // dropped outright and their slots keep the `u32::MAX` sentinel,
+        // whose phase-2 key (`0xFFFFF`) is ≥ every computed key, losing
+        // each `min` (a tie is only possible against an identical
+        // candidate, which decodes identically).
+        let bias = _mm_set1_epi16(i16::MAX);
+        let mut packed_lo = [u32::MAX; MAX_BLOCK_DIAGS + 1];
+        let mut packed_hi = [u32::MAX; MAX_BLOCK_DIAGS + 1];
+        let minpos = |ptr: *const i16| -> u32 {
+            let row = _mm_loadu_si128(ptr.cast::<__m128i>());
+            _mm_cvtsi128_si32(_mm_minpos_epu16(_mm_sub_epi16(bias, row))) as u32
+        };
+        // Live rows only (bit-scan over `valid`): edge and run-ahead
+        // blocks stage far fewer than 2B−1 live rows, and reducing their
+        // dead rows would cost more than the whole merge. Interior blocks
+        // walk every bit, same as a plain loop.
+        let seg = |lo: u32, hi: u32| valid & (!0u32 << lo) & ((1u64 << hi) as u32).wrapping_sub(1);
+        let mut v = seg(0, 8);
+        while v != 0 {
+            let d = v.trailing_zeros() as usize;
+            v &= v - 1;
+            packed_lo[d] = minpos(cells.h[d].as_ptr());
+        }
+        let mut v = seg(8, B as u32 + 7);
+        while v != 0 {
+            let d = v.trailing_zeros() as usize;
+            v &= v - 1;
+            packed_lo[d] = minpos(cells.h[d].as_ptr());
+            packed_hi[d] = minpos(cells.h[d].as_ptr().add(8));
+        }
+        let mut v = seg(B as u32 + 7, 32);
+        while v != 0 {
+            let d = v.trailing_zeros() as usize;
+            v &= v - 1;
+            packed_hi[d] = minpos(cells.h[d].as_ptr().add(8));
+        }
+
+        // Phase 2: two 16-row merge steps over the contiguous
+        // `local_score[c0..]` / `local_i[c0..]` windows, with the `seen`
+        // accounting folded into the same masked windows: a nibble-LUT
+        // popcount over the staged mask vectors (per-byte table lookup,
+        // then a `maddubs` byte-pair sum per u16 lane) replaces the
+        // scaffold's 31 scalar read-modify-writes — dead lanes add
+        // nothing, exactly like the scaffold skipping them, because the
+        // `live` mask gates the store and empty live rows popcount to 0.
+        let pop_lut = _mm256_broadcastsi128_si256(_mm_setr_epi8(
+            0, 1, 1, 2, 1, 2, 2, 3, 1, 2, 2, 3, 2, 3, 3, 4,
+        ));
+        let nibble = _mm256_set1_epi8(0x0F);
+        let byte_ones = _mm256_set1_epi8(1);
+        let popcnt16 = |m: __m256i| -> __m256i {
+            let lo = _mm256_shuffle_epi8(pop_lut, _mm256_and_si256(m, nibble));
+            let hi =
+                _mm256_shuffle_epi8(pop_lut, _mm256_and_si256(_mm256_srli_epi16::<4>(m), nibble));
+            _mm256_maddubs_epi16(_mm256_add_epi8(lo, hi), byte_ones)
+        };
+        let v_ffff = _mm512_set1_epi32(0xFFFF);
+        let v_half = _mm512_set1_epi32(1 << 3);
+        let v_bias = _mm512_set1_epi32(i32::from(i16::MAX));
+        let v_i0 = _mm512_set1_epi32(i0);
+        let v_15 = _mm512_set1_epi32(0xF);
+        for chunk in 0..diags.div_ceil(16) {
+            let k = chunk * 16;
+            let live: __mmask16 = (valid >> k) as u16;
+            if live == 0 {
+                continue;
+            }
+            // (y << 4) | (half << 3) | lane, minimized across halves: the
+            // numeric min is max-H first, then low half, then low lane —
+            // decoding the low nibble yields the row lane directly
+            // (half * 8 + minpos index).
+            let pl = _mm512_loadu_epi32(packed_lo.as_ptr().add(k).cast::<i32>());
+            let ph = _mm512_loadu_epi32(packed_hi.as_ptr().add(k).cast::<i32>());
+            let key_lo = _mm512_or_epi32(
+                _mm512_slli_epi32::<4>(_mm512_and_epi32(pl, v_ffff)),
+                _mm512_srli_epi32::<16>(pl),
+            );
+            let key_hi = _mm512_or_epi32(
+                _mm512_or_epi32(_mm512_slli_epi32::<4>(_mm512_and_epi32(ph, v_ffff)), v_half),
+                _mm512_srli_epi32::<16>(ph),
+            );
+            let kmin = _mm512_min_epu32(key_lo, key_hi);
+            let cand_h = _mm512_sub_epi32(v_bias, _mm512_srli_epi32::<4>(kmin));
+            let cand_i = _mm512_add_epi32(v_i0, _mm512_and_epi32(kmin, v_15));
+            // Fault-suppressing masked loads: dead lanes may sit past the
+            // table's last diagonal.
+            let base = c0 + k;
+            // `seen` accounting for the chunk's live rows. SAFETY: the
+            // highest set `live` bit is `hi_d − k` and `c0 + hi_d < total`
+            // (asserted above), so the masked store stays inside the
+            // `total`-sized vector.
+            let counts = _mm512_cvtepi16_epi32(popcnt16(if chunk == 0 { m_lo } else { m_hi }));
+            let seen_ptr = self.seen.as_mut_ptr().cast::<i32>();
+            let cur_seen = _mm512_maskz_loadu_epi32(live, seen_ptr.add(base));
+            _mm512_mask_storeu_epi32(seen_ptr.add(base), live, _mm512_add_epi32(cur_seen, counts));
+            let cur_h = _mm512_maskz_loadu_epi32(live, self.local_score.as_ptr().add(base));
+            let cur_i = _mm512_maskz_loadu_epi32(live, self.local_i.as_ptr().add(base));
+            // Canonical merge: higher score wins; equal score goes to the
+            // smaller `i`.
+            let gt = _mm512_cmpgt_epi32_mask(cand_h, cur_h);
+            let eq = _mm512_cmpeq_epi32_mask(cand_h, cur_h);
+            let lt_i = _mm512_cmplt_epi32_mask(cand_i, cur_i);
+            let upd = (gt | (eq & lt_i)) & live;
+            _mm512_mask_storeu_epi32(self.local_score.as_mut_ptr().add(base), upd, cand_h);
+            _mm512_mask_storeu_epi32(self.local_i.as_mut_ptr().add(base), upd, cand_i);
+        }
+
+        // The unique last-query-column cell per diagonal (lane `l = d − kq`),
+        // extracted scalar — at most one run of rows per block touches it.
+        let kq = self.m - 1 - i64::from(j0);
+        if (0..B as i64).contains(&kq) {
+            let kq = kq as usize;
+            for d in kq.max(skip)..=(kq + B - 1).min(hi_d) {
+                let lq = d - kq;
+                if cells.mask[d] & (1 << lq) != 0 {
+                    self.qend[c0 + d] = i32::from(cells.h[d][lq]);
+                }
+            }
+        }
     }
 
     /// Shared whole-block fold: semantics of feeding every valid cell

@@ -167,11 +167,35 @@ pub fn sse41_active() -> bool {
     }
 }
 
+/// Whether the AVX-512 backend will be used on this machine. The kernels
+/// need `avx512bw` (16-bit ops at 512/256-bit width) plus `avx512vl` (mask
+/// registers on 256-bit vectors); the AVX2 check rides along so an
+/// `Avx512`-resolved backend may always fall through to the AVX2 kernels
+/// where 512-bit width buys nothing (the B=8 geometry).
+pub fn avx512_active() -> bool {
+    #[cfg(target_arch = "x86_64")]
+    {
+        std::arch::is_x86_feature_detected!("avx512bw")
+            && std::arch::is_x86_feature_detected!("avx512vl")
+            && std::arch::is_x86_feature_detected!("avx2")
+    }
+    #[cfg(not(target_arch = "x86_64"))]
+    {
+        false
+    }
+}
+
 /// Which wavefront implementation the dispatcher will run. Resolved once
 /// per task (stored in [`BlockCtx`]) so the per-block hot path pays no
 /// repeated feature-detection load.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum WavefrontBackend {
+    /// x86-64 with AVX-512BW/VL: the B=16 i16 fill runs with mask-register
+    /// edge handling and fused dual-diagonal zmm stores, the B=16 i32 fill
+    /// packs all 16 lanes into one zmm, and the tracker folds the 16-lane
+    /// argmax with a four-quarter `phminposuw` merge. The B=8 geometry
+    /// reuses the AVX2 kernels (its vectors are already full).
+    Avx512,
     /// x86-64 with AVX2: one 8×i32 AVX2 vector per block diagonal in the
     /// i32 tier, 8×i16 SSE vectors in the B=8 i16 tier, and one full
     /// 16×i16 AVX2 vector per diagonal in the B=16 i16 tier.
@@ -188,23 +212,151 @@ impl WavefrontBackend {
     /// Stable lower-case name (bench rows, stats output).
     pub fn name(self) -> &'static str {
         match self {
+            WavefrontBackend::Avx512 => "avx512",
             WavefrontBackend::Avx2 => "avx2",
             WavefrontBackend::Sse41 => "sse41",
             WavefrontBackend::Portable => "portable",
         }
     }
+
+    /// Position in the capability chain `Portable < Sse41 < Avx2 < Avx512`
+    /// (a forced choice is clamped to the machine's detected rank).
+    fn rank(self) -> u8 {
+        match self {
+            WavefrontBackend::Portable => 0,
+            WavefrontBackend::Sse41 => 1,
+            WavefrontBackend::Avx2 => 2,
+            WavefrontBackend::Avx512 => 3,
+        }
+    }
 }
 
-/// Resolve the backend for this machine (runtime CPU detection, cached by
-/// `std`; call once per task, not per block).
-pub fn backend() -> WavefrontBackend {
-    if avx2_active() {
+/// A requested backend: `Auto` runs the best detected implementation; a
+/// named backend caps the dispatch chain at that level. Parsed from
+/// `AGATHA_BACKEND` / `--backend` and installed process-wide with
+/// [`set_backend_choice`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum BackendChoice {
+    /// Best detected backend (the default).
+    #[default]
+    Auto,
+    /// Dispatch as if this were the best backend the machine supports
+    /// (requests above the detected capability degrade to the detected
+    /// backend — forcing `avx512` on an AVX2 machine runs AVX2).
+    Fixed(WavefrontBackend),
+}
+
+impl BackendChoice {
+    /// Parse a backend name as accepted by `AGATHA_BACKEND` / `--backend`.
+    pub fn parse(name: &str) -> Result<BackendChoice, String> {
+        match name.trim().to_ascii_lowercase().as_str() {
+            "auto" => Ok(BackendChoice::Auto),
+            "avx512" => Ok(BackendChoice::Fixed(WavefrontBackend::Avx512)),
+            "avx2" => Ok(BackendChoice::Fixed(WavefrontBackend::Avx2)),
+            "sse41" => Ok(BackendChoice::Fixed(WavefrontBackend::Sse41)),
+            "portable" => Ok(BackendChoice::Fixed(WavefrontBackend::Portable)),
+            other => Err(format!(
+                "invalid backend '{other}': expected auto, avx512, avx2, sse41 or portable"
+            )),
+        }
+    }
+
+    /// Stable lower-case name (round-trips through [`BackendChoice::parse`]).
+    pub fn name(self) -> &'static str {
+        match self {
+            BackendChoice::Auto => "auto",
+            BackendChoice::Fixed(b) => b.name(),
+        }
+    }
+}
+
+/// Process-wide backend choice, encoded for the atomic: 0 = Auto, else
+/// `rank + 1` of the forced backend. A plain atomic (not a `OnceLock`) so
+/// benches and the backend-sweep tests can flip backends between runs in
+/// one process; resolution stays per task (hoisted into [`BlockCtx`] /
+/// [`crate::diag::DiagTracker`]), so a flip never splits one task's blocks
+/// across backends.
+static BACKEND_CHOICE: std::sync::atomic::AtomicU8 = std::sync::atomic::AtomicU8::new(0);
+
+/// Install the process-wide backend choice (see [`BackendChoice`]).
+pub fn set_backend_choice(choice: BackendChoice) {
+    let enc = match choice {
+        BackendChoice::Auto => 0,
+        BackendChoice::Fixed(b) => b.rank() + 1,
+    };
+    BACKEND_CHOICE.store(enc, std::sync::atomic::Ordering::Relaxed);
+}
+
+/// The currently installed process-wide backend choice.
+pub fn backend_choice() -> BackendChoice {
+    match BACKEND_CHOICE.load(std::sync::atomic::Ordering::Relaxed) {
+        0 => BackendChoice::Auto,
+        1 => BackendChoice::Fixed(WavefrontBackend::Portable),
+        2 => BackendChoice::Fixed(WavefrontBackend::Sse41),
+        3 => BackendChoice::Fixed(WavefrontBackend::Avx2),
+        _ => BackendChoice::Fixed(WavefrontBackend::Avx512),
+    }
+}
+
+/// Serializes tests that flip the process-wide [`BackendChoice`] against
+/// tests whose *assertions* observe [`backend()`] (e.g. the geometry
+/// policy test in `block.rs`). Result-only comparisons don't need it —
+/// every backend is bit-identical by contract.
+#[cfg(test)]
+pub(crate) fn backend_test_lock() -> std::sync::MutexGuard<'static, ()> {
+    static LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+    // A forced-backend test that panics mid-flip poisons the lock; the
+    // state it guards is restored by the panicking test's unwind path or
+    // irrelevant to the next holder, so keep going.
+    LOCK.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+/// The best backend this machine supports (runtime CPU detection, cached
+/// by `std`), ignoring any forced choice.
+pub fn detected_backend() -> WavefrontBackend {
+    if avx512_active() {
+        WavefrontBackend::Avx512
+    } else if avx2_active() {
         WavefrontBackend::Avx2
     } else if sse41_active() {
         WavefrontBackend::Sse41
     } else {
         WavefrontBackend::Portable
     }
+}
+
+/// Resolve the backend for this machine: the detected capability, capped
+/// by the process-wide [`BackendChoice`] (call once per task, not per
+/// block). Forcing never *raises* the level — a request the CPU cannot
+/// honour clamps to the detected backend, so dispatch stays sound.
+pub fn backend() -> WavefrontBackend {
+    let detected = detected_backend();
+    match backend_choice() {
+        BackendChoice::Auto => detected,
+        BackendChoice::Fixed(forced) => {
+            if forced.rank() <= detected.rank() {
+                forced
+            } else {
+                detected
+            }
+        }
+    }
+}
+
+/// Every backend this machine can actually run, best first — the sweep
+/// domain for forced-backend tests, the CLI's `--verbose` stats, and the
+/// bench's per-backend rows. Always ends with `Portable`.
+pub fn supported_backends() -> Vec<WavefrontBackend> {
+    let detected = detected_backend();
+    [
+        WavefrontBackend::Avx512,
+        WavefrontBackend::Avx2,
+        WavefrontBackend::Sse41,
+        WavefrontBackend::Portable,
+    ]
+    .into_iter()
+    .filter(|b| b.rank() <= detected.rank())
+    .collect()
 }
 
 /// Wavefront fill (drop-in replacement for [`crate::block::fill_scalar`]),
@@ -224,28 +376,54 @@ pub(crate) fn fill_wavefront<const B: usize>(
     cells: &mut BlockCellsT<i32, B>,
 ) {
     #[cfg(target_arch = "x86_64")]
-    if B == BLOCK && ctx.wavefront_backend == WavefrontBackend::Avx2 {
-        // SAFETY: `backend()` only reports Avx2 after a runtime AVX2 check;
-        // the `B == BLOCK` guard makes every `geom_cast` an identity.
-        unsafe {
-            return avx2::fill(
-                ctx,
-                i0,
-                j0,
-                geom_cast(rcodes),
-                geom_cast(qcodes),
-                corner,
-                geom_cast_mut(west_h),
-                geom_cast_mut(west_e),
-                geom_cast_mut(north_h),
-                geom_cast_mut(north_f),
-                geom_cast_mut(cells),
-            );
+    {
+        if B == BLOCK
+            && matches!(ctx.wavefront_backend, WavefrontBackend::Avx2 | WavefrontBackend::Avx512)
+        {
+            // SAFETY: `backend()` only reports Avx2/Avx512 after a runtime
+            // AVX2 check (`avx512_active` includes it: at B=8 the AVX2
+            // kernel's 8×i32 vector is already full, so AVX-512 reuses it);
+            // the `B == BLOCK` guard makes every `geom_cast` an identity.
+            unsafe {
+                return avx2::fill(
+                    ctx,
+                    i0,
+                    j0,
+                    geom_cast(rcodes),
+                    geom_cast(qcodes),
+                    corner,
+                    geom_cast_mut(west_h),
+                    geom_cast_mut(west_e),
+                    geom_cast_mut(north_h),
+                    geom_cast_mut(north_f),
+                    geom_cast_mut(cells),
+                );
+            }
+        }
+        if B == MAX_BLOCK && ctx.wavefront_backend == WavefrontBackend::Avx512 {
+            // SAFETY: AVX-512F/BW/VL verified at runtime by `backend()`;
+            // `B == MAX_BLOCK` makes every `geom_cast` an identity.
+            unsafe {
+                return avx512_i32w::fill(
+                    ctx,
+                    i0,
+                    j0,
+                    geom_cast(rcodes),
+                    geom_cast(qcodes),
+                    corner,
+                    geom_cast_mut(west_h),
+                    geom_cast_mut(west_e),
+                    geom_cast_mut(north_h),
+                    geom_cast_mut(north_f),
+                    geom_cast_mut(cells),
+                );
+            }
         }
     }
-    // B=16 i32 runs portable by design: AVX2 i32 vectors are full at 8
-    // lanes, so the wide geometry only pays off in the i16 tier (and the
-    // adaptive policy only picks it there).
+    // B=16 i32 runs portable below AVX-512 by design: AVX2 i32 vectors are
+    // full at 8 lanes, so only a 16×i32 zmm has room for the wide geometry
+    // (the adaptive policy picks B=16 for the i16 tier; the i32 zmm fill
+    // serves forced-B16 runs and per-task i16→i32 demotions inside them).
     fill_portable(ctx, i0, j0, rcodes, qcodes, corner, west_h, west_e, north_h, north_f, cells)
 }
 
@@ -392,13 +570,15 @@ pub(crate) fn fill_wavefront_i16<const B: usize>(
     #[cfg(target_arch = "x86_64")]
     {
         if B == BLOCK && ctx.wavefront_backend != WavefrontBackend::Portable {
-            // SAFETY: `backend()` only reports Avx2/Sse41 after a runtime
-            // CPU check, the B=8 kernel needs nothing newer than SSE4.1
-            // (AVX2 implies it; the Avx2 wrapper exists purely so the same
-            // body recompiles with VEX encodings on AVX2 machines), and the
+            // SAFETY: `backend()` only reports a vector variant after a
+            // runtime CPU check, the B=8 kernel needs nothing newer than
+            // SSE4.1 (AVX2 implies it; the Avx2 wrapper exists purely so
+            // the same body recompiles with VEX encodings on AVX2-or-wider
+            // machines — AVX-512 hosts take the same wrapper, as the 8×i16
+            // vector leaves 512-bit width nothing to fuse), and the
             // `B == BLOCK` guard makes every `geom_cast` an identity.
             unsafe {
-                if ctx.wavefront_backend == WavefrontBackend::Avx2 {
+                if ctx.wavefront_backend != WavefrontBackend::Sse41 {
                     sse41_i16::fill_avx2(
                         ctx,
                         i0,
@@ -427,6 +607,27 @@ pub(crate) fn fill_wavefront_i16<const B: usize>(
                         geom_cast_mut(cells),
                     );
                 }
+            }
+            debug_overflow_sentinel(cells);
+            return;
+        }
+        if B == MAX_BLOCK && ctx.wavefront_backend == WavefrontBackend::Avx512 {
+            // SAFETY: AVX-512BW/VL verified at runtime; `B == MAX_BLOCK`
+            // guard makes every `geom_cast` an identity.
+            unsafe {
+                avx512_i16w::fill(
+                    ctx,
+                    i0,
+                    j0,
+                    geom_cast(rcodes),
+                    geom_cast(qcodes),
+                    corner,
+                    geom_cast_mut(west_h),
+                    geom_cast_mut(west_e),
+                    geom_cast_mut(north_h),
+                    geom_cast_mut(north_f),
+                    geom_cast_mut(cells),
+                );
             }
             debug_overflow_sentinel(cells);
             return;
@@ -1258,6 +1459,524 @@ mod avx2_i16w {
     }
 }
 
+#[cfg(target_arch = "x86_64")]
+mod avx512_i16w {
+    //! The wide-geometry (16×16) i16 kernel at the AVX-512BW/VL level.
+    //! Same per-diagonal algorithm as [`super::avx2_i16w`] (one 16×i16 ymm
+    //! per block anti-diagonal), restated with the machinery AVX-512 adds:
+    //!
+    //! * every lane select runs off a `__mmask16` **mask register** — the
+    //!   staged `mask_bits` word *is* the mask operand, so the blend-based
+    //!   edge handling (per-diagonal mask-vector builds, `blendv` chains,
+    //!   the static mask LUT loads) disappears entirely;
+    //! * on *interior* blocks only the stored H row is masked at all:
+    //!   the block shape grows one lane per diagonal, so out-of-shape
+    //!   lanes never shift into valid ones and E/F/H state propagates
+    //!   unmasked (edge blocks keep full masking — band clipping is
+    //!   semantic there);
+    //! * the diagonal input `dg` is last row's up-shifted H verbatim
+    //!   (`bd_pad[d] == bh_pad[d-1]`), carried across iterations — one
+    //!   whole shift per diagonal gone from the loop-carried critical
+    //!   path;
+    //! * the north-boundary pre-seed is a single masked broadcast
+    //!   (`vpbroadcastw` with a one-hot mask) instead of LUT-load + blend;
+    //! * boundary narrowing is one `vpmovsdw` (`_mm512_cvtsepi32_epi16`)
+    //!   per array instead of the packs + qword-permute fix;
+    //! * consecutive block diagonals are **fused pairwise into zmm
+    //!   stores**: the `d-1`/`d-2` loop-carried dependency forces the
+    //!   arithmetic to stay sequential per diagonal, but two finished
+    //!   16-lane rows are exactly one zmm, so the staging-buffer traffic
+    //!   runs at 512-bit width (one store per diagonal pair).
+
+    use super::*;
+    use crate::block::BlockCells16Wide;
+    #[allow(clippy::wildcard_imports)]
+    use std::arch::x86_64::*;
+
+    const B: usize = MAX_BLOCK;
+    const DIAGS: usize = 2 * B - 1;
+
+    /// Shift 16 i16 lanes up by one (lane `l` ← lane `l-1`), injecting
+    /// `boundary` at lane 0.
+    ///
+    /// Same `permute2x128` + `alignr` sequence as [`super::avx2_i16w`]
+    /// (see the layout note there), *not* a cross-lane `vpermw`: the shift
+    /// sits on the wavefront's loop-carried dependency chain, and the
+    /// boundary broadcast folds into the carry build off-chain here,
+    /// whereas `vpermw` + a lane-0-masked broadcast stacks both on the
+    /// chain (measurably slower per diagonal on Skylake-X/Ice Lake).
+    #[inline(always)]
+    unsafe fn shift_up(v: __m256i, boundary: i16) -> __m256i {
+        let carry = _mm256_permute2x128_si256(_mm256_set1_epi16(boundary), v, 0x20);
+        _mm256_alignr_epi8(v, carry, 14)
+    }
+
+    /// Saturating-narrow one 16×i32 boundary array to 16×i16: a single
+    /// `vpmovsdw` from the full zmm (the AVX2 kernel needs packs plus a
+    /// qword permute to undo the in-lane interleave).
+    #[inline(always)]
+    unsafe fn pack_boundary(src: &[i32; B]) -> [i16; B] {
+        let v = _mm512_loadu_epi32(src.as_ptr());
+        let mut out = [0i16; B];
+        _mm256_storeu_si256(out.as_mut_ptr().cast::<__m256i>(), _mm512_cvtsepi32_epi16(v));
+        out
+    }
+
+    #[inline(always)]
+    unsafe fn store16(slot: &mut [i16; B], v: __m256i) {
+        _mm256_storeu_si256(slot.as_mut_ptr().cast::<__m256i>(), v);
+    }
+
+    #[inline(always)]
+    unsafe fn load16(slot: &[i16; B]) -> __m256i {
+        _mm256_loadu_si256(slot.as_ptr().cast::<__m256i>())
+    }
+
+    /// Fused dual-diagonal store: rows `d` and `d+1` of the staging buffer
+    /// are contiguous 16×i16 rows, i.e. exactly one zmm.
+    #[inline(always)]
+    unsafe fn store_pair(cells: &mut BlockCells16Wide, d: usize, lo: __m256i, hi: __m256i) {
+        debug_assert!(d + 1 < MAX_BLOCK_DIAGS);
+        let z = _mm512_inserti64x4::<1>(_mm512_castsi256_si512(lo), hi);
+        _mm512_storeu_epi16(cells.h[d].as_mut_ptr(), z);
+    }
+
+    /// All `2B−1` valid-lane masks of one *edge* block in two 16-diagonal
+    /// vector steps — bit-identical to calling [`super::lane_mask`] per
+    /// diagonal, which costs ~31 branchy scalar range computations and is
+    /// the dominant per-diagonal overhead of edge blocks (under a short
+    /// band a large fraction of blocks are edge blocks, so this shows up
+    /// at task level, not just in corner cases).
+    ///
+    /// [`BlockCtx::lane_range`]'s four lower and four upper bounds are all
+    /// affine in `d`, so 16 diagonals evaluate as one `max`/`min` ladder
+    /// over an i32 lane vector. The i64 geometry terms are pre-clamped to
+    /// `±64` scalars first: every term is only ever compared against the
+    /// in-block range `[0, B−1]`, so any value beyond `±64` acts exactly
+    /// like `±64` (still never/always binding), keeping the i32 lanes
+    /// exact. Empty diagonals (`lo > hi`, including everything the clamps
+    /// pushed out of range) zero their mask through the `nonempty`
+    /// mask-register; `vpsllvd` yields 0 for any shift count ≥ 32, so the
+    /// out-of-range `lo`/`hi` lanes cannot leak bits into live ones.
+    ///
+    /// `inline(always)` with no `target_feature` of its own so it compiles
+    /// at the caller's AVX-512 feature level (same pattern as the tracker's
+    /// shared fold).
+    #[inline(always)]
+    unsafe fn edge_masks(ctx: &BlockCtx<'_>, i0: i64, j0: i64) -> [u16; 32] {
+        let off = i0 - j0;
+        let mq = (ctx.m - 1 - j0).min(63) as i32;
+        let ni = (ctx.n - 1 - i0).min(63) as i32;
+        // `lo` band term: ceil((d − w − off) / 2) = (d + (1 − w − off)) >> 1.
+        let t_lo = (1 - ctx.w - off).clamp(-64, 64) as i32;
+        // `hi` band term: floor((d + w − off) / 2) = (d + (w − off)) >> 1.
+        let t_hi = (ctx.w - off).clamp(-64, 64) as i32;
+        let lanes = _mm512_setr_epi32(0, 1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15);
+        let one = _mm512_set1_epi32(1);
+        let mut out = [0u16; 32];
+        for chunk in 0..2usize {
+            let d = _mm512_add_epi32(lanes, _mm512_set1_epi32(chunk as i32 * 16));
+            let lo = _mm512_max_epi32(
+                _mm512_max_epi32(
+                    _mm512_setzero_si512(),
+                    _mm512_sub_epi32(d, _mm512_set1_epi32(B as i32 - 1)),
+                ),
+                _mm512_max_epi32(
+                    _mm512_sub_epi32(d, _mm512_set1_epi32(mq)),
+                    _mm512_srai_epi32::<1>(_mm512_add_epi32(d, _mm512_set1_epi32(t_lo))),
+                ),
+            );
+            let hi = _mm512_min_epi32(
+                _mm512_min_epi32(_mm512_set1_epi32(B as i32 - 1), d),
+                _mm512_min_epi32(
+                    _mm512_set1_epi32(ni),
+                    _mm512_srai_epi32::<1>(_mm512_add_epi32(d, _mm512_set1_epi32(t_hi))),
+                ),
+            );
+            let nonempty = _mm512_cmple_epi32_mask(lo, hi);
+            // ((1 << (hi+1)) − (1 << lo)) — the contiguous run lo..=hi.
+            let bits = _mm512_maskz_sub_epi32(
+                nonempty,
+                _mm512_sllv_epi32(one, _mm512_add_epi32(hi, one)),
+                _mm512_sllv_epi32(one, lo),
+            );
+            _mm256_storeu_si256(
+                out.as_mut_ptr().add(chunk * 16).cast::<__m256i>(),
+                _mm512_cvtepi32_epi16(bits),
+            );
+        }
+        #[cfg(debug_assertions)]
+        for (d, &m) in out.iter().enumerate().take(DIAGS) {
+            debug_assert_eq!(
+                m,
+                lane_mask(ctx, i0, j0, d),
+                "vector edge mask diverged at d = {d} (block {i0},{j0})"
+            );
+        }
+        out
+    }
+
+    /// Wide 16-bit wavefront fill, AVX-512BW/VL edition: mask-register
+    /// lane selects, one `vpermw` shift per input, and pairwise-fused zmm
+    /// stores of finished diagonals. Bit-identical to
+    /// [`super::avx2_i16w::fill`] / [`super::fill_portable_i16`] — the
+    /// arithmetic is the same saturating i16 wavefront; only the lane
+    /// bookkeeping changed instruction sets.
+    ///
+    /// # Safety
+    /// Requires AVX-512BW and AVX-512VL (checked by the caller).
+    #[allow(clippy::too_many_arguments)]
+    // The tail diag_body! expansion rotates the wavefront state one last
+    // time into assignments nothing reads.
+    #[allow(unused_assignments)]
+    #[target_feature(enable = "avx512bw,avx512vl")]
+    pub(super) unsafe fn fill(
+        ctx: &BlockCtx<'_>,
+        i0: i64,
+        j0: i64,
+        rcodes: &[u8; B],
+        qcodes: &[u8; B],
+        corner: i32,
+        west_h: &mut [i32; B],
+        west_e: &mut [i32; B],
+        north_h: &mut [i32; B],
+        north_f: &mut [i32; B],
+        cells: &mut BlockCells16Wide,
+    ) {
+        let sc = ctx.scoring;
+        let oe = _mm256_set1_epi16(to16(sc.gap_open + sc.gap_extend));
+        let ext = _mm256_set1_epi16(to16(sc.gap_extend));
+        // Fixed-model compare/blend constants (zeroed and unused under a
+        // matrix model, where per-diagonal rows replace them).
+        let (f_match, f_mis, f_amb) = sc.model.fixed_params().unwrap_or((0, 0, 0));
+        let v_match = _mm256_set1_epi16(to16(f_match));
+        let v_mis = _mm256_set1_epi16(to16(-f_mis));
+        let v_amb = _mm256_set1_epi16(to16(-f_amb));
+        let v_acgt_max = _mm256_set1_epi16(i16::from(crate::Base::N.code()) - 1);
+        let sub_rows = sc.model.matrix().map(|m| matrix_sub_lanes::<B>(ctx, m, j0, rcodes, qcodes));
+        let neg_inf = _mm256_set1_epi16(NEG_INF16);
+        let interior = ctx.block_interior(i0, j0);
+        // Edge blocks get all their lane masks batch-computed up front (two
+        // vector steps); interior masks are the compile-time struct shapes.
+        let em: [u16; 32] = if interior { [0; 32] } else { edge_masks(ctx, i0, j0) };
+
+        let wh_in = pack_boundary(west_h);
+        let we_in = pack_boundary(west_e);
+        let nh_in = pack_boundary(north_h);
+        let nf_in = pack_boundary(north_f);
+
+        // Padded per-diagonal boundary injections (branch-free loop body).
+        // No `bd_pad`: the diagonal input is carried (see `dg_carry`), and
+        // no `q_pad`: the query slides via `qrev` loads below.
+        let mut bh_pad = [NEG_INF16; DIAGS];
+        let mut be_pad = [NEG_INF16; DIAGS];
+        bh_pad[..B].copy_from_slice(&wh_in);
+        be_pad[..B].copy_from_slice(&we_in);
+
+        let mut r16 = [0i16; B];
+        for (slot, &c) in r16.iter_mut().zip(rcodes.iter()) {
+            *slot = i16::from(c);
+        }
+        let r_vec = load16(&r16);
+
+        // Sliding query codes without a shift: lane l of diagonal d reads
+        // qcodes[d - l] — a 16-lane window *descending* in memory — so a
+        // reversed, zero-padded copy turns the per-diagonal cross-lane
+        // shift (two port-5 uops on the wavefront's critical path) into
+        // one unaligned load: qrev[QREV_C - k] = qcodes[k], and diagonal
+        // d's vector is the 16 lanes starting at qrev[QREV_C - d]. The
+        // padding reads as code 0 exactly like the zeros the shift-based
+        // scheme injects, so every lane — in-shape or not — is identical.
+        const QREV_C: usize = 2 * B - 2;
+        let mut qrev = [0i16; 3 * B - 1];
+        for (j, &c) in qcodes.iter().enumerate() {
+            qrev[QREV_C - j] = i16::from(c);
+        }
+
+        // "H_{-1}" / "F_{-1}": north seed of row 0 in lane 0.
+        let mut h_prev = shift_up(neg_inf, nh_in[0]);
+        let mut f_prev = shift_up(neg_inf, nf_in[0]);
+        let mut e_prev = neg_inf;
+        // The padded boundary scheme makes `bd_pad[d] == bh_pad[d - 1]`,
+        // so row d's diagonal input is *exactly* last row's up-shifted H:
+        // carrying `up_h` across iterations replaces one shift per
+        // diagonal (the shifts sit on the loop-carried critical path, so
+        // this is latency off every row, not just throughput). Seeded with
+        // the corner shift for d = 0.
+        let mut dg_carry = shift_up(neg_inf, to16(corner));
+
+        let mut e_tmp = [[0i16; B]; B];
+        let mut f_tmp = [[0i16; B]; B];
+
+        // One diagonal's arithmetic + bookkeeping, *deferring the `cells.h`
+        // store* so the pair loop below can fuse two finished rows into one
+        // zmm store. Yields the masked (unseeded) H row; rotates the
+        // wavefront state with the seeded copy.
+        macro_rules! diag_body {
+            ($d:expr) => {{
+                let d: usize = $d;
+                let q_vec = _mm256_loadu_si256(qrev.as_ptr().add(QREV_C - d).cast::<__m256i>());
+
+                let up_h = shift_up(h_prev, bh_pad[d]);
+                let up_e = shift_up(e_prev, be_pad[d]);
+                let dg = dg_carry;
+                dg_carry = up_h;
+
+                // Substitution: matrix rows when present, else the
+                // fixed-model select (ambiguous beats match beats
+                // mismatch), on mask registers.
+                let sub = match &sub_rows {
+                    Some(rows) => load16(&rows[d]),
+                    None => {
+                        let eq = _mm256_cmpeq_epi16_mask(r_vec, q_vec);
+                        let amb =
+                            _mm256_cmpgt_epi16_mask(_mm256_max_epi16(r_vec, q_vec), v_acgt_max);
+                        _mm256_mask_blend_epi16(
+                            amb,
+                            _mm256_mask_blend_epi16(eq, v_mis, v_match),
+                            v_amb,
+                        )
+                    }
+                };
+
+                let e = _mm256_max_epi16(_mm256_subs_epi16(up_h, oe), _mm256_subs_epi16(up_e, ext));
+                let f =
+                    _mm256_max_epi16(_mm256_subs_epi16(h_prev, oe), _mm256_subs_epi16(f_prev, ext));
+                let h = _mm256_max_epi16(e, _mm256_max_epi16(f, _mm256_adds_epi16(dg, sub)));
+
+                // The staged mask word *is* the AVX-512 mask operand — no
+                // vector mask build on either the interior or edge path.
+                let mask_bits = if interior { struct_mask(B, d) } else { em[d] };
+                cells.mask[d] = mask_bits;
+                // Only the *stored* H row needs masking on interior blocks:
+                // the shape grows exactly one lane per diagonal, so an
+                // out-of-shape lane never shifts into a valid lane, and the
+                // boundary stages are read only at in-shape lanes — E/F/H
+                // state propagates unmasked. Edge blocks mask all three:
+                // band/table clipping is semantic there (a clipped lane
+                // must read as -inf from its in-band neighbour).
+                let h_m = _mm256_mask_blend_epi16(mask_bits, neg_inf, h);
+                let (e_s, h_s, mut f_s) = if interior {
+                    (e, h, f)
+                } else {
+                    (
+                        _mm256_mask_blend_epi16(mask_bits, neg_inf, e),
+                        h_m,
+                        _mm256_mask_blend_epi16(mask_bits, neg_inf, f),
+                    )
+                };
+
+                if d >= B - 1 {
+                    let k = d - (B - 1);
+                    store16(&mut e_tmp[k], e_s);
+                    store16(&mut f_tmp[k], f_s);
+                }
+
+                let mut h_seeded = h_s;
+                if d + 1 < B {
+                    // Pre-seed the next row's north boundary into lane d+1:
+                    // one masked broadcast.
+                    let one_hot = 1u16 << (d + 1);
+                    h_seeded = _mm256_mask_set1_epi16(h_s, one_hot, nh_in[d + 1]);
+                    f_s = _mm256_mask_set1_epi16(f_s, one_hot, nf_in[d + 1]);
+                }
+
+                h_prev = h_seeded;
+                e_prev = e_s;
+                f_prev = f_s;
+                h_m
+            }};
+        }
+
+        // Pairwise diagonal walk: 15 fused zmm stores + 1 tail ymm store
+        // cover all 31 rows.
+        let mut d = 0;
+        while d + 1 < DIAGS {
+            let row_a = diag_body!(d);
+            let row_b = diag_body!(d + 1);
+            store_pair(cells, d, row_a, row_b);
+            d += 2;
+        }
+        let row_last = diag_body!(DIAGS - 1);
+        store16(&mut cells.h[DIAGS - 1], row_last);
+
+        // Boundary outputs, extracted once the stores have drained.
+        for k in 0..B {
+            west_h[k] = i32::from(cells.h[k + B - 1][B - 1]);
+            west_e[k] = i32::from(e_tmp[k][B - 1]);
+            north_h[k] = i32::from(cells.h[k + B - 1][k]);
+            north_f[k] = i32::from(f_tmp[k][k]);
+        }
+    }
+}
+
+#[cfg(target_arch = "x86_64")]
+mod avx512_i32w {
+    //! The wide-geometry (16×16) **i32** kernel: 16 × i32 = one full zmm,
+    //! so AVX-512F gives the wide tile a full-width i32 fill that AVX2
+    //! structurally cannot (its i32 vectors are full at 8 lanes). Serves
+    //! tasks outside the i16 gate that run at B=16 — forced wide geometry,
+    //! and per-task i16→i32 demotions inside a wide-geometry stream. Same
+    //! algorithm as [`super::avx2::fill`] at twice the lane count, with
+    //! mask-register lane selects throughout.
+
+    use super::*;
+    use crate::block::BlockCellsWide;
+    #[allow(clippy::wildcard_imports)]
+    use std::arch::x86_64::*;
+
+    const B: usize = MAX_BLOCK;
+    const DIAGS: usize = 2 * B - 1;
+
+    /// Shift 16 i32 lanes up by one (lane `l` ← lane `l-1`), injecting
+    /// `boundary` at lane 0: one `valignd` off a broadcast carry.
+    #[inline(always)]
+    unsafe fn shift_up(v: __m512i, boundary: i32) -> __m512i {
+        _mm512_alignr_epi32::<15>(v, _mm512_set1_epi32(boundary))
+    }
+
+    #[inline(always)]
+    unsafe fn store16(slot: &mut [i32; B], v: __m512i) {
+        _mm512_storeu_epi32(slot.as_mut_ptr(), v);
+    }
+
+    #[inline(always)]
+    unsafe fn load16(slot: &[i32; B]) -> __m512i {
+        _mm512_loadu_epi32(slot.as_ptr())
+    }
+
+    /// Wide i32 wavefront fill: one 16×i32 zmm per diagonal, 31 diagonals
+    /// per block. Bit-identical to [`super::fill_portable`] at the same
+    /// geometry (same inputs, same integer ops, no reassociation).
+    ///
+    /// # Safety
+    /// Requires AVX-512F (checked by the caller).
+    #[allow(clippy::too_many_arguments)]
+    #[target_feature(enable = "avx512f")]
+    pub(super) unsafe fn fill(
+        ctx: &BlockCtx<'_>,
+        i0: i64,
+        j0: i64,
+        rcodes: &[u8; B],
+        qcodes: &[u8; B],
+        corner: i32,
+        west_h: &mut [i32; B],
+        west_e: &mut [i32; B],
+        north_h: &mut [i32; B],
+        north_f: &mut [i32; B],
+        cells: &mut BlockCellsWide,
+    ) {
+        let sc = ctx.scoring;
+        let oe = _mm512_set1_epi32(sc.gap_open + sc.gap_extend);
+        let ext = _mm512_set1_epi32(sc.gap_extend);
+        // Fixed-model select constants (zeroed and unused under a matrix
+        // model, where per-diagonal rows replace them).
+        let (f_match, f_mis, f_amb) = sc.model.fixed_params().unwrap_or((0, 0, 0));
+        let v_match = _mm512_set1_epi32(f_match);
+        let v_mis = _mm512_set1_epi32(-f_mis);
+        let v_amb = _mm512_set1_epi32(-f_amb);
+        let v_acgt_max = _mm512_set1_epi32(i32::from(crate::Base::N.code()) - 1);
+        let sub_rows = sc.model.matrix().map(|m| matrix_sub_lanes::<B>(ctx, m, j0, rcodes, qcodes));
+        let neg_inf = _mm512_set1_epi32(NEG_INF);
+        let interior = ctx.block_interior(i0, j0);
+
+        let wh_in = *west_h;
+        let we_in = *west_e;
+        let nh_in = *north_h;
+        let nf_in = *north_f;
+
+        // Reference codes are fixed per lane; the query codes slide one
+        // lane per diagonal (lane l of diagonal d reads qcodes[d-l]).
+        let mut r32 = [0i32; B];
+        for (slot, &c) in r32.iter_mut().zip(rcodes.iter()) {
+            *slot = i32::from(c);
+        }
+        let r_vec = load16(&r32);
+        let mut q_vec = _mm512_setzero_si512();
+
+        let mut h_prev = shift_up(neg_inf, nh_in[0]); // "H_{-1}": north seed in lane 0
+        let mut f_prev = shift_up(neg_inf, nf_in[0]);
+        let mut e_prev = neg_inf;
+        let mut h_prev2 = neg_inf;
+
+        let mut e_tmp = [[0i32; B]; B];
+        let mut f_tmp = [[0i32; B]; B];
+
+        for d in 0..DIAGS {
+            let bh = if d < B { wh_in[d] } else { NEG_INF };
+            let be = if d < B { we_in[d] } else { NEG_INF };
+            let bd = if d == 0 {
+                corner
+            } else if d <= B {
+                wh_in[d - 1]
+            } else {
+                NEG_INF
+            };
+
+            q_vec = shift_up(q_vec, if d < B { i32::from(qcodes[d]) } else { 0 });
+
+            let up_h = shift_up(h_prev, bh);
+            let up_e = shift_up(e_prev, be);
+            let dg = shift_up(h_prev2, bd);
+
+            // Substitution: matrix rows (sign-extended i16 → i32) when
+            // present, else the fixed-model select on mask registers
+            // (ambiguous beats match beats mismatch).
+            let sub = match &sub_rows {
+                Some(rows) => {
+                    _mm512_cvtepi16_epi32(_mm256_loadu_si256(rows[d].as_ptr().cast::<__m256i>()))
+                }
+                None => {
+                    let eq = _mm512_cmpeq_epi32_mask(r_vec, q_vec);
+                    let amb = _mm512_cmpgt_epi32_mask(_mm512_max_epi32(r_vec, q_vec), v_acgt_max);
+                    _mm512_mask_blend_epi32(amb, _mm512_mask_blend_epi32(eq, v_mis, v_match), v_amb)
+                }
+            };
+
+            let e = _mm512_max_epi32(_mm512_sub_epi32(up_h, oe), _mm512_sub_epi32(up_e, ext));
+            let f = _mm512_max_epi32(_mm512_sub_epi32(h_prev, oe), _mm512_sub_epi32(f_prev, ext));
+            let h = _mm512_max_epi32(e, _mm512_max_epi32(f, _mm512_add_epi32(dg, sub)));
+
+            // The staged mask word is the mask operand, as in the i16
+            // kernel.
+            let mask_bits = if interior { struct_mask(B, d) } else { lane_mask(ctx, i0, j0, d) };
+            let mut h_m = _mm512_mask_blend_epi32(mask_bits, neg_inf, h);
+            let e_m = _mm512_mask_blend_epi32(mask_bits, neg_inf, e);
+            let mut f_m = _mm512_mask_blend_epi32(mask_bits, neg_inf, f);
+
+            store16(&mut cells.h[d], h_m);
+            cells.mask[d] = mask_bits;
+
+            if d >= B - 1 {
+                let k = d - (B - 1);
+                store16(&mut e_tmp[k], e_m);
+                store16(&mut f_tmp[k], f_m);
+            }
+
+            if d + 1 < B {
+                // Pre-seed the next row's north boundary into lane d+1:
+                // one masked broadcast.
+                let one_hot = 1u16 << (d + 1);
+                h_m = _mm512_mask_set1_epi32(h_m, one_hot, nh_in[d + 1]);
+                f_m = _mm512_mask_set1_epi32(f_m, one_hot, nf_in[d + 1]);
+            }
+
+            h_prev2 = h_prev;
+            h_prev = h_m;
+            e_prev = e_m;
+            f_prev = f_m;
+        }
+
+        // Boundary outputs, extracted once the stores have drained.
+        for k in 0..B {
+            west_h[k] = cells.h[k + B - 1][B - 1];
+            west_e[k] = e_tmp[k][B - 1];
+            north_h[k] = cells.h[k + B - 1][k];
+            north_f[k] = f_tmp[k][k];
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -1906,6 +2625,180 @@ mod tests {
                 );
             });
             assert!(result.is_err(), "overflow sentinel must trip on a saturated block");
+        }
+    }
+
+    /// Forces a backend for a scope, restoring the previous process-wide
+    /// choice on drop — panic unwinds included, so a failing forced test
+    /// cannot leak its choice into later tests in this binary.
+    struct ForcedBackend {
+        prev: BackendChoice,
+    }
+    impl ForcedBackend {
+        fn install(b: WavefrontBackend) -> Self {
+            let prev = backend_choice();
+            set_backend_choice(BackendChoice::Fixed(b));
+            ForcedBackend { prev }
+        }
+    }
+    impl Drop for ForcedBackend {
+        fn drop(&mut self) {
+            set_backend_choice(self.prev);
+        }
+    }
+
+    #[test]
+    fn forced_backend_sweeps_cover_all_dispatch_arms() {
+        // Every backend this machine can run, forced in turn through the
+        // random-block and matrix batteries at both geometries, so each
+        // dispatch arm — the AVX-512 zmm fills included, where the CPU has
+        // them — is held to the scalar reference regardless of what Auto
+        // would have picked on this host.
+        let _lock = backend_test_lock();
+        for b in supported_backends() {
+            let _forced = ForcedBackend::install(b);
+            assert_eq!(backend(), b, "a supported backend must survive the clamp");
+            random_blocks_sweep::<BLOCK>(0xF0CE);
+            random_blocks_sweep::<MAX_BLOCK>(0xF1DE);
+            matrix_blocks_sweep::<MAX_BLOCK>(0xFACE);
+        }
+    }
+
+    #[test]
+    fn avx512_gate_boundary_is_exact_at_wide_geometry() {
+        // The 2^13 gate battery at the wide geometry with the AVX-512
+        // backend forced: on hosts without AVX-512 the force clamps to the
+        // detected backend, and every assertion below still holds (the
+        // fills are bit-identical by contract), so the test is meaningful
+        // everywhere while pinning the zmm kernels where they exist.
+        use crate::block::{FillMode, FillPrecision, FillTier};
+        use crate::guided::guided_align;
+
+        let _lock = backend_test_lock();
+        let _forced = ForcedBackend::install(WavefrontBackend::Avx512);
+
+        let sc = Scoring::new(64, 1, 0, 1, Scoring::NO_ZDROP, Scoring::NO_BAND);
+
+        // n + m + 2 = 127 → bound 8128 < 8192: one inside the gate, and the
+        // gate decision is geometry-independent.
+        let inside = BlockCtx::with_block_dim(63, 62, &sc, MAX_BLOCK);
+        assert!(inside.i16_exact, "63×62 must sit one step inside the i16 gate");
+        assert_eq!(inside.fill_tier(FillMode::Simd, FillPrecision::I16), FillTier::I16);
+        assert_eq!(inside.fill_tier(FillMode::Simd, FillPrecision::Auto), FillTier::I16);
+
+        // n + m + 2 = 128 → bound 8192: exactly at the gate — demoted.
+        let at = BlockCtx::with_block_dim(63, 63, &sc, MAX_BLOCK);
+        assert!(!at.i16_exact && at.simd_exact, "63×63 must demote to the i32 tier");
+        assert_eq!(at.fill_tier(FillMode::Simd, FillPrecision::Auto), FillTier::I32);
+
+        // Inside the gate an all-match task reaches the maximum attainable
+        // score; the 32-lane i16 fill must still equal the scalar fill.
+        let r = PackedSeq::from_codes(&[0u8; 63]);
+        let q = PackedSeq::from_codes(&[0u8; 62]);
+        let want = guided_align(&r, &q, &sc);
+        assert_eq!(want.score, 62 * 64, "all-match task must reach the gate's score regime");
+        let scalar = grid_run::<MAX_BLOCK>(&r, &q, &sc, FillMode::Scalar);
+        let narrow = grid_run_i16::<MAX_BLOCK>(&r, &q, &sc);
+        assert_eq!(scalar, narrow, "wide i16 tier at the gate boundary must equal scalar");
+        assert!(scalar.same_alignment(&want));
+
+        // At the gate, the demoted path is the 16×i32 zmm fill.
+        let q2 = PackedSeq::from_codes(&[0u8; 63]);
+        let scalar2 = grid_run::<MAX_BLOCK>(&r, &q2, &sc, FillMode::Scalar);
+        let demoted = grid_run::<MAX_BLOCK>(&r, &q2, &sc, FillMode::Simd);
+        assert_eq!(scalar2, demoted, "demoted task must run the exact wide i32 path");
+        assert_eq!(scalar2.score, 63 * 64);
+    }
+
+    #[test]
+    fn wide_i16_saturates_rather_than_wraps_beyond_the_gate() {
+        // The saturation probe at the wide geometry: drive the raw 32-lane
+        // i16 fills past the gate and require rail-pinning (never wrap),
+        // with the AVX-512 backend forced so the masked zmm kernel is the
+        // path under test on hosts that have it (clamped hosts exercise
+        // their own widest arm — the contract is identical).
+        use crate::block::{BlockCells16Wide, BlockCellsWide};
+
+        let _lock = backend_test_lock();
+        let _forced = ForcedBackend::install(WavefrontBackend::Avx512);
+
+        let sc = Scoring::new(4096, 4, 4, 2, Scoring::NO_ZDROP, Scoring::NO_BAND);
+        let ctx = BlockCtx::with_block_dim(64, 64, &sc, MAX_BLOCK);
+        assert!(!ctx.i16_exact, "step 4096 must fail the i16 gate");
+        assert!(ctx.simd_exact, "…while still fitting the i32 gate");
+
+        let rcodes = [0u8; MAX_BLOCK];
+        let qcodes = [0u8; MAX_BLOCK];
+        let corner = 30_000;
+        let west_h = [29_000; MAX_BLOCK];
+        let west_e = [NEG_INF; MAX_BLOCK];
+        let north_h = [29_000; MAX_BLOCK];
+        let north_f = [NEG_INF; MAX_BLOCK];
+
+        let mut cells_s = BlockCellsWide::new();
+        let (mut wh, mut we, mut nh, mut nf) = (west_h, west_e, north_h, north_f);
+        fill_scalar(
+            &ctx,
+            16,
+            16,
+            &rcodes,
+            &qcodes,
+            corner,
+            &mut wh,
+            &mut we,
+            &mut nh,
+            &mut nf,
+            &mut cells_s,
+        );
+        assert!(
+            cells_s.h.iter().any(|row| row.iter().any(|&h| h > i32::from(i16::MAX))),
+            "crafted wide block must exceed i16 range in the exact fill"
+        );
+
+        let mut cells_n = BlockCells16Wide::new();
+        let (mut wh, mut we, mut nh, mut nf) = (west_h, west_e, north_h, north_f);
+        fill_portable_i16(
+            &ctx,
+            16,
+            16,
+            &rcodes,
+            &qcodes,
+            corner,
+            &mut wh,
+            &mut we,
+            &mut nh,
+            &mut nf,
+            &mut cells_n,
+        );
+        let mut saw_rail = false;
+        for d in 0..block_diags(MAX_BLOCK) {
+            for l in 0..MAX_BLOCK {
+                if cells_n.mask[d] & (1 << l) != 0 {
+                    let h = cells_n.h[d][l];
+                    let exact = cells_s.h[d][l];
+                    if i32::from(h) != exact {
+                        // Divergence is only ever rail-pinning, never wrap.
+                        assert_eq!(h, i16::MAX, "saturation must pin, not wrap");
+                        saw_rail = true;
+                    }
+                }
+            }
+        }
+        assert!(saw_rail, "crafted wide block must actually hit the i16 rail");
+
+        // The overflow sentinel catches this regime for the wide vector
+        // fill too when the dispatch is (wrongly) driven past the gate.
+        #[cfg(debug_assertions)]
+        {
+            let result = std::panic::catch_unwind(|| {
+                let mut cells = BlockCells16Wide::new();
+                let (mut wh, mut we, mut nh, mut nf) = (west_h, west_e, north_h, north_f);
+                fill_wavefront_i16(
+                    &ctx, 16, 16, &rcodes, &qcodes, corner, &mut wh, &mut we, &mut nh, &mut nf,
+                    &mut cells,
+                );
+            });
+            assert!(result.is_err(), "overflow sentinel must trip on a saturated wide block");
         }
     }
 }

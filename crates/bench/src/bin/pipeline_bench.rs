@@ -13,8 +13,13 @@
 //! regardless of how it was built; `default_fill` records which mode the
 //! build would pick on its own, `default_precision` the process-default
 //! precision (the `AGATHA_PRECISION` override), and `fill_backend` which
-//! wavefront backend (AVX2 or portable) this machine runs — without it,
-//! per-tier rows from different machines were not comparable.
+//! wavefront backend (AVX-512, AVX2, SSE4.1 or portable) this machine
+//! resolves — without it, per-tier rows from different machines were not
+//! comparable. A forced-backend pair on the wide-geometry i16 workload
+//! reports the AVX-512 zmm fill against the AVX2 ymm fill head to head
+//! (`avx512_fill_speedup`); on hosts without AVX-512 the force clamps, and
+//! `avx512_resolved_backend` records what actually ran so the row is never
+//! silently mislabelled.
 //!
 //! A `"scenarios"` array carries one row per registered workload scenario
 //! (tasks/sec at the default config, the i16-gate share, and the declared
@@ -266,6 +271,48 @@ fn main() {
         "every (precision × geometry) pair must score bit-identically: {tier_sums:?}"
     );
 
+    // AVX-512 vs AVX2 head to head on the wide-geometry i16 workload (the
+    // tier the zmm kernels target): same short-read tasks, same B16+i16
+    // config as the b16 slot above, with the process-wide backend forced
+    // per slot. The force clamps to the detected backend on hosts missing
+    // the requested features, so `avx512_resolved_backend` records what
+    // actually ran — a clamped row reports speedup ≈ 1 honestly rather
+    // than fabricating a zmm number. Checksums must match the tier slots:
+    // backend bit-identity asserted in-bench, on the benched workload.
+    use agatha_align::simd::{self, BackendChoice, WavefrontBackend};
+    let saved_choice = simd::backend_choice();
+    let mut backend_secs = [0.0f64; 2];
+    let mut backend_sums = [0u64; 2];
+    let mut resolved = [WavefrontBackend::Portable; 2];
+    for (slot, forced) in [(0usize, WavefrontBackend::Avx2), (1, WavefrontBackend::Avx512)] {
+        simd::set_backend_choice(BackendChoice::Fixed(forced));
+        resolved[slot] = simd::backend();
+        let cfg = pipeline
+            .config
+            .clone()
+            .with_simd_fill(true)
+            .with_fill_precision(FillPrecision::I16)
+            .with_block_dim(BlockDim::B16);
+        let mut ws = KernelWorkspace::new();
+        let (secs, sum) = best_of(|| {
+            short_tasks
+                .iter()
+                .map(|t| {
+                    run_task_ws(&mut ws, t, &short_scoring, &cfg).result.score.unsigned_abs() as u64
+                })
+                .sum()
+        });
+        backend_secs[slot] = secs;
+        backend_sums[slot] = sum;
+    }
+    simd::set_backend_choice(saved_choice);
+    assert!(
+        backend_sums.iter().all(|&s| s == tier_sums[0]),
+        "forced backends must score bit-identically to the tier slots: \
+         {backend_sums:?} vs {}",
+        tier_sums[0]
+    );
+
     let tps = |secs: f64, n: usize| n as f64 / secs;
     let json = format!(
         "{{\n  \"bench\": \"pipeline\",\n  \"seed\": {SEED},\n  \"tasks\": {},\n  \
@@ -288,7 +335,11 @@ fn main() {
          \"i16_fill_speedup\": {:.3},\n  \
          \"kernel_b16_fill_tasks_per_sec\": {:.1},\n  \
          \"kernel_auto_geom_tasks_per_sec\": {:.1},\n  \
-         \"geometry_speedup\": {:.3},\n{}\n}}\n",
+         \"geometry_speedup\": {:.3},\n  \
+         \"kernel_avx2_fill_tasks_per_sec\": {:.1},\n  \
+         \"kernel_avx512_fill_tasks_per_sec\": {:.1},\n  \
+         \"avx512_resolved_backend\": \"{}\",\n  \
+         \"avx512_fill_speedup\": {:.3},\n{}\n}}\n",
         tasks.len(),
         if cfg!(feature = "simd") { "simd" } else { "scalar" },
         agatha_core::options::default_fill_precision().name(),
@@ -309,6 +360,10 @@ fn main() {
         tps(tier_secs[2], short_tasks.len()),
         tps(tier_secs[3], short_tasks.len()),
         tier_secs[1] / tier_secs[2],
+        tps(backend_secs[0], short_tasks.len()),
+        tps(backend_secs[1], short_tasks.len()),
+        resolved[1].name(),
+        backend_secs[0] / backend_secs[1],
         scenario_rows(SCENARIOS),
     );
     std::fs::write("BENCH_pipeline.json", &json).expect("write BENCH_pipeline.json");

@@ -206,14 +206,24 @@ fn main() {
     }
 
     let body: Vec<String> = points.iter().map(point_json).collect();
-    // The active block geometry (the `AGATHA_BLOCK` override, else the
-    // adaptive default): serving numbers from different geometries are not
-    // comparable, same as `fill_backend` in the pipeline bench.
-    let block_dim = daemon_config().config.block_dim.name();
+    // The kernel configuration the daemon actually served with: block
+    // geometry (`AGATHA_BLOCK` override, else the adaptive default), fill
+    // precision (`AGATHA_PRECISION`), and the resolved wavefront backend
+    // (`AGATHA_BACKEND`, clamped to what the CPU supports). Serving numbers
+    // from different kernel configs are not comparable, same as
+    // `fill_backend` in the pipeline bench. Resolve the backend *after*
+    // building a config: `AgathaConfig` installs the env-default backend
+    // choice on first construction.
+    let daemon_cfg = daemon_config();
+    let block_dim = daemon_cfg.config.block_dim.name();
+    let default_precision = daemon_cfg.config.fill_precision.name();
+    let fill_backend = agatha_align::simd::backend().name();
     let json = format!(
         "{{\n  \"bench\": \"serve\",\n  \"seed\": {SEED},\n  \
          \"window_ms\": {WINDOW_MS},\n  \"deadline_ms\": {DEADLINE_MS},\n  \
          \"max_queue\": {MAX_QUEUE},\n  \"block_dim\": \"{block_dim}\",\n  \
+         \"default_precision\": \"{default_precision}\",\n  \
+         \"fill_backend\": \"{fill_backend}\",\n  \
          \"capacity_est_rps\": {:.1},\n  \"load_points\": [\n{}\n  ]\n}}\n",
         capacity,
         body.join(",\n"),

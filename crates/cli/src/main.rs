@@ -111,7 +111,14 @@ common options:
                   auto widens to 16x16 blocks (16 i16 lanes per diagonal)
                   on tasks where the wider tile amortises its staging cost;
                   results are bit-identical across geometries
-  --verbose       print per-task fill-precision tier and geometry counts
+  --backend K     host wavefront backend (agatha engine only): auto |
+                  avx512 | avx2 | sse41 | portable. auto runs the best
+                  implementation the CPU supports; forcing a level the CPU
+                  lacks clamps down to the detected one. Overrides the
+                  AGATHA_BACKEND environment default; results are
+                  bit-identical across backends
+  --verbose       print per-task fill-precision tier, geometry and
+                  backend counts
   -o DIR          output directory (default ./output)
   --tech T        demo technology: hifi | clr | ont (default clr)
   --reads N       demo task count (default 160)
@@ -206,6 +213,9 @@ struct HostOpts {
     /// `--block` when given explicitly; `None` keeps the build/environment
     /// default (adaptive per-task geometry).
     block: Option<BlockDim>,
+    /// `--backend` when given explicitly; `None` keeps the environment
+    /// default (`AGATHA_BACKEND`, else best detected).
+    backend: Option<agatha_align::simd::BackendChoice>,
     verbose: bool,
 }
 
@@ -227,6 +237,13 @@ fn host_opts(args: &Args) -> Result<HostOpts, String> {
         None => None,
         Some(v) => Some(BlockDim::parse(v).map_err(|e| format!("{e}\nusage: --block auto|8|16"))?),
     };
+    let backend = match args.get("backend") {
+        None => None,
+        Some(v) => Some(
+            agatha_align::simd::BackendChoice::parse(v)
+                .map_err(|e| format!("{e}\nusage: --backend auto|avx512|avx2|sse41|portable"))?,
+        ),
+    };
     let chunk = args.get_num_checked("chunk", DEFAULT_CHUNK)?;
     if chunk == 0 {
         // `--chunk 0` used to mean "whole batch in one chunk", which
@@ -240,6 +257,7 @@ fn host_opts(args: &Args) -> Result<HostOpts, String> {
         chunk,
         precision,
         block,
+        backend,
         verbose: args.has("verbose"),
     })
 }
@@ -251,12 +269,18 @@ fn host_opts(args: &Args) -> Result<HostOpts, String> {
 /// block geometry but leaves the fill mode alone: the tiling is valid (and
 /// bit-identical) under every fill implementation.
 fn agatha_config(opts: &HostOpts) -> AgathaConfig {
+    // `AgathaConfig::agatha()` installs the `AGATHA_BACKEND` environment
+    // default process-wide; an explicit `--backend` then overwrites it, so
+    // the documented env < flag precedence falls out of the ordering here.
     let mut cfg = AgathaConfig::agatha();
     if let Some(p) = opts.precision {
         cfg = cfg.with_simd_fill(true).with_fill_precision(p);
     }
     if let Some(b) = opts.block {
         cfg = cfg.with_block_dim(b);
+    }
+    if let Some(k) = opts.backend {
+        agatha_align::simd::set_backend_choice(k);
     }
     cfg
 }
@@ -270,10 +294,17 @@ struct TierStats {
     demoted: u64,
     /// Tasks resolved to the narrow (8x8) / wide (16x16) geometry.
     blocks: [u64; 2],
+    /// Tasks served by each wavefront backend, in the capability-chain
+    /// order avx512, avx2, sse41, portable. Resolution is per task (the
+    /// same hoisting the kernel does), so under one process-wide choice
+    /// every task lands in one bucket — the counts make the effective
+    /// backend visible when `--backend`/`AGATHA_BACKEND` got clamped.
+    backends: [u64; 4],
 }
 
 impl TierStats {
     fn tally(&mut self, cfg: &AgathaConfig, scoring: &Scoring, task: &Task) {
+        use agatha_align::simd::WavefrontBackend;
         let (n, m) = (task.ref_len(), task.query_len());
         let tier = cfg.fill_tier_for(n, m, scoring);
         let slot = match tier {
@@ -289,6 +320,13 @@ impl TierStats {
         }
         let b = if cfg.block_dim_for(n, m, scoring) == agatha_align::BLOCK { 0 } else { 1 };
         self.blocks[b] += 1;
+        let k = match agatha_align::simd::backend() {
+            WavefrontBackend::Avx512 => 0,
+            WavefrontBackend::Avx2 => 1,
+            WavefrontBackend::Sse41 => 2,
+            WavefrontBackend::Portable => 3,
+        };
+        self.backends[k] += 1;
     }
 
     fn print(&self) {
@@ -297,6 +335,10 @@ impl TierStats {
             self.counts[0], self.counts[1], self.counts[2], self.demoted
         );
         println!("block geometry: b8={} b16={}", self.blocks[0], self.blocks[1]);
+        println!(
+            "fill backend: avx512={} avx2={} sse41={} portable={}",
+            self.backends[0], self.backends[1], self.backends[2], self.backends[3]
+        );
     }
 }
 
@@ -335,6 +377,12 @@ fn check_baseline_gpus(engine: &str, opts: &HostOpts) -> Result<(), String> {
         return Err(format!(
             "--block is only supported by the agatha engine; baseline '{engine}' runs \
              its reference block geometry (drop --block or use --engine agatha)"
+        ));
+    }
+    if opts.backend.is_some() {
+        return Err(format!(
+            "--backend is only supported by the agatha engine; baseline '{engine}' runs \
+             its reference fill (drop --backend or use --engine agatha)"
         ));
     }
     Ok(())

@@ -391,6 +391,140 @@ fn block_rejected_for_baseline_engines() {
 }
 
 #[test]
+fn backend_is_forceable_and_bit_identical() {
+    // Every named backend (clamped to what the CPU supports) and the auto
+    // default must score identically: the backend is an implementation
+    // choice, never a numerics choice. `--backend portable` is exact on
+    // every machine, so its --verbose line is asserted exactly.
+    let dir = std::env::temp_dir().join(format!("agatha_cli_bk_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let refs = dir.join("ref.fasta");
+    let queries = dir.join("query.fasta");
+    let mut rf = String::new();
+    let mut qf = String::new();
+    for i in 0..6 {
+        rf.push_str(&format!(">r{i}\n{}\n", "ACGTTGCAACGTTGCA".repeat(i % 4 + 1)));
+        qf.push_str(&format!(">q{i}\n{}\n", "ACGTAGCAACGTTGCA".repeat(i % 4 + 1)));
+    }
+    std::fs::write(&refs, rf).unwrap();
+    std::fs::write(&queries, qf).unwrap();
+    let run = |backend: &str, out: &str| {
+        let out_dir = dir.join(out);
+        let st = agatha()
+            .args(["align", "-w", "100", "--backend", backend, "--verbose"])
+            .args(["-o", out_dir.to_str().unwrap()])
+            .arg(refs.to_str().unwrap())
+            .arg(queries.to_str().unwrap())
+            .output()
+            .unwrap();
+        assert!(st.status.success(), "stderr: {}", String::from_utf8_lossy(&st.stderr));
+        let text = String::from_utf8_lossy(&st.stdout).to_string();
+        (std::fs::read_to_string(out_dir.join("score.log")).unwrap(), text)
+    };
+    let (reference, portable_text) = run("portable", "portable");
+    assert_eq!(reference.lines().count(), 6);
+    assert!(
+        portable_text.contains("fill backend: avx512=0 avx2=0 sse41=0 portable=6"),
+        "stdout: {portable_text}"
+    );
+    for backend in ["auto", "avx512", "avx2", "sse41"] {
+        let (scores, _) = run(backend, backend);
+        assert_eq!(scores, reference, "scores must be bit-identical under --backend {backend}");
+    }
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn backend_bogus_is_a_usage_error() {
+    let dir = std::env::temp_dir().join(format!("agatha_cli_bkbad_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let refs = dir.join("ref.fasta");
+    let queries = dir.join("query.fasta");
+    std::fs::write(&refs, ">1\nACGT\n").unwrap();
+    std::fs::write(&queries, ">1\nACGT\n").unwrap();
+    let out = agatha()
+        .args(["align", "--backend", "neon"])
+        .arg(refs.to_str().unwrap())
+        .arg(queries.to_str().unwrap())
+        .output()
+        .unwrap();
+    assert!(!out.status.success(), "--backend neon must fail");
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        err.contains("'neon'")
+            && err.contains("--backend")
+            && err.contains("auto|avx512|avx2|sse41|portable"),
+        "stderr must carry a usage message: {err}"
+    );
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn backend_rejected_for_baseline_engines() {
+    let out = agatha()
+        .args(["demo", "--reads", "4", "--engine", "saloba", "--backend", "portable"])
+        .output()
+        .unwrap();
+    assert!(!out.status.success(), "--backend must not be silently ignored by baselines");
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("agatha engine"), "stderr: {err}");
+}
+
+#[test]
+fn env_backend_default_applies_and_flag_wins() {
+    let dir = std::env::temp_dir().join(format!("agatha_cli_ebk_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let refs = dir.join("ref.fasta");
+    let queries = dir.join("query.fasta");
+    std::fs::write(&refs, ">1\nACGTACGT\n").unwrap();
+    std::fs::write(&queries, ">1\nACGTACGT\n").unwrap();
+    // AGATHA_BACKEND supplies the process default…
+    let out = agatha()
+        .args(["demo", "--reads", "4", "--verbose"])
+        .args(["-o", dir.to_str().unwrap()])
+        .env("AGATHA_BACKEND", "portable")
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "stderr: {}", String::from_utf8_lossy(&out.stderr));
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(
+        text.contains("fill backend: avx512=0 avx2=0 sse41=0 portable=4"),
+        "env default must apply: {text}"
+    );
+    // …and an explicit --backend portable wins over an env auto.
+    let out = agatha()
+        .args(["demo", "--reads", "4", "--verbose", "--backend", "portable"])
+        .args(["-o", dir.to_str().unwrap()])
+        .env("AGATHA_BACKEND", "auto")
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "stderr: {}", String::from_utf8_lossy(&out.stderr));
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(
+        text.contains("fill backend: avx512=0 avx2=0 sse41=0 portable=4"),
+        "flag must win over the env default: {text}"
+    );
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn garbage_env_overrides_fail_loudly_naming_the_variable() {
+    // An unrecognized AGATHA_* value must abort the run with a message
+    // naming the variable — never a silent fall-through to the default.
+    for (var, value) in
+        [("AGATHA_PRECISION", "fast"), ("AGATHA_BLOCK", "12"), ("AGATHA_BACKEND", "neon")]
+    {
+        let out = agatha().args(["demo", "--reads", "2"]).env(var, value).output().unwrap();
+        assert!(!out.status.success(), "{var}={value} must not run with the default");
+        let err = String::from_utf8_lossy(&out.stderr);
+        assert!(
+            err.contains(var) && err.contains(&format!("'{value}'")),
+            "{var}: stderr must name the variable and the value: {err}"
+        );
+    }
+}
+
+#[test]
 fn zero_reads_is_an_error() {
     // `--reads 0` used to be silently clamped to 1.
     let out = agatha().args(["demo", "--reads", "0"]).output().unwrap();

@@ -658,6 +658,16 @@ mod tests {
         assert!(run.units.is_empty());
     }
 
+    /// Serializes tests that flip the process-wide backend choice with
+    /// tests whose observables depend on the installed backend (Auto
+    /// geometry resolution, allocation steady-state, buffer-reuse pointer
+    /// identity). Alignment *results* are bit-identical across backends,
+    /// so result-only tests need no guard.
+    fn backend_lock() -> std::sync::MutexGuard<'static, ()> {
+        static LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+        LOCK.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
     /// Tasks of deliberately varying geometry, including a z-dropping one
     /// in the middle and an empty one, to stress workspace reuse.
     fn mixed_tasks() -> (Vec<Task>, Scoring) {
@@ -683,6 +693,7 @@ mod tests {
 
     #[test]
     fn workspace_reuse_matches_fresh_allocation() {
+        let _guard = backend_lock();
         let (tasks, s) = mixed_tasks();
         for cfg in all_configs() {
             let mut ws = KernelWorkspace::new();
@@ -768,6 +779,7 @@ mod tests {
         // schedules, block counts, block_dim) may differ — and workspace
         // recycling must carry no state across geometry switches.
         use agatha_align::block::BlockDim;
+        let _guard = backend_lock();
         let (tasks, s) = mixed_tasks();
         for cfg in all_configs() {
             let cfg8 = cfg.clone().with_block_dim(BlockDim::B8);
@@ -803,7 +815,55 @@ mod tests {
     }
 
     #[test]
+    fn backends_produce_identical_results() {
+        // Full TaskRun equality across every backend this machine supports,
+        // at both pinned geometries and both wavefront precisions, over the
+        // mixed task stream (whose 700 bp member exceeds the i16 gate, so
+        // the i16→i32 demotion path is swept per backend too). One shared
+        // workspace alternates backends task by task — the process-wide
+        // choice flips between runs — proving both that every backend
+        // computes the same runs and that workspace reuse carries no
+        // backend-specific state. On an AVX-512 machine this pits the zmm
+        // kernels and the four-quarter tracker fold directly against the
+        // portable reference.
+        use agatha_align::block::{BlockDim, FillPrecision};
+        use agatha_align::simd::{self, BackendChoice, WavefrontBackend};
+        let _guard = backend_lock();
+        let restore = simd::backend_choice();
+        let (tasks, s) = mixed_tasks();
+        let backends = simd::supported_backends();
+        assert_eq!(backends.last(), Some(&WavefrontBackend::Portable));
+        for bd in [BlockDim::B8, BlockDim::B16] {
+            for prec in [FillPrecision::I32, FillPrecision::I16] {
+                let cfg = AgathaConfig::agatha()
+                    .with_simd_fill(true)
+                    .with_fill_precision(prec)
+                    .with_block_dim(bd);
+                let mut ws = KernelWorkspace::new();
+                for t in &tasks {
+                    simd::set_backend_choice(BackendChoice::Fixed(WavefrontBackend::Portable));
+                    let reference = run_task_ws(&mut ws, t, &s, &cfg);
+                    for &b in &backends {
+                        simd::set_backend_choice(BackendChoice::Fixed(b));
+                        let run = run_task_ws(&mut ws, t, &s, &cfg);
+                        assert_eq!(
+                            reference,
+                            run,
+                            "geometry {}, precision {prec:?}, task {}: portable vs {}",
+                            bd.name(),
+                            t.id,
+                            b.name()
+                        );
+                    }
+                }
+            }
+        }
+        simd::set_backend_choice(restore);
+    }
+
+    #[test]
     fn recycled_unit_buffers_are_reused() {
+        let _guard = backend_lock();
         let (tasks, s) = mixed_tasks();
         let cfg = AgathaConfig::agatha();
         let mut ws = KernelWorkspace::new();
@@ -825,6 +885,7 @@ mod tests {
 
     #[test]
     fn workspace_reaches_allocation_steady_state() {
+        let _guard = backend_lock();
         let (tasks, s) = mixed_tasks();
         let cfg = AgathaConfig::agatha();
         let mut ws = KernelWorkspace::new();

@@ -36,6 +36,28 @@ pub fn default_block_dim() -> BlockDim {
     *CACHE.get_or_init(|| env_override("AGATHA_BLOCK", BlockDim::Auto, BlockDim::parse))
 }
 
+/// Process-default wavefront backend: the `AGATHA_BACKEND` environment
+/// variable (`auto` | `avx512` | `avx2` | `sse41` | `portable`) when set,
+/// else `Auto`. Unlike precision and geometry the backend is not a config
+/// field — it lives in a process-wide selector inside the align crate — so
+/// the first call also installs the parsed choice there via
+/// [`agatha_align::simd::set_backend_choice`]. Callers that want a *flag*
+/// to take precedence over the environment (the CLI `--backend`) must call
+/// this first and then install their own choice on top, which is exactly
+/// the env < flag precedence the CLI documents.
+pub fn default_backend_choice() -> agatha_align::simd::BackendChoice {
+    static CACHE: OnceLock<agatha_align::simd::BackendChoice> = OnceLock::new();
+    *CACHE.get_or_init(|| {
+        let choice = env_override(
+            "AGATHA_BACKEND",
+            agatha_align::simd::BackendChoice::Auto,
+            agatha_align::simd::BackendChoice::parse,
+        );
+        agatha_align::simd::set_backend_choice(choice);
+        choice
+    })
+}
+
 /// Validate one `AGATHA_SCENARIO` value: names must be non-empty after
 /// trimming. Resolution against the scenario registry happens at the
 /// consumer (the CLI / benches own the registry); this layer only rejects
@@ -119,6 +141,10 @@ impl AgathaConfig {
     /// The naive exact baseline of the ablation study: guided algorithm on
     /// the SALoBa-style design with none of the §4 techniques.
     pub fn baseline() -> AgathaConfig {
+        // The backend selector is process-wide, not a config field; touching
+        // it here makes every config construction site honour AGATHA_BACKEND
+        // without threading a value through.
+        let _ = default_backend_choice();
         AgathaConfig {
             subwarp_lanes: 8,
             slice_width: 3,
@@ -313,6 +339,75 @@ mod tests {
     fn env_override_rejects_empty_scenario() {
         std::env::set_var("AGATHA_TEST_SCENARIO_EMPTY", "   ");
         env_override("AGATHA_TEST_SCENARIO_EMPTY", None, parse_scenario_name);
+    }
+
+    // The satellite regression battery for the real variables: garbage in
+    // any `AGATHA_*` override must panic naming that variable, never fall
+    // through to the default. Each test primes the process-default caches
+    // first so concurrently running tests that construct configs read the
+    // already-cached value instead of the garbage this test plants.
+    fn prime_default_caches() {
+        let _ = default_fill_precision();
+        let _ = default_block_dim();
+        let _ = default_backend_choice();
+        let _ = default_scenario();
+    }
+
+    #[test]
+    #[should_panic(expected = "AGATHA_PRECISION environment override: invalid precision 'fast'")]
+    fn agatha_precision_garbage_names_the_variable() {
+        prime_default_caches();
+        std::env::set_var("AGATHA_PRECISION", "fast");
+        env_override("AGATHA_PRECISION", FillPrecision::Auto, FillPrecision::parse);
+    }
+
+    #[test]
+    #[should_panic(expected = "AGATHA_BLOCK environment override: invalid block dim '12'")]
+    fn agatha_block_garbage_names_the_variable() {
+        prime_default_caches();
+        std::env::set_var("AGATHA_BLOCK", "12");
+        env_override("AGATHA_BLOCK", BlockDim::Auto, BlockDim::parse);
+    }
+
+    #[test]
+    #[should_panic(expected = "AGATHA_BACKEND environment override: invalid backend 'neon'")]
+    fn agatha_backend_garbage_names_the_variable() {
+        use agatha_align::simd::BackendChoice;
+        prime_default_caches();
+        std::env::set_var("AGATHA_BACKEND", "neon");
+        env_override("AGATHA_BACKEND", BackendChoice::Auto, BackendChoice::parse);
+    }
+
+    #[test]
+    fn backend_names_parse() {
+        use agatha_align::simd::{BackendChoice, WavefrontBackend};
+        assert_eq!(BackendChoice::parse("auto"), Ok(BackendChoice::Auto));
+        assert_eq!(
+            BackendChoice::parse("AVX512"),
+            Ok(BackendChoice::Fixed(WavefrontBackend::Avx512))
+        );
+        assert_eq!(BackendChoice::parse("avx2"), Ok(BackendChoice::Fixed(WavefrontBackend::Avx2)));
+        assert_eq!(
+            BackendChoice::parse(" sse41 "),
+            Ok(BackendChoice::Fixed(WavefrontBackend::Sse41))
+        );
+        assert_eq!(
+            BackendChoice::parse("portable"),
+            Ok(BackendChoice::Fixed(WavefrontBackend::Portable))
+        );
+        let err = BackendChoice::parse("neon").unwrap_err();
+        assert!(err.contains("'neon'") && err.contains("auto"), "{err}");
+    }
+
+    #[test]
+    fn default_backend_choice_is_cached_and_round_trips() {
+        // The cached default is stable across calls (it is what gets
+        // installed process-wide on first use) and its name survives a
+        // parse round-trip, so CI's forced-backend matrix can read it back.
+        use agatha_align::simd::BackendChoice;
+        let choice = default_backend_choice();
+        assert_eq!(default_backend_choice(), choice);
+        assert_eq!(BackendChoice::parse(choice.name()), Ok(choice));
     }
 
     #[test]

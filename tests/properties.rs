@@ -240,6 +240,66 @@ proptest! {
         prop_assert_eq!(&per_geometry[0].result, &per_geometry[1].result);
     }
 
+    /// The wavefront backend is a pure implementation choice: forcing every
+    /// backend this machine supports (AVX-512 down to portable) must leave
+    /// the whole `TaskRun` — results, unit schedules, block counts —
+    /// bit-identical across backends × both block geometries × all three
+    /// fill tiers, over random tasks × bands × z-drop × tilings. The
+    /// `boost` factor pushes a share of cases past the i16 exactness gate
+    /// so the i16→i32 demotion path is swept per backend too.
+    #[test]
+    fn backend_sweep_bit_identity(
+        r in dna(150),
+        q in dna(150),
+        s in scoring_strategy(),
+        boost in 0usize..3,
+        banded in proptest::bool::ANY,
+        zdrop_on in proptest::bool::ANY,
+        slice in 1usize..20,
+        horizontal in proptest::bool::ANY,
+    ) {
+        use agatha_suite::align::simd::{self, BackendChoice};
+        let mut s = s;
+        if let ScoreModel::Fixed { ref mut match_score, .. } = s.model {
+            *match_score *= [1, 64, 4096][boost];
+        }
+        let s = if banded { s } else { s.with_band(Scoring::NO_BAND) };
+        let s = if zdrop_on { s } else { s.with_zdrop(Scoring::NO_ZDROP) };
+        let (rp, qp) = (PackedSeq::from_codes(&r), PackedSeq::from_codes(&q));
+        let task = Task { id: 0, reference: rp, query: qp };
+        let base = if horizontal {
+            AgathaConfig::baseline()
+        } else {
+            AgathaConfig::agatha().with_slice_width(slice)
+        };
+        let restore = simd::backend_choice();
+        for bd in [BlockDim::B8, BlockDim::B16] {
+            // Pinned geometry: whole-run equality across backends is only
+            // defined at one tiling (Auto's pick depends on the backend).
+            let cfg = base.clone().with_block_dim(bd);
+            let mut reference = None;
+            for backend in simd::supported_backends() {
+                simd::set_backend_choice(BackendChoice::Fixed(backend));
+                let scalar = run_task(&task, &s, &cfg.clone().with_simd_fill(false));
+                let i32_run = run_task(
+                    &task,
+                    &s,
+                    &cfg.clone().with_simd_fill(true).with_fill_precision(FillPrecision::I32),
+                );
+                let i16_run = run_task(
+                    &task,
+                    &s,
+                    &cfg.clone().with_simd_fill(true).with_fill_precision(FillPrecision::I16),
+                );
+                simd::set_backend_choice(restore);
+                let want = reference.get_or_insert_with(|| scalar.clone());
+                prop_assert_eq!(&*want, &scalar);
+                prop_assert_eq!(&*want, &i32_run);
+                prop_assert_eq!(&*want, &i16_run);
+            }
+        }
+    }
+
     /// `geometry_sweep_bit_identity` under the substitution-matrix score
     /// model: random protein tasks (full BLOSUM62 alphabet including the
     /// pad residue X) through every fill tier × both block geometries, with
