@@ -5,8 +5,12 @@
 //! dataset, (e) the i16 vs i32 wavefront tiers on a fixed-seed short-read
 //! workload (the regime whose scores provably fit i16), and (f) the narrow
 //! (8×8) vs wide (16×16) block geometry — forced and adaptive — on that
-//! same workload. Writes `BENCH_pipeline.json` so CI tracks the perf
-//! trajectory run over run.
+//! same workload, plus (g) the streaming overlap rows: FASTA-file
+//! streaming with the parser inline vs on a prefetch reader thread
+//! (`stream_prefetch_speedup`) and the simulated-makespan effect of
+//! cross-chunk carry-over packing (`carryover_makespan_gain`), both per
+//! chunk size {8, 32, 64, 256}. Writes `BENCH_pipeline.json` so CI tracks
+//! the perf trajectory run over run.
 //!
 //! Every fill path is always compiled (the `simd` cargo feature only flips
 //! the *default*), so one binary reports the whole scalar/i32/i16 matrix
@@ -313,6 +317,138 @@ fn main() {
         tier_sums[0]
     );
 
+    // Streaming overlap on the short-read workload: round-trip the tasks
+    // through real FASTA files, then stream them back per chunk size with
+    // the parser inline vs on a prefetch reader thread (depth 2, carry-over
+    // on for both) — the `stream_prefetch_speedup` row isolates the
+    // parse/kernel overlap, parse cost included in both wall times. The
+    // whole-batch reference is file-based too (parse everything, then one
+    // `align_batch`) — the collect-then-align program streaming replaces,
+    // so `stream_vs_whole_chunk64` compares the same input medium and the
+    // same parse work on both sides. The `carryover_makespan_gain` row is
+    // deterministic, not wall time: the simulated device makespan of the
+    // in-memory stream with carry-over off vs on (prefetch moves wall
+    // time, never the simulated schedule). Every (prefetch × carry-over)
+    // combination's score checksum is asserted against whole-batch —
+    // bit-identity on the benched workload.
+    use agatha_core::StreamOptions;
+    use agatha_io::{open_fasta_pairs_model, write_fasta, FastaRecord};
+
+    let short_pipeline = Pipeline::new(short_scoring, AgathaConfig::agatha());
+    let dir = std::env::temp_dir().join(format!("agatha_bench_stream_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("create bench temp dir");
+    let ref_path = dir.join("refs.fasta");
+    let query_path = dir.join("queries.fasta");
+    let records = |pick: fn(&Task) -> &agatha_align::PackedSeq| -> Vec<FastaRecord> {
+        short_tasks
+            .iter()
+            .map(|t| FastaRecord { name: format!("t{}", t.id), seq: pick(t).clone() })
+            .collect()
+    };
+    write_fasta(&ref_path, &records(|t| &t.reference)).expect("write bench refs");
+    write_fasta(&query_path, &records(|t| &t.query)).expect("write bench queries");
+
+    let (whole_short_s, whole_short_sum) = best_of(|| {
+        let parsed: Vec<Task> =
+            open_fasta_pairs_model(&ref_path, &query_path, &short_scoring.model)
+                .expect("open bench fasta")
+                .collect::<Result<_, _>>()
+                .expect("bench fasta must parse cleanly");
+        let rep = short_pipeline.align_batch(&parsed);
+        rep.results.iter().map(|r| r.score.unsigned_abs() as u64).sum()
+    });
+
+    const STREAM_CHUNKS: [usize; 4] = [8, 32, 64, 256];
+    let mut stream_inline_tps = [0.0f64; 4];
+    let mut stream_pf_tps = [0.0f64; 4];
+    let mut carry_gain = [0.0f64; 4];
+    let mut stream_engine = short_pipeline.engine();
+    let score_sum = |results: &[agatha_align::GuidedResult]| -> u64 {
+        results.iter().map(|r| r.score.unsigned_abs() as u64).sum()
+    };
+    for (slot, &chunk) in STREAM_CHUNKS.iter().enumerate() {
+        let (inline_s, inline_sum) = best_of(|| {
+            let pairs = open_fasta_pairs_model(&ref_path, &query_path, &short_scoring.model)
+                .expect("open bench fasta");
+            let mut io_err = None;
+            let iter = pairs.map_while(|t| match t {
+                Ok(task) => Some(task),
+                Err(e) => {
+                    io_err = Some(e);
+                    None
+                }
+            });
+            let mut run = stream_engine.align_stream_with(iter, StreamOptions::new(chunk));
+            let mut sum = 0u64;
+            for c in run.by_ref() {
+                sum += score_sum(&c.report.results);
+            }
+            run.finish();
+            assert!(io_err.is_none(), "bench fasta must parse cleanly: {io_err:?}");
+            sum
+        });
+        let (pf_s, pf_sum) = best_of(|| {
+            let pairs = open_fasta_pairs_model(&ref_path, &query_path, &short_scoring.model)
+                .expect("open bench fasta");
+            let mut run =
+                stream_engine.align_stream_prefetched(pairs, 2, StreamOptions::new(chunk));
+            let mut sum = 0u64;
+            for c in run.by_ref() {
+                sum += score_sum(&c.report.results);
+            }
+            run.finish_checked().expect("bench fasta must parse cleanly");
+            sum
+        });
+        // Deterministic in-memory runs close the (prefetch × carry) grid
+        // and supply the simulated-makespan pair for the gain row.
+        let mut sim = |carry: bool, prefetch: usize| -> (f64, u64) {
+            let opts = StreamOptions::new(chunk).carry_over(carry);
+            let mut sum = 0u64;
+            let summary = if prefetch > 0 {
+                let source = short_tasks.clone().into_iter().map(Ok::<Task, String>);
+                let mut run = stream_engine.align_stream_prefetched(source, prefetch, opts);
+                for c in run.by_ref() {
+                    sum += score_sum(&c.report.results);
+                }
+                run.finish_checked().expect("in-memory source cannot fail")
+            } else {
+                let mut run = stream_engine.align_stream_with(short_tasks.iter().cloned(), opts);
+                for c in run.by_ref() {
+                    sum += score_sum(&c.report.results);
+                }
+                run.finish()
+            };
+            (summary.elapsed_ms, sum)
+        };
+        let (plain_ms, plain_sum) = sim(false, 0);
+        let (carry_ms, carry_sum) = sim(true, 0);
+        let (_, pf_plain_sum) = sim(false, 2);
+        for (label, sum) in [
+            ("inline stream", inline_sum),
+            ("prefetched stream", pf_sum),
+            ("carry-over off", plain_sum),
+            ("carry-over on", carry_sum),
+            ("prefetch + carry-over off", pf_plain_sum),
+        ] {
+            assert_eq!(
+                sum, whole_short_sum,
+                "{label} at chunk {chunk} must score identically to whole-batch"
+            );
+        }
+        stream_inline_tps[slot] = short_tasks.len() as f64 / inline_s;
+        stream_pf_tps[slot] = short_tasks.len() as f64 / pf_s;
+        carry_gain[slot] = plain_ms / carry_ms;
+    }
+    std::fs::remove_dir_all(&dir).ok();
+    let fmt_row = |vals: &[f64], digits: usize| -> String {
+        let items: Vec<String> = STREAM_CHUNKS
+            .iter()
+            .zip(vals)
+            .map(|(c, v)| format!("{{\"chunk\": {c}, \"value\": {v:.prec$}}}", prec = digits))
+            .collect();
+        format!("[{}]", items.join(", "))
+    };
+
     let tps = |secs: f64, n: usize| n as f64 / secs;
     let json = format!(
         "{{\n  \"bench\": \"pipeline\",\n  \"seed\": {SEED},\n  \"tasks\": {},\n  \
@@ -339,7 +475,13 @@ fn main() {
          \"kernel_avx2_fill_tasks_per_sec\": {:.1},\n  \
          \"kernel_avx512_fill_tasks_per_sec\": {:.1},\n  \
          \"avx512_resolved_backend\": \"{}\",\n  \
-         \"avx512_fill_speedup\": {:.3},\n{}\n}}\n",
+         \"avx512_fill_speedup\": {:.3},\n  \
+         \"stream_whole_batch_short_tasks_per_sec\": {:.1},\n  \
+         \"stream_inline_tasks_per_sec\": {},\n  \
+         \"stream_prefetch_tasks_per_sec\": {},\n  \
+         \"stream_prefetch_speedup\": {},\n  \
+         \"carryover_makespan_gain\": {},\n  \
+         \"stream_vs_whole_chunk64\": {:.3},\n{}\n}}\n",
         tasks.len(),
         if cfg!(feature = "simd") { "simd" } else { "scalar" },
         agatha_core::options::default_fill_precision().name(),
@@ -364,6 +506,20 @@ fn main() {
         tps(backend_secs[1], short_tasks.len()),
         resolved[1].name(),
         backend_secs[0] / backend_secs[1],
+        tps(whole_short_s, short_tasks.len()),
+        fmt_row(&stream_inline_tps, 1),
+        fmt_row(&stream_pf_tps, 1),
+        fmt_row(
+            &[
+                stream_pf_tps[0] / stream_inline_tps[0],
+                stream_pf_tps[1] / stream_inline_tps[1],
+                stream_pf_tps[2] / stream_inline_tps[2],
+                stream_pf_tps[3] / stream_inline_tps[3],
+            ],
+            3,
+        ),
+        fmt_row(&carry_gain, 3),
+        stream_pf_tps[2] / tps(whole_short_s, short_tasks.len()),
         scenario_rows(SCENARIOS),
     );
     std::fs::write("BENCH_pipeline.json", &json).expect("write BENCH_pipeline.json");

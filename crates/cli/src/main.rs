@@ -4,6 +4,7 @@
 //! ```text
 //! agatha align [-a M] [-b X] [-q O] [-r E] [-z Z] [-w W] \
 //!              [--engine NAME] [--gpus N] [--threads N] [--chunk N] \
+//!              [--prefetch N] [--carryover on|off] \
 //!              [-o DIR] REF.fasta QUERY.fasta
 //! agatha demo  [--tech hifi|clr|ont] [--reads N] [-o DIR]
 //! agatha serve [--port N] [--window-ms N] [--max-queue N] [--deadline-ms N]
@@ -16,7 +17,11 @@
 //! With the default `agatha` engine the input files are *streamed*: tasks
 //! are read, aligned on a persistent worker pool (one reusable kernel
 //! workspace per thread) and released chunk by chunk, so memory stays
-//! bounded by `--chunk` regardless of input size.
+//! bounded by `--chunk` regardless of input size. With `--prefetch N`
+//! (default on) a reader thread parses up to `N` chunks ahead of kernel
+//! execution, and `--carryover` (default on) defers tasks that would seed
+//! an underfull trailing warp into the next chunk's packing — results are
+//! bit-identical either way.
 //!
 //! `serve` runs the online alignment daemon of `agatha-serve`: NDJSON
 //! requests over a local TCP socket, admission-window batching, bounded
@@ -28,9 +33,12 @@ use std::path::PathBuf;
 use std::process::ExitCode;
 use std::sync::atomic::Ordering;
 
+use std::sync::{Arc, Mutex};
+
 use agatha_align::{BlockDim, FillPrecision, FillTier, Scoring, Task};
 use agatha_baselines::{run_baseline, Baseline};
-use agatha_core::{AgathaConfig, Pipeline};
+use agatha_core::options::default_prefetch_depth;
+use agatha_core::{AgathaConfig, Pipeline, StreamOptions};
 use agatha_datasets::{generate, scenarios, DatasetSpec, Scenario, Tech, SCENARIOS};
 use agatha_gpu_sim::GpuSpec;
 use agatha_io::{open_fasta_pairs_model, write_score_log, write_time_json, Args};
@@ -103,6 +111,16 @@ common options:
   --threads N     host worker threads (default: all cores)
   --chunk N       streaming chunk size in tasks (align + agatha engine
                   only, default 4096, must be at least 1)
+  --prefetch N    streaming prefetch depth (align/serve + agatha engine
+                  only): a reader thread parses up to N chunks ahead of
+                  kernel execution; 0 parses inline between chunks.
+                  Defaults to the AGATHA_PREFETCH environment variable,
+                  else 2
+  --carryover C   cross-chunk warp packing (align + agatha engine only):
+                  on (default) defers tasks that would seed an underfull
+                  trailing warp into the next chunk's largest-first fill
+                  (flushed at end of stream); off packs every chunk alone.
+                  Scores and stats are bit-identical either way
   --precision P   host block-fill lane precision (agatha engine only):
                   auto | i32 | i16. auto/i16 run the 16-bit wavefront on
                   every task whose scores provably fit i16 and demote the
@@ -216,6 +234,16 @@ struct HostOpts {
     /// `--backend` when given explicitly; `None` keeps the environment
     /// default (`AGATHA_BACKEND`, else best detected).
     backend: Option<agatha_align::simd::BackendChoice>,
+    /// Streaming prefetch depth: chunks the reader thread may parse ahead
+    /// of kernel execution; 0 parses inline. Defaults to the
+    /// `AGATHA_PREFETCH` environment override.
+    prefetch: usize,
+    /// Whether an explicit `--prefetch` was given (baselines reject it).
+    prefetch_explicit: bool,
+    /// Cross-chunk carry-over warp packing for the streaming path.
+    carry: bool,
+    /// Whether an explicit `--carryover` was given (baselines reject it).
+    carry_explicit: bool,
     verbose: bool,
 }
 
@@ -251,6 +279,20 @@ fn host_opts(args: &Args) -> Result<HostOpts, String> {
         // large chunk says the same thing honestly.
         return Err("--chunk must be at least 1 (got 0)".to_string());
     }
+    // `--prefetch 0` is meaningful (parse inline), so unlike `--chunk`
+    // there is no zero check: the flag's value is the queue bound, not a
+    // count that must exist.
+    let prefetch = args.get_num_checked("prefetch", default_prefetch_depth())?;
+    let carry = match args.get("carryover") {
+        None => true,
+        Some(v) => match v.trim().to_ascii_lowercase().as_str() {
+            "on" => true,
+            "off" => false,
+            other => {
+                return Err(format!("invalid --carryover '{other}' (expected on or off)"));
+            }
+        },
+    };
     Ok(HostOpts {
         gpus,
         threads: args.get_num_checked("threads", 0usize)?,
@@ -258,6 +300,10 @@ fn host_opts(args: &Args) -> Result<HostOpts, String> {
         precision,
         block,
         backend,
+        prefetch,
+        prefetch_explicit: args.has("prefetch"),
+        carry,
+        carry_explicit: args.has("carryover"),
         verbose: args.has("verbose"),
     })
 }
@@ -385,6 +431,18 @@ fn check_baseline_gpus(engine: &str, opts: &HostOpts) -> Result<(), String> {
              its reference fill (drop --backend or use --engine agatha)"
         ));
     }
+    if opts.prefetch_explicit {
+        return Err(format!(
+            "--prefetch is only supported by the agatha engine; baseline '{engine}' runs \
+             whole-batch (drop --prefetch or use --engine agatha)"
+        ));
+    }
+    if opts.carry_explicit {
+        return Err(format!(
+            "--carryover is only supported by the agatha engine; baseline '{engine}' runs \
+             whole-batch (drop --carryover or use --engine agatha)"
+        ));
+    }
     Ok(())
 }
 
@@ -431,35 +489,66 @@ fn cmd_align(args: &Args) -> Result<(), String> {
 
     let (name, scores, ms, tasks) = if engine.eq_ignore_ascii_case("agatha") {
         // Streaming path: tasks flow straight from the files into the
-        // persistent worker pool, one `--chunk` at a time.
+        // persistent worker pool, one `--chunk` at a time. With
+        // `--prefetch` the parsing runs on a reader thread, so the tier
+        // tally lives behind a mutex (uncontended: one reader, locked once
+        // per task, and only when `--verbose` asks for it).
         let config = agatha_config(&opts);
-        let mut tiers = TierStats::default();
+        let tiers = Arc::new(Mutex::new(TierStats::default()));
         let mut pool = agatha_pipeline(&scoring, &opts).engine();
-        let mut io_err: Option<String> = None;
-        let task_iter = pairs
-            .map_while(|t| match t {
-                Ok(task) => Some(task),
-                Err(e) => {
-                    io_err = Some(e);
-                    None
-                }
-            })
-            .inspect(|task| {
-                if opts.verbose {
-                    tiers.tally(&config, &scoring, task);
+        let stream_opts = StreamOptions::new(opts.chunk).carry_over(opts.carry);
+        let mut scores = Vec::new();
+        let summary = if opts.prefetch > 0 {
+            let tally = Arc::clone(&tiers);
+            let (verbose, tally_config, tally_scoring) = (opts.verbose, config.clone(), scoring);
+            let source = pairs.inspect(move |t| {
+                if verbose {
+                    if let Ok(task) = t {
+                        tally.lock().expect("tier stats lock poisoned").tally(
+                            &tally_config,
+                            &tally_scoring,
+                            task,
+                        );
+                    }
                 }
             });
-        let mut scores = Vec::new();
-        let mut run = pool.align_stream(task_iter, opts.chunk);
-        for chunk in run.by_ref() {
-            scores.extend(chunk.report.results.iter().map(|r| r.score));
-        }
-        let summary = run.finish();
-        if let Some(e) = io_err {
-            return Err(e);
-        }
+            let mut run = pool.align_stream_prefetched(source, opts.prefetch, stream_opts);
+            for chunk in run.by_ref() {
+                scores.extend(chunk.report.results.iter().map(|r| r.score));
+            }
+            // A parse failure surfaces here as a `StreamError` naming the
+            // chunk it interrupted; chunks before it were already scored.
+            run.finish_checked().map_err(|e| e.to_string())?
+        } else {
+            let mut io_err: Option<String> = None;
+            let task_iter = pairs
+                .map_while(|t| match t {
+                    Ok(task) => Some(task),
+                    Err(e) => {
+                        io_err = Some(e);
+                        None
+                    }
+                })
+                .inspect(|task| {
+                    if opts.verbose {
+                        tiers
+                            .lock()
+                            .expect("tier stats lock poisoned")
+                            .tally(&config, &scoring, task);
+                    }
+                });
+            let mut run = pool.align_stream_with(task_iter, stream_opts);
+            for chunk in run.by_ref() {
+                scores.extend(chunk.report.results.iter().map(|r| r.score));
+            }
+            let summary = run.finish();
+            if let Some(e) = io_err {
+                return Err(e);
+            }
+            summary
+        };
         if opts.verbose {
-            tiers.print();
+            tiers.lock().expect("tier stats lock poisoned").print();
         }
         ("AGAThA".to_string(), scores, summary.elapsed_ms, summary.tasks)
     } else {
@@ -561,6 +650,7 @@ fn cmd_serve(args: &Args) -> Result<(), String> {
     cfg.config = agatha_config(&opts);
     cfg.gpus = opts.gpus;
     cfg.threads = opts.threads;
+    cfg.prefetch = opts.prefetch;
     cfg.window_ns = window_ms * 1_000_000;
     cfg.max_batch = max_batch;
     cfg.max_queue = max_queue;

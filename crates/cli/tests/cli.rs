@@ -163,6 +163,117 @@ fn chunked_streaming_scores_match_whole_batch() {
 }
 
 #[test]
+fn prefetch_and_carryover_scores_match_inline_streaming() {
+    // The prefetched reader thread and the cross-chunk carry-over packing
+    // are execution-overlap features: every combination must write a
+    // byte-identical score.log.
+    let dir = std::env::temp_dir().join(format!("agatha_cli_pf_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let refs = dir.join("ref.fasta");
+    let queries = dir.join("query.fasta");
+    let mut rf = String::new();
+    let mut qf = String::new();
+    for i in 0..11 {
+        rf.push_str(&format!(">r{i}\n{}\n", "ACGTTGCAACGTTGCA".repeat(i % 4 + 1)));
+        qf.push_str(&format!(">q{i}\n{}\n", "ACGTAGCAACGTTGCA".repeat(i % 4 + 1)));
+    }
+    std::fs::write(&refs, rf).unwrap();
+    std::fs::write(&queries, qf).unwrap();
+    let run = |extra: &[&str], out: &str| {
+        let out_dir = dir.join(out);
+        let st = agatha()
+            .args(["align", "-w", "100", "--chunk", "3"])
+            .args(extra)
+            .args(["-o", out_dir.to_str().unwrap()])
+            .arg(refs.to_str().unwrap())
+            .arg(queries.to_str().unwrap())
+            .output()
+            .unwrap();
+        assert!(st.status.success(), "stderr: {}", String::from_utf8_lossy(&st.stderr));
+        std::fs::read_to_string(out_dir.join("score.log")).unwrap()
+    };
+    let inline = run(&["--prefetch", "0", "--carryover", "off"], "inline");
+    assert_eq!(inline.lines().count(), 11);
+    for (extra, out) in [
+        (&["--prefetch", "0", "--carryover", "on"][..], "carry"),
+        (&["--prefetch", "3", "--carryover", "off"][..], "pf"),
+        (&["--prefetch", "3", "--carryover", "on"][..], "pf_carry"),
+    ] {
+        assert_eq!(run(extra, out), inline, "{out} must score identically to inline streaming");
+    }
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn prefetch_and_carryover_bogus_values_are_usage_errors() {
+    let dir = std::env::temp_dir().join(format!("agatha_cli_pfbad_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let refs = dir.join("ref.fasta");
+    let queries = dir.join("query.fasta");
+    std::fs::write(&refs, ">1\nACGT\n").unwrap();
+    std::fs::write(&queries, ">1\nACGT\n").unwrap();
+    let out = agatha()
+        .args(["align", "--prefetch", "lots"])
+        .arg(refs.to_str().unwrap())
+        .arg(queries.to_str().unwrap())
+        .output()
+        .unwrap();
+    assert!(!out.status.success(), "--prefetch lots must fail");
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("'lots'") && err.contains("--prefetch"), "stderr: {err}");
+    let out = agatha()
+        .args(["align", "--carryover", "maybe"])
+        .arg(refs.to_str().unwrap())
+        .arg(queries.to_str().unwrap())
+        .output()
+        .unwrap();
+    assert!(!out.status.success(), "--carryover maybe must fail");
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("'maybe'") && err.contains("--carryover"), "stderr: {err}");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn prefetch_and_carryover_rejected_for_baseline_engines() {
+    for flag in [&["--prefetch", "2"][..], &["--carryover", "on"][..]] {
+        let out = agatha()
+            .args(["demo", "--reads", "4", "--engine", "saloba"])
+            .args(flag)
+            .output()
+            .unwrap();
+        assert!(!out.status.success(), "{flag:?} must not be silently ignored by baselines");
+        let err = String::from_utf8_lossy(&out.stderr);
+        assert!(err.contains("agatha engine"), "{flag:?}: stderr: {err}");
+    }
+}
+
+#[test]
+fn midstream_parse_error_surfaces_under_prefetch() {
+    // An uneven pair discovered mid-stream must fail the run with the
+    // parse error (not a reader-thread panic), after the chunks before it
+    // already aligned.
+    let dir = std::env::temp_dir().join(format!("agatha_cli_pferr_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let refs = dir.join("ref.fasta");
+    let queries = dir.join("query.fasta");
+    std::fs::write(&refs, ">1\nACGT\n>2\nACGT\n>3\nACGT\n").unwrap();
+    std::fs::write(&queries, ">1\nACGT\n>2\nACGT\n").unwrap();
+    let out = agatha()
+        .args(["align", "--chunk", "1", "--prefetch", "2"])
+        .args(["-o", dir.join("out").to_str().unwrap()])
+        .arg(refs.to_str().unwrap())
+        .arg(queries.to_str().unwrap())
+        .output()
+        .unwrap();
+    assert!(!out.status.success(), "uneven pairs must fail under prefetch");
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("equal number"), "stderr carries the parse error: {err}");
+    assert!(err.contains("chunk"), "stderr names the interrupted chunk: {err}");
+    assert!(!err.contains("panicked"), "stderr: {err}");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
 fn demo_runs_with_baseline_engine() {
     let dir = std::env::temp_dir().join(format!("agatha_cli_demo_{}", std::process::id()));
     let out = agatha()
@@ -511,9 +622,12 @@ fn env_backend_default_applies_and_flag_wins() {
 fn garbage_env_overrides_fail_loudly_naming_the_variable() {
     // An unrecognized AGATHA_* value must abort the run with a message
     // naming the variable — never a silent fall-through to the default.
-    for (var, value) in
-        [("AGATHA_PRECISION", "fast"), ("AGATHA_BLOCK", "12"), ("AGATHA_BACKEND", "neon")]
-    {
+    for (var, value) in [
+        ("AGATHA_PRECISION", "fast"),
+        ("AGATHA_BLOCK", "12"),
+        ("AGATHA_BACKEND", "neon"),
+        ("AGATHA_PREFETCH", "junk"),
+    ] {
         let out = agatha().args(["demo", "--reads", "2"]).env(var, value).output().unwrap();
         assert!(!out.status.success(), "{var}={value} must not run with the default");
         let err = String::from_utf8_lossy(&out.stderr);

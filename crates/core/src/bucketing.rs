@@ -161,6 +161,44 @@ fn uneven_bucketing(
     warps
 }
 
+/// Split a chunk's task pool into tasks to pack now and tasks to carry into
+/// the next chunk's fill.
+///
+/// Per-chunk bucketing strands stragglers: a trailing warp seeded with the
+/// `len % capacity` leftover tasks runs underfull, and the next chunk can't
+/// amortise it. Deferring exactly that remainder — the *smallest* workloads,
+/// which lose the least from waiting — keeps every packed warp full while
+/// the deferred tasks join the next chunk's largest-first fill. At stream
+/// end the caller packs the pool whole (`flush`), so the carry drains
+/// deterministically.
+///
+/// Returns `(keep, defer)` as index vectors into `workloads`, each in
+/// ascending (pool) order. Ties defer the later-arriving task, keeping the
+/// split deterministic.
+pub fn carry_split(workloads: &[u64], capacity: usize) -> (Vec<usize>, Vec<usize>) {
+    assert!(capacity >= 1);
+    let t = workloads.len();
+    let spill = t % capacity;
+    if spill == 0 {
+        return ((0..t).collect(), Vec::new());
+    }
+    let mut idx: Vec<usize> = (0..t).collect();
+    // Stable sort, descending workload: the tail holds the smallest
+    // workloads, later pool positions last among equals.
+    idx.sort_by_key(|&i| std::cmp::Reverse(workloads[i]));
+    let mut defer: Vec<usize> = idx[t - spill..].to_vec();
+    defer.sort_unstable();
+    let deferred: Vec<bool> = {
+        let mut d = vec![false; t];
+        for &i in &defer {
+            d[i] = true;
+        }
+        d
+    };
+    let keep: Vec<usize> = (0..t).filter(|&i| !deferred[i]).collect();
+    (keep, defer)
+}
+
 /// Per-warp a-priori workload totals (for balance diagnostics and tests).
 pub fn warp_workloads(warps: &[WarpAssignment], workloads: &[u64]) -> Vec<u64> {
     warps.iter().map(|w| w.task_indices().map(|i| workloads[i]).sum()).collect()
@@ -268,5 +306,62 @@ mod tests {
     #[test]
     fn empty_input() {
         assert!(build_warps(&[], 4, 2, OrderingStrategy::Original).is_empty());
+    }
+
+    #[test]
+    fn carry_split_defers_the_smallest_remainder() {
+        // 11 tasks, capacity 4 → spill 3: the three smallest workloads defer.
+        let wl = vec![50u64, 3, 40, 1, 30, 2, 20, 10, 60, 70, 80];
+        let (keep, defer) = carry_split(&wl, 4);
+        assert_eq!(defer, vec![1, 3, 5]); // workloads 3, 1, 2
+        assert_eq!(keep, vec![0, 2, 4, 6, 7, 8, 9, 10]);
+        assert_eq!(keep.len() % 4, 0);
+    }
+
+    #[test]
+    fn carry_split_exact_multiple_defers_nothing() {
+        let wl = vec![5u64; 8];
+        let (keep, defer) = carry_split(&wl, 4);
+        assert_eq!(keep, (0..8).collect::<Vec<_>>());
+        assert!(defer.is_empty());
+        assert_eq!(carry_split(&[], 4), (Vec::new(), Vec::new()));
+    }
+
+    #[test]
+    fn carry_split_underfull_chunk_defers_everything() {
+        // Fewer tasks than one warp's capacity: all of them wait.
+        let wl = vec![9u64, 8, 7];
+        let (keep, defer) = carry_split(&wl, 8);
+        assert!(keep.is_empty());
+        assert_eq!(defer, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn carry_split_ties_defer_later_arrivals() {
+        // All-equal workloads: the stable sort leaves pool order, so the
+        // deferred tail is the latest-arriving tasks.
+        let wl = vec![5u64; 10];
+        let (keep, defer) = carry_split(&wl, 4);
+        assert_eq!(keep, vec![0, 1, 2, 3, 4, 5, 6, 7]);
+        assert_eq!(defer, vec![8, 9]);
+    }
+
+    #[test]
+    fn carry_split_is_a_partition() {
+        let wl: Vec<u64> = (0..29).map(|i| (i * 13 % 7) as u64).collect();
+        for cap in [1, 2, 8, 29, 64] {
+            let (keep, defer) = carry_split(&wl, cap);
+            let mut all: Vec<usize> = keep.iter().chain(&defer).copied().collect();
+            all.sort_unstable();
+            assert_eq!(all, (0..29).collect::<Vec<_>>(), "capacity {cap}");
+            assert_eq!(keep.len() % cap, 0, "capacity {cap}");
+            assert!(defer.len() < cap, "capacity {cap}");
+            // Every kept workload ≥ every deferred workload.
+            let kmin = keep.iter().map(|&i| wl[i]).min();
+            let dmax = defer.iter().map(|&i| wl[i]).max();
+            if let (Some(kmin), Some(dmax)) = (kmin, dmax) {
+                assert!(kmin >= dmax, "capacity {cap}");
+            }
+        }
     }
 }

@@ -18,12 +18,14 @@ use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 
 use agatha_align::Task;
+use agatha_gpu_sim::sched::SlotSchedule;
 use agatha_gpu_sim::{DeviceReport, KernelStats};
 
-use crate::bucketing::OrderingStrategy;
+use crate::bucketing::{build_warps, carry_split, OrderingStrategy};
 use crate::clock::{Clock, SystemClock};
 use crate::kernel::{run_task_ws, KernelWorkspace, TaskRun};
 use crate::pipeline::{BatchReport, Pipeline};
+use crate::prefetch::{ChunkMsg, PrefetchedChunks};
 use crate::trace::SliceUnit;
 
 /// Upper bound on buffers parked in the engine-wide recycle pool. Steady
@@ -120,6 +122,11 @@ pub struct BatchEngine {
     /// task, not even the run outputs (ROADMAP "TaskRun buffer recycling").
     recycle: Arc<Mutex<Vec<Vec<SliceUnit>>>>,
     counters: Arc<TagCountersAtomic>,
+    /// Caller-thread workspace for the single-worker fast path: with one
+    /// worker the per-task channel round trip buys no parallelism — it only
+    /// adds two context switches per job — so untagged chunks run inline on
+    /// the calling thread instead (see [`BatchEngine::run_tasks_drain`]).
+    host_ws: KernelWorkspace,
 }
 
 impl BatchEngine {
@@ -182,24 +189,28 @@ impl BatchEngine {
                                 continue;
                             }
                         }
-                        // Top up the workspace with spent output buffers so
-                        // the run's cost descriptors reuse their capacity.
-                        // Drain a small batch under one lock, and only when
-                        // the local pool is dry, so the per-task hot path
-                        // doesn't pay a global lock per job.
-                        if ws.recycled_buffers().0 == 0 {
-                            if let Ok(mut pool) = recycle.lock() {
+                        // Catch panics so the collector can re-raise them
+                        // instead of deadlocking on a result that never
+                        // arrives. The workspace is safe to reuse after a
+                        // panic: every run fully reinitialises it. The
+                        // recycle drain sits inside the guard too: a
+                        // poisoned pool lock must surface as a re-raised
+                        // panic on the caller, not kill this worker and
+                        // strand the job.
+                        let run = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                            // Top up the workspace with spent output buffers
+                            // so the run's cost descriptors reuse their
+                            // capacity. Drain a small batch under one lock,
+                            // and only when the local pool is dry, so the
+                            // per-task hot path doesn't pay a global lock
+                            // per job.
+                            if ws.recycled_buffers().0 == 0 {
+                                let mut pool = recycle.lock().expect("recycle pool lock poisoned");
                                 let from = pool.len() - pool.len().min(4);
                                 for units in pool.drain(from..) {
                                     ws.recycle_units(units);
                                 }
                             }
-                        }
-                        // Catch panics so the collector can re-raise them
-                        // instead of deadlocking on a result that never
-                        // arrives. The workspace is safe to reuse after a
-                        // panic: every run fully reinitialises it.
-                        let run = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
                             run_task_ws(&mut ws, &task, &scoring, &config)
                         }));
                         let outcome = run.map(|run| {
@@ -227,6 +238,7 @@ impl BatchEngine {
             workers,
             recycle,
             counters,
+            host_ws: KernelWorkspace::new(),
         }
     }
 
@@ -243,8 +255,34 @@ impl BatchEngine {
     /// Execute one chunk of owned tasks on the pool, returning the runs in
     /// input order. Deterministic: results are reassembled by index, so
     /// worker interleaving never changes the output.
-    pub fn run_tasks(&mut self, tasks: Vec<Task>) -> Vec<TaskRun> {
-        self.run_jobs(tasks.into_iter().map(|t| (t, None)).collect())
+    pub fn run_tasks(&mut self, mut tasks: Vec<Task>) -> Vec<TaskRun> {
+        self.run_tasks_drain(&mut tasks)
+    }
+
+    /// [`BatchEngine::run_tasks`] that drains `tasks` in place, leaving the
+    /// vector empty with its capacity intact — the streaming path reuses
+    /// one chunk buffer across the whole stream instead of allocating per
+    /// chunk.
+    pub fn run_tasks_drain(&mut self, tasks: &mut Vec<Task>) -> Vec<TaskRun> {
+        // Single-worker fast path: with one worker there is no parallelism
+        // to exploit, and routing each task through the job/result channels
+        // costs two context switches per job (measured ~8% of streaming
+        // throughput on short reads on a one-core host). Run the chunk on
+        // the calling thread instead. Bit-identical to the pooled path:
+        // kernels are deterministic and results are index-ordered either
+        // way. Tagged jobs ([`BatchEngine::run_tagged`]) keep the pool for
+        // their last-moment deadline/cancel admission gate.
+        if self.threads == 1 {
+            return self.run_tasks_inline(tasks);
+        }
+        let count = tasks.len();
+        self.gen += 1;
+        let gen = self.gen;
+        let job_tx = self.job_tx.as_ref().expect("engine pool is live until drop");
+        for (idx, task) in tasks.drain(..).enumerate() {
+            job_tx.send(Job { gen, idx, task, meta: None }).expect("worker pool alive");
+        }
+        self.collect_outcomes(gen, count)
             .into_iter()
             .map(|outcome| match outcome {
                 JobOutcome::Completed { run, .. } => run,
@@ -253,6 +291,30 @@ impl BatchEngine {
                 other => unreachable!("untagged job produced {other:?}"),
             })
             .collect()
+    }
+
+    /// The caller-thread half of the single-worker fast path: same recycle
+    /// discipline as a pool worker (drain a small batch of spent buffers
+    /// under one lock, only when the local pool is dry), same workspace
+    /// reuse across the engine's lifetime.
+    fn run_tasks_inline(&mut self, tasks: &mut Vec<Task>) -> Vec<TaskRun> {
+        let mut out = Vec::with_capacity(tasks.len());
+        for task in tasks.drain(..) {
+            if self.host_ws.recycled_buffers().0 == 0 {
+                let mut pool = self.recycle.lock().expect("recycle pool lock poisoned");
+                let from = pool.len() - pool.len().min(4);
+                for units in pool.drain(from..) {
+                    self.host_ws.recycle_units(units);
+                }
+            }
+            out.push(run_task_ws(
+                &mut self.host_ws,
+                &task,
+                &self.pipeline.scoring,
+                &self.pipeline.config,
+            ));
+        }
+        out
     }
 
     /// Execute owned tasks with per-request [`JobMeta`] (deadline,
@@ -272,6 +334,12 @@ impl BatchEngine {
         for (idx, (task, meta)) in jobs.into_iter().enumerate() {
             job_tx.send(Job { gen, idx, task, meta }).expect("worker pool alive");
         }
+        self.collect_outcomes(gen, count)
+    }
+
+    /// Gather `count` results of generation `gen` by index, re-raising any
+    /// worker panic on the calling thread.
+    fn collect_outcomes(&mut self, gen: u64, count: usize) -> Vec<JobOutcome> {
         let mut out: Vec<Option<JobOutcome>> = (0..count).map(|_| None).collect();
         let mut received = 0;
         while received < count {
@@ -304,19 +372,29 @@ impl BatchEngine {
     /// simulation → device scheduling), with the configuration's implied
     /// ordering strategy. Bit-identical to [`Pipeline::align_batch`] on the
     /// same tasks.
-    pub fn align_chunk(&mut self, tasks: Vec<Task>) -> BatchReport {
+    pub fn align_chunk(&mut self, mut tasks: Vec<Task>) -> BatchReport {
         let strategy = self.pipeline.default_strategy();
-        self.align_chunk_with_strategy(tasks, strategy)
+        self.align_chunk_drain(&mut tasks, strategy)
     }
 
     /// [`BatchEngine::align_chunk`] with an explicit ordering strategy.
     pub fn align_chunk_with_strategy(
         &mut self,
-        tasks: Vec<Task>,
+        mut tasks: Vec<Task>,
+        strategy: OrderingStrategy,
+    ) -> BatchReport {
+        self.align_chunk_drain(&mut tasks, strategy)
+    }
+
+    /// Chunk alignment draining `tasks` in place (capacity preserved for
+    /// the caller's next fill).
+    fn align_chunk_drain(
+        &mut self,
+        tasks: &mut Vec<Task>,
         strategy: OrderingStrategy,
     ) -> BatchReport {
         let workloads: Vec<u64> = tasks.iter().map(|t| t.antidiags() as u64).collect();
-        let runs = self.run_tasks(tasks);
+        let runs = self.run_tasks_drain(tasks);
         // After the stats fold the runs' unit buffers are surplus; park them
         // for the workers to reuse on the next chunk.
         let recycle = Arc::clone(&self.recycle);
@@ -324,17 +402,105 @@ impl BatchEngine {
             if units.capacity() == 0 {
                 return; // nothing worth round-tripping
             }
-            if let Ok(mut pool) = recycle.lock() {
-                if pool.len() < RECYCLE_POOL_CAP {
-                    pool.push(units);
-                }
+            let mut pool = recycle.lock().expect("recycle pool lock poisoned");
+            if pool.len() < RECYCLE_POOL_CAP {
+                pool.push(units);
             }
         })
     }
 
+    /// Chunk alignment with a cross-chunk carry-over bucket. All arrived
+    /// tasks execute (and their results/stats report) immediately; runs
+    /// that would seed an underfull trailing warp join `carry` instead of
+    /// being packed, and enter the *next* chunk's largest-first fill. With
+    /// `flush` the whole pool packs, draining the carry deterministically
+    /// at stream end. Kernel results and stats are packing-independent, so
+    /// carry-over only ever changes the simulated warp schedule.
+    fn align_chunk_carry(
+        &mut self,
+        arrived: &mut Vec<Task>,
+        carry: &mut Vec<CarrySlot>,
+        flush: bool,
+        strategy: OrderingStrategy,
+    ) -> BatchReport {
+        let arrived_workloads: Vec<u64> = arrived.iter().map(|t| t.antidiags() as u64).collect();
+        let runs = self.run_tasks_drain(arrived);
+        let cfg = &self.pipeline.config;
+        let mut stats = KernelStats::new();
+        let mut results = Vec::with_capacity(runs.len());
+        for r in &runs {
+            stats.add(&r.stats(cfg.subwarp_lanes, cfg, &self.pipeline.cost));
+            results.push(r.result.clone());
+        }
+        // Packing pool: carried-over runs first (they have waited longest),
+        // then this chunk's runs in arrival order.
+        let mut pool = std::mem::take(carry);
+        pool.extend(
+            runs.into_iter()
+                .zip(arrived_workloads)
+                .map(|(run, workload)| CarrySlot { run, workload }),
+        );
+        let capacity = cfg.subwarps_per_warp() * cfg.tasks_per_subwarp;
+        let (packed, deferred) = if flush {
+            (pool, Vec::new())
+        } else {
+            let pool_workloads: Vec<u64> = pool.iter().map(|s| s.workload).collect();
+            let (_, defer) = carry_split(&pool_workloads, capacity);
+            let mut deferred_flag = vec![false; pool.len()];
+            for &i in &defer {
+                deferred_flag[i] = true;
+            }
+            let mut packed = Vec::with_capacity(pool.len() - defer.len());
+            let mut deferred = Vec::with_capacity(defer.len());
+            for (slot, flag) in pool.into_iter().zip(deferred_flag) {
+                if flag {
+                    deferred.push(slot);
+                } else {
+                    packed.push(slot);
+                }
+            }
+            (packed, deferred)
+        };
+        *carry = deferred;
+        let packed_workloads: Vec<u64> = packed.iter().map(|s| s.workload).collect();
+        let warps = build_warps(
+            &packed_workloads,
+            cfg.subwarps_per_warp(),
+            cfg.tasks_per_subwarp,
+            strategy,
+        );
+        let packed_runs: Vec<TaskRun> = packed.into_iter().map(|s| s.run).collect();
+        let (warp_cycles, subwarp_blocks) = self.pipeline.simulate_warps(&packed_runs, &warps);
+        let (devices, device) = self.pipeline.schedule_devices(&warp_cycles);
+        // Packed runs are spent: park their unit buffers for worker reuse.
+        {
+            let mut recycled = self.recycle.lock().expect("recycle pool lock poisoned");
+            for mut r in packed_runs {
+                let units = std::mem::take(&mut r.units);
+                if units.capacity() > 0 && recycled.len() < RECYCLE_POOL_CAP {
+                    recycled.push(units);
+                }
+            }
+        }
+        BatchReport {
+            results,
+            elapsed_ms: self.pipeline.spec.cycles_to_ms(device.makespan_cycles),
+            device,
+            devices,
+            stats,
+            warp_cycles,
+            subwarp_blocks,
+        }
+    }
+
     /// Buffers currently parked in the recycle pool (test visibility).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the pool mutex is poisoned — a worker died while holding
+    /// it, which must fail tests loudly rather than read as "empty pool".
     pub fn recycled_buffers(&self) -> usize {
-        self.recycle.lock().map(|p| p.len()).unwrap_or(0)
+        self.recycle.lock().expect("recycle pool lock poisoned").len()
     }
 
     /// Stream `tasks` through the pool in chunks of `chunk_size`. Only one
@@ -342,6 +508,14 @@ impl BatchEngine {
     /// [`StreamRun`] for per-chunk reports, then call [`StreamRun::finish`]
     /// for the folded totals. For whole-stream-as-one-chunk behaviour pass
     /// a chunk size at least as large as the stream.
+    ///
+    /// Compatibility entry point: carry-over off and warp-cycle recording
+    /// on, so the summary (including `warp_cycles` and the device schedule)
+    /// is bit-identical to [`Pipeline::align_batch`] when one chunk spans
+    /// the stream. Note that recording keeps O(stream) warp latencies in
+    /// memory; long-running streams should prefer
+    /// [`BatchEngine::align_stream_with`], whose default options fold the
+    /// device schedule incrementally in O(warp slots) state.
     ///
     /// # Panics
     ///
@@ -353,18 +527,178 @@ impl BatchEngine {
     where
         I: IntoIterator<Item = Task>,
     {
-        assert!(chunk_size >= 1, "align_stream chunk_size must be at least 1 (got 0)");
+        let opts = StreamOptions::new(chunk_size).carry_over(false).record_warp_cycles(true);
+        self.align_stream_with(tasks, opts)
+    }
+
+    /// [`BatchEngine::align_stream`] with explicit [`StreamOptions`]. With
+    /// the default options (carry-over on, recording off) steady-state
+    /// memory is one chunk of tasks and runs plus at most one warp's worth
+    /// of carried runs plus O(warp slots) schedule state — independent of
+    /// stream length.
+    pub fn align_stream_with<I>(
+        &mut self,
+        tasks: I,
+        opts: StreamOptions,
+    ) -> StreamRun<'_, I::IntoIter>
+    where
+        I: IntoIterator<Item = Task>,
+    {
+        self.stream_run(ChunkSource::Inline(tasks.into_iter()), opts)
+    }
+
+    /// Stream from a fallible task source with a bounded prefetch stage: a
+    /// reader thread drives `source` and parses ahead of kernel execution,
+    /// keeping at most `prefetch_depth` chunks queued (backpressure blocks
+    /// the reader beyond that, so memory stays bounded at
+    /// `prefetch_depth + 2` chunks in flight plus the carry/schedule state
+    /// of [`BatchEngine::align_stream_with`]).
+    ///
+    /// A source error ends the stream at the task where it occurred: tasks
+    /// parsed before it still execute and report, iteration then stops, and
+    /// [`StreamRun::finish_checked`] returns a [`StreamError`] naming the
+    /// chunk and task offset. The reader thread never panics the process
+    /// for a source error.
+    ///
+    /// # Panics
+    ///
+    /// `prefetch_depth == 0` is a usage error — use
+    /// [`BatchEngine::align_stream_with`] for a synchronous stream.
+    pub fn align_stream_prefetched<S>(
+        &mut self,
+        source: S,
+        prefetch_depth: usize,
+        opts: StreamOptions,
+    ) -> StreamRun<'_, std::iter::Empty<Task>>
+    where
+        S: Iterator<Item = Result<Task, String>> + Send + 'static,
+    {
+        assert!(
+            prefetch_depth >= 1,
+            "prefetch_depth must be at least 1 (use align_stream_with for a synchronous stream)"
+        );
+        let pf = PrefetchedChunks::spawn(source, opts.chunk_size, prefetch_depth);
+        self.stream_run(ChunkSource::Prefetched(pf), opts)
+    }
+
+    fn stream_run<I: Iterator<Item = Task>>(
+        &mut self,
+        source: ChunkSource<I>,
+        opts: StreamOptions,
+    ) -> StreamRun<'_, I> {
+        let gpus = self.pipeline.gpus;
+        // Single-GPU streams fold the device schedule incrementally; the
+        // multi-GPU split is contiguous over the *whole* stream's warps, so
+        // it must retain the latency vector regardless of recording.
+        let sched = (gpus == 1).then(|| SlotSchedule::new(self.pipeline.spec.warp_slots()));
+        let keep_cycles = opts.record_warp_cycles || gpus > 1;
+        let strategy = self.pipeline.default_strategy();
+        let buf = Vec::with_capacity(opts.chunk_size.min(STREAM_BUF_RESERVE));
         StreamRun {
             engine: self,
-            tasks: tasks.into_iter(),
-            chunk_size,
+            source,
+            chunk_size: opts.chunk_size,
+            carry_over: opts.carry_over,
+            keep_cycles,
+            strategy,
+            buf,
+            carry: Vec::new(),
             offset: 0,
             chunks: 0,
             stats: KernelStats::new(),
             warp_cycles: Vec::new(),
+            sched,
+            error: None,
+            source_done: false,
         }
     }
 }
+
+/// Initial capacity clamp for the reusable stream chunk buffer: a
+/// whole-stream-sized `chunk_size` grows organically instead of reserving
+/// it all up front.
+const STREAM_BUF_RESERVE: usize = 8192;
+
+/// A run executed but not yet packed into a warp: deferred from the chunk
+/// it arrived in so it can join a later chunk's largest-first fill instead
+/// of seeding an underfull trailing warp.
+struct CarrySlot {
+    run: TaskRun,
+    /// A-priori workload estimate (anti-diagonals), cached from the task.
+    workload: u64,
+}
+
+/// Knobs for [`BatchEngine::align_stream_with`] /
+/// [`BatchEngine::align_stream_prefetched`].
+#[derive(Debug, Clone)]
+pub struct StreamOptions {
+    chunk_size: usize,
+    carry_over: bool,
+    record_warp_cycles: bool,
+}
+
+impl StreamOptions {
+    /// Streaming defaults: carry-over on, warp-cycle recording off.
+    ///
+    /// # Panics
+    ///
+    /// `chunk_size == 0` is a usage error.
+    pub fn new(chunk_size: usize) -> StreamOptions {
+        assert!(chunk_size >= 1, "stream chunk_size must be at least 1 (got 0)");
+        StreamOptions { chunk_size, carry_over: true, record_warp_cycles: false }
+    }
+
+    /// Defer tasks that would seed an underfull trailing warp into the next
+    /// chunk's fill (results and stats are unaffected; only the simulated
+    /// warp schedule changes). Default on.
+    pub fn carry_over(mut self, on: bool) -> StreamOptions {
+        self.carry_over = on;
+        self
+    }
+
+    /// Retain every warp latency in [`StreamSummary::warp_cycles`]. Off by
+    /// default because it grows O(stream length), defeating the streaming
+    /// memory bound; the summary's device schedule is folded incrementally
+    /// either way.
+    pub fn record_warp_cycles(mut self, on: bool) -> StreamOptions {
+        self.record_warp_cycles = on;
+        self
+    }
+}
+
+/// Where a [`StreamRun`] draws its chunks from.
+enum ChunkSource<I> {
+    /// The caller's iterator, driven synchronously on this thread.
+    Inline(I),
+    /// A prefetch reader thread parsing ahead of execution.
+    Prefetched(PrefetchedChunks),
+}
+
+/// A stream source failure (e.g. malformed FASTA mid-stream), attributed
+/// to the chunk and task offset where it occurred. Tasks before the error
+/// were executed and reported normally.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StreamError {
+    /// Index of the chunk the error occurred in (0-based; the chunk the
+    /// failing task would have belonged to).
+    pub chunk: usize,
+    /// Stream-wide index of the task at which the source failed.
+    pub offset: usize,
+    /// The source's error message.
+    pub message: String,
+}
+
+impl std::fmt::Display for StreamError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "stream source failed in chunk {} (task offset {}): {}",
+            self.chunk, self.offset, self.message
+        )
+    }
+}
+
+impl std::error::Error for StreamError {}
 
 impl Drop for BatchEngine {
     fn drop(&mut self) {
@@ -390,11 +724,15 @@ pub struct ChunkReport {
 pub struct StreamSummary {
     /// Tasks processed.
     pub tasks: usize,
-    /// Chunks processed.
+    /// Chunks processed (including a final carry-flush chunk, if any).
     pub chunks: usize,
     /// Aggregate execution statistics (identical to a whole-batch run's).
     pub stats: KernelStats,
-    /// Per-warp latencies across all chunks, in submission order.
+    /// Per-warp latencies across all chunks, in submission order. Empty
+    /// unless recording was requested
+    /// ([`StreamOptions::record_warp_cycles`], or multi-GPU pipelines,
+    /// whose contiguous split needs the full vector) — the device schedule
+    /// below is folded incrementally either way.
     pub warp_cycles: Vec<f64>,
     /// Straggler-device schedule of all the stream's warps as one pooled
     /// submission sequence on the configured device(s) — a chunk's warps
@@ -406,38 +744,117 @@ pub struct StreamSummary {
     pub elapsed_ms: f64,
 }
 
-/// Lazy chunk-by-chunk driver returned by [`BatchEngine::align_stream`].
+/// Lazy chunk-by-chunk driver returned by [`BatchEngine::align_stream`]
+/// and friends.
 pub struct StreamRun<'e, I: Iterator<Item = Task>> {
     engine: &'e mut BatchEngine,
-    tasks: I,
+    source: ChunkSource<I>,
     chunk_size: usize,
+    carry_over: bool,
+    keep_cycles: bool,
+    strategy: OrderingStrategy,
+    /// Reusable chunk buffer: drained by the engine each chunk, refilled in
+    /// place, so steady-state streaming allocates nothing per chunk.
+    buf: Vec<Task>,
+    /// Runs deferred by the carry-over bucket, awaiting a later pack.
+    carry: Vec<CarrySlot>,
     offset: usize,
     chunks: usize,
     stats: KernelStats,
     warp_cycles: Vec<f64>,
+    /// Incremental pooled device schedule (single-GPU pipelines).
+    sched: Option<SlotSchedule>,
+    error: Option<StreamError>,
+    source_done: bool,
+}
+
+impl<I: Iterator<Item = Task>> StreamRun<'_, I> {
+    /// Pull up to `chunk_size` tasks into `buf`, setting `source_done` (and
+    /// `error`) when the source ends.
+    fn fill_buf(&mut self) {
+        if self.source_done {
+            return;
+        }
+        debug_assert!(self.buf.is_empty(), "chunk buffer drained each iteration");
+        match &mut self.source {
+            ChunkSource::Inline(tasks) => {
+                while self.buf.len() < self.chunk_size {
+                    match tasks.next() {
+                        Some(t) => self.buf.push(t),
+                        None => {
+                            self.source_done = true;
+                            break;
+                        }
+                    }
+                }
+            }
+            ChunkSource::Prefetched(pf) => {
+                let mut terminal = match pf.next_msg() {
+                    ChunkMsg::Chunk(mut chunk) => {
+                        // Swap our spent buffer for the parsed chunk and
+                        // send the old one back to the reader for reuse.
+                        std::mem::swap(&mut self.buf, &mut chunk);
+                        pf.recycle(chunk);
+                        // A partial chunk is always the last: resolve its
+                        // terminator now (the reader sent it right behind)
+                        // so this chunk can flush the carry.
+                        (self.buf.len() < self.chunk_size).then(|| pf.next_msg())
+                    }
+                    msg => Some(msg),
+                };
+                match terminal.take() {
+                    None => {}
+                    Some(ChunkMsg::Done) => self.source_done = true,
+                    Some(ChunkMsg::Failed(message)) => {
+                        self.source_done = true;
+                        self.error = Some(StreamError {
+                            chunk: self.chunks,
+                            offset: self.offset + self.buf.len(),
+                            message,
+                        });
+                    }
+                    Some(ChunkMsg::Chunk(_)) => {
+                        unreachable!("prefetch protocol: a partial chunk is terminal")
+                    }
+                }
+            }
+        }
+    }
 }
 
 impl<I: Iterator<Item = Task>> Iterator for StreamRun<'_, I> {
     type Item = ChunkReport;
 
     fn next(&mut self) -> Option<ChunkReport> {
-        let take = self.chunk_size;
-        let mut chunk = Vec::new();
-        while chunk.len() < take {
-            match self.tasks.next() {
-                Some(t) => chunk.push(t),
-                None => break,
-            }
-        }
-        if chunk.is_empty() {
+        self.fill_buf();
+        if self.buf.is_empty() && (self.carry.is_empty() || !self.source_done) {
+            // Nothing arrived and nothing to flush (an empty carry, or a
+            // source that merely hasn't ended — unreachable for well-formed
+            // sources, which never yield an empty non-final chunk).
             return None;
         }
         let offset = self.offset;
-        self.offset += chunk.len();
+        self.offset += self.buf.len();
         self.chunks += 1;
-        let report = self.engine.align_chunk(chunk);
+        let report = if self.carry_over {
+            // Flush when the source has ended: the final chunk (or a
+            // trailing carry-only chunk) packs the whole pool.
+            self.engine.align_chunk_carry(
+                &mut self.buf,
+                &mut self.carry,
+                self.source_done,
+                self.strategy,
+            )
+        } else {
+            self.engine.align_chunk_drain(&mut self.buf, self.strategy)
+        };
         self.stats.add(&report.stats);
-        self.warp_cycles.extend_from_slice(&report.warp_cycles);
+        if self.keep_cycles {
+            self.warp_cycles.extend_from_slice(&report.warp_cycles);
+        }
+        if let Some(sched) = &mut self.sched {
+            sched.extend(&report.warp_cycles);
+        }
         Some(ChunkReport { offset, report })
     }
 }
@@ -446,18 +863,39 @@ impl<I: Iterator<Item = Task>> StreamRun<'_, I> {
     /// Drain any unprocessed chunks, then fold the totals. The final device
     /// schedule treats all warps of the stream as one submission sequence on
     /// the pipeline's device(s).
-    pub fn finish(mut self) -> StreamSummary {
+    ///
+    /// # Panics
+    ///
+    /// Panics if the stream's source failed mid-stream; sources that can
+    /// fail (see [`BatchEngine::align_stream_prefetched`]) should use
+    /// [`StreamRun::finish_checked`].
+    pub fn finish(self) -> StreamSummary {
+        self.finish_checked()
+            .unwrap_or_else(|e| panic!("{e}; use finish_checked to handle stream source errors"))
+    }
+
+    /// [`StreamRun::finish`] surfacing a mid-stream source failure as a
+    /// [`StreamError`] instead of a panic. Tasks that arrived before the
+    /// failure were fully executed and reported through iteration either
+    /// way; the engine is left clean and reusable.
+    pub fn finish_checked(mut self) -> Result<StreamSummary, StreamError> {
         while self.next().is_some() {}
+        if let Some(error) = self.error.take() {
+            return Err(error);
+        }
         let pipeline = &self.engine.pipeline;
-        let (_, device) = pipeline.schedule_devices(&self.warp_cycles);
-        StreamSummary {
+        let device = match &self.sched {
+            Some(sched) => sched.report(),
+            None => pipeline.schedule_devices(&self.warp_cycles).1,
+        };
+        Ok(StreamSummary {
             tasks: self.offset,
             chunks: self.chunks,
-            stats: self.stats,
+            stats: std::mem::replace(&mut self.stats, KernelStats::new()),
             elapsed_ms: pipeline.spec.cycles_to_ms(device.makespan_cycles),
             device,
-            warp_cycles: self.warp_cycles,
-        }
+            warp_cycles: std::mem::take(&mut self.warp_cycles),
+        })
     }
 }
 
@@ -570,6 +1008,189 @@ mod tests {
     fn zero_chunk_size_is_a_usage_error() {
         let mut engine = pipeline().engine();
         let _ = engine.align_stream(mk_tasks(3, 40, 5), 0);
+    }
+
+    #[test]
+    fn carry_over_results_and_stats_stay_bit_identical() {
+        // Carry-over re-shapes warp packing only; results and aggregate
+        // stats must equal align_batch exactly at every chunk size.
+        let tasks = mk_tasks(29, 100, 23);
+        let whole = pipeline().align_batch(&tasks);
+        for chunk_size in [1, 5, 8, 29, 64] {
+            let mut engine = pipeline().engine();
+            let mut results = Vec::new();
+            let mut run =
+                engine.align_stream_with(tasks.iter().cloned(), StreamOptions::new(chunk_size));
+            for chunk in run.by_ref() {
+                assert_eq!(chunk.offset, results.len(), "chunk_size {chunk_size}");
+                results.extend(chunk.report.results);
+            }
+            let summary = run.finish();
+            assert_eq!(results, whole.results, "chunk_size {chunk_size}");
+            assert_eq!(summary.stats, whole.stats, "chunk_size {chunk_size}");
+            assert_eq!(summary.tasks, tasks.len());
+            assert!(summary.warp_cycles.is_empty(), "recording defaults off");
+        }
+    }
+
+    #[test]
+    fn carry_over_defers_the_trailing_underfull_warp() {
+        // Default capacity is subwarps_per_warp × tasks_per_subwarp = 8.
+        // 13 tasks in a chunk → 5 would seed an underfull warp; with carry
+        // the first chunk packs exactly one full warp and the flush packs
+        // the rest.
+        let tasks = mk_tasks(13, 80, 31);
+        let mut engine = pipeline().engine();
+        let cfg = &engine.pipeline().config;
+        let capacity = cfg.subwarps_per_warp() * cfg.tasks_per_subwarp;
+        assert_eq!(capacity, 8, "test assumes the paper's default geometry");
+        let mut run = engine.align_stream_with(tasks.iter().cloned(), StreamOptions::new(13));
+        let first = run.next().expect("one chunk of tasks");
+        assert_eq!(first.report.results.len(), 13, "all arrived results report at once");
+        assert_eq!(first.report.warp_cycles.len(), 1, "only the full warp packs");
+        let flush = run.next().expect("stream end flushes the carry");
+        assert!(flush.report.results.is_empty(), "flush chunk re-emits nothing");
+        assert_eq!(flush.report.warp_cycles.len(), 1, "5 deferred tasks pack one warp");
+        assert!(run.next().is_none());
+        let summary = run.finish();
+        assert_eq!(summary.tasks, 13);
+        assert_eq!(summary.chunks, 2);
+    }
+
+    #[test]
+    fn carry_over_reduces_trailing_warp_count() {
+        // 4 chunks of 13 tasks: no-carry packs ceil(13/8) = 2 warps per
+        // chunk (8 underfull); carry packs full warps throughout and only
+        // the flush may run short.
+        let tasks = mk_tasks(52, 70, 37);
+        let count_warps = |carry: bool| {
+            let mut engine = pipeline().engine();
+            let opts = StreamOptions::new(13).carry_over(carry);
+            let mut run = engine.align_stream_with(tasks.iter().cloned(), opts);
+            let mut warps = Vec::new();
+            for chunk in run.by_ref() {
+                warps.push(chunk.report.warp_cycles.len());
+            }
+            (warps, run.finish())
+        };
+        let (warps_plain, sum_plain) = count_warps(false);
+        let (warps_carry, sum_carry) = count_warps(true);
+        assert_eq!(warps_plain, vec![2, 2, 2, 2]);
+        // 52 tasks = 6 full warps + one flush warp of the last 4.
+        assert_eq!(warps_carry.iter().sum::<usize>(), 7);
+        assert_eq!(sum_plain.stats, sum_carry.stats);
+        // No makespan direction assert: with 7–8 warps on a device whose
+        // slots exceed them, makespan is just the max warp latency and
+        // fuller warps run longer. The carry-over win is a saturated-device
+        // property, measured by pipeline_bench's carryover_makespan_gain.
+    }
+
+    #[test]
+    fn prefetched_stream_matches_inline() {
+        let tasks = mk_tasks(41, 90, 43);
+        for chunk_size in [4, 16, 64] {
+            let mut inline_results = Vec::new();
+            let inline_summary = {
+                let mut engine = pipeline().engine();
+                let mut run =
+                    engine.align_stream_with(tasks.iter().cloned(), StreamOptions::new(chunk_size));
+                for chunk in run.by_ref() {
+                    inline_results.extend(chunk.report.results);
+                }
+                run.finish()
+            };
+            let mut pf_results = Vec::new();
+            let pf_summary = {
+                let mut engine = pipeline().engine();
+                let source = tasks.clone().into_iter().map(Ok::<Task, String>);
+                let mut run =
+                    engine.align_stream_prefetched(source, 2, StreamOptions::new(chunk_size));
+                for chunk in run.by_ref() {
+                    pf_results.extend(chunk.report.results);
+                }
+                run.finish_checked().expect("no source errors")
+            };
+            assert_eq!(pf_results, inline_results, "chunk_size {chunk_size}");
+            assert_eq!(pf_summary.stats, inline_summary.stats);
+            assert_eq!(pf_summary.device, inline_summary.device);
+            assert_eq!(pf_summary.tasks, inline_summary.tasks);
+            assert_eq!(pf_summary.chunks, inline_summary.chunks);
+        }
+    }
+
+    #[test]
+    fn incremental_schedule_matches_recorded_cycles() {
+        // The summary's device report must be what pooling the recorded
+        // cycles would give — recording on exposes both in one run.
+        let tasks = mk_tasks(33, 85, 47);
+        let mut engine = pipeline().engine();
+        let opts = StreamOptions::new(6).record_warp_cycles(true);
+        let summary = engine.align_stream_with(tasks.iter().cloned(), opts).finish();
+        assert!(!summary.warp_cycles.is_empty());
+        let (_, pooled) = engine.pipeline().schedule_devices(&summary.warp_cycles);
+        assert_eq!(summary.device, pooled);
+    }
+
+    #[test]
+    fn source_error_surfaces_on_the_right_chunk_and_drains_cleanly() {
+        let tasks = mk_tasks(7, 60, 53);
+        let reference = pipeline().align_batch(&tasks);
+        let mut engine = pipeline().engine();
+        let source = tasks
+            .into_iter()
+            .map(Ok::<Task, String>)
+            .chain(std::iter::once(Err("synthetic parse failure".to_string())));
+        let mut results = Vec::new();
+        let mut run = engine.align_stream_prefetched(source, 2, StreamOptions::new(3));
+        for chunk in run.by_ref() {
+            results.extend(chunk.report.results);
+        }
+        // Every task that parsed before the error executed and reported.
+        assert_eq!(results, reference.results);
+        let err = run.finish_checked().expect_err("the source failed");
+        // 7 tasks at chunk 3 → chunks 0 and 1 full, the error hit while
+        // filling chunk 2, after stream-wide task 7.
+        assert_eq!(err.chunk, 2);
+        assert_eq!(err.offset, 7);
+        assert_eq!(err.message, "synthetic parse failure");
+        assert!(err.to_string().contains("chunk 2"), "{err}");
+        // The engine stays clean and reusable after a failed stream.
+        let again = engine.align_chunk(mk_tasks(7, 60, 53));
+        assert_eq!(again.results, reference.results);
+    }
+
+    #[test]
+    fn immediate_source_error_yields_no_chunks() {
+        let mut engine = pipeline().engine();
+        let source = std::iter::once(Err::<Task, String>("broken header".to_string()));
+        let mut run = engine.align_stream_prefetched(source, 1, StreamOptions::new(8));
+        assert!(run.next().is_none());
+        let err = run.finish_checked().expect_err("the source failed");
+        assert_eq!((err.chunk, err.offset), (0, 0));
+    }
+
+    #[test]
+    #[should_panic(expected = "use finish_checked")]
+    fn plain_finish_panics_on_source_error() {
+        let mut engine = pipeline().engine();
+        let source = std::iter::once(Err::<Task, String>("boom".to_string()));
+        let _ = engine.align_stream_prefetched(source, 1, StreamOptions::new(8)).finish();
+    }
+
+    #[test]
+    fn stream_buffer_is_reused_across_chunks() {
+        // The chunk buffer is drained in place each iteration; dropping a
+        // half-consumed run must not leak carried runs or break the engine.
+        let tasks = mk_tasks(20, 70, 59);
+        let mut engine = pipeline().engine();
+        {
+            let mut run = engine.align_stream_with(tasks.iter().cloned(), StreamOptions::new(6));
+            let _ = run.next();
+            let _ = run.next();
+            // Dropped mid-stream: carried runs just drop with it.
+        }
+        let rep = engine.align_chunk(tasks.clone());
+        assert_eq!(rep.results.len(), 20);
     }
 
     use crate::clock::MockClock;

@@ -31,13 +31,15 @@ pub mod model;
 pub mod options;
 pub mod pipeline;
 pub mod predictive;
+pub(crate) mod prefetch;
 pub mod trace;
 pub mod warp_sim;
 
 pub use bucketing::OrderingStrategy;
 pub use clock::{Clock, MockClock, SystemClock};
 pub use engine::{
-    BatchEngine, ChunkReport, JobMeta, JobOutcome, StreamRun, StreamSummary, TagCounters,
+    BatchEngine, ChunkReport, JobMeta, JobOutcome, StreamError, StreamOptions, StreamRun,
+    StreamSummary, TagCounters,
 };
 pub use kernel::{run_task, run_task_ws, KernelWorkspace, TaskRun};
 pub use options::AgathaConfig;

@@ -58,6 +58,33 @@ pub fn default_backend_choice() -> agatha_align::simd::BackendChoice {
     })
 }
 
+/// Prefetch depth used when neither `--prefetch` nor `AGATHA_PREFETCH` is
+/// given: two parsed chunks queued ahead of execution (one being parsed by
+/// the reader, one ready), enough to hide FASTA parsing behind the kernel
+/// without hoarding memory.
+pub const DEFAULT_PREFETCH_DEPTH: usize = 2;
+
+/// Validate one `AGATHA_PREFETCH` value: a chunk count (`0` disables the
+/// reader thread and streams synchronously).
+fn parse_prefetch_depth(v: &str) -> Result<usize, String> {
+    v.trim().parse::<usize>().map_err(|_| {
+        format!("invalid prefetch depth '{v}' (expected 0 to disable, or a chunk count)")
+    })
+}
+
+/// Process-default streaming prefetch depth: the `AGATHA_PREFETCH`
+/// environment variable when set (`0` = disabled, `N` = at most `N` parsed
+/// chunks queued ahead of kernel execution), else
+/// [`DEFAULT_PREFETCH_DEPTH`]. CI uses it to run the tier-1 suite with the
+/// prefetch stage forced off and on; explicit `--prefetch` flags take
+/// precedence at the CLI layer.
+pub fn default_prefetch_depth() -> usize {
+    static CACHE: OnceLock<usize> = OnceLock::new();
+    *CACHE.get_or_init(|| {
+        env_override("AGATHA_PREFETCH", DEFAULT_PREFETCH_DEPTH, parse_prefetch_depth)
+    })
+}
+
 /// Validate one `AGATHA_SCENARIO` value: names must be non-empty after
 /// trimming. Resolution against the scenario registry happens at the
 /// consumer (the CLI / benches own the registry); this layer only rejects
@@ -351,6 +378,31 @@ mod tests {
         let _ = default_block_dim();
         let _ = default_backend_choice();
         let _ = default_scenario();
+        let _ = default_prefetch_depth();
+    }
+
+    #[test]
+    fn prefetch_depth_parses() {
+        assert_eq!(parse_prefetch_depth("0"), Ok(0));
+        assert_eq!(parse_prefetch_depth(" 4 "), Ok(4));
+        let err = parse_prefetch_depth("lots").unwrap_err();
+        assert!(err.contains("'lots'") && err.contains("0 to disable"), "{err}");
+        assert_eq!(
+            env_override(
+                "AGATHA_TEST_PREFETCH_UNSET",
+                DEFAULT_PREFETCH_DEPTH,
+                parse_prefetch_depth
+            ),
+            DEFAULT_PREFETCH_DEPTH
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "AGATHA_PREFETCH environment override: invalid prefetch depth")]
+    fn agatha_prefetch_garbage_names_the_variable() {
+        prime_default_caches();
+        std::env::set_var("AGATHA_PREFETCH", "-3");
+        env_override("AGATHA_PREFETCH", DEFAULT_PREFETCH_DEPTH, parse_prefetch_depth);
     }
 
     #[test]

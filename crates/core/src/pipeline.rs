@@ -251,8 +251,10 @@ impl Pipeline {
     }
 
     /// Simulate all warps, returning per-warp cycles (submission order) and
-    /// per-subwarp-slot block accounting.
-    fn simulate_warps(
+    /// per-subwarp-slot block accounting. Crate-visible so the streaming
+    /// engine's carry-over packing can simulate a pool that mixes this
+    /// chunk's runs with runs deferred from earlier chunks.
+    pub(crate) fn simulate_warps(
         &self,
         runs: &[TaskRun],
         warps: &[WarpAssignment],

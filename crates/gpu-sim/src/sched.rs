@@ -40,29 +40,84 @@ pub fn makespan_cycles(latencies: &[f64], slots: usize) -> f64 {
 
 /// Full scheduling report.
 pub fn schedule(latencies: &[f64], slots: usize) -> DeviceReport {
-    assert!(slots > 0, "device must have at least one warp slot");
-    let slots_used = slots.min(latencies.len().max(1));
+    let mut sched = SlotSchedule::new(slots);
+    sched.extend(latencies);
+    sched.report()
+}
+
+/// Incrementally foldable list schedule: feed warp latencies in submission
+/// order — across any chunk boundaries — and [`SlotSchedule::report`]
+/// produces exactly what the pooled [`schedule`] would for the concatenated
+/// sequence ([`schedule`] itself is implemented on top of this). State is
+/// O(slots), so a streaming consumer can fold per-chunk latencies without
+/// retaining the whole stream's latency vector.
+#[derive(Debug, Clone)]
+pub struct SlotSchedule {
+    slots: usize,
     // Binary-heap of slot free times (min first). With up to ~10⁵ warps and
     // ~10² slots this is comfortably fast.
-    let mut heap: std::collections::BinaryHeap<std::cmp::Reverse<F64Ord>> =
-        (0..slots_used).map(|_| std::cmp::Reverse(F64Ord(0.0))).collect();
-    let mut busy = 0.0;
-    let mut makespan = 0.0f64;
-    for &lat in latencies {
-        debug_assert!(lat >= 0.0, "negative warp latency");
-        let std::cmp::Reverse(F64Ord(free)) = heap.pop().expect("slot heap never empty");
-        let end = free + lat;
-        busy += lat;
-        makespan = makespan.max(end);
-        heap.push(std::cmp::Reverse(F64Ord(end)));
+    free: std::collections::BinaryHeap<std::cmp::Reverse<F64Ord>>,
+    busy: f64,
+    makespan: f64,
+    warps: usize,
+}
+
+impl SlotSchedule {
+    /// An empty schedule over `slots` concurrent warp slots.
+    pub fn new(slots: usize) -> SlotSchedule {
+        assert!(slots > 0, "device must have at least one warp slot");
+        SlotSchedule {
+            slots,
+            free: std::collections::BinaryHeap::with_capacity(slots),
+            busy: 0.0,
+            makespan: 0.0,
+            warps: 0,
+        }
     }
-    let denom = makespan * slots_used as f64;
-    DeviceReport {
-        makespan_cycles: makespan,
-        busy_cycles: busy,
-        utilization: if denom > 0.0 { busy / denom } else { 1.0 },
-        warps: latencies.len(),
-        slots: slots_used,
+
+    /// Place the next warp (submission order) on the earliest-free slot.
+    pub fn push(&mut self, lat: f64) {
+        debug_assert!(lat >= 0.0, "negative warp latency");
+        // Slots materialise lazily: until every physical slot has taken a
+        // warp, starting on a fresh slot is the same as popping one of the
+        // pooled schedule's all-zero initial entries.
+        let free = if self.free.len() < self.slots {
+            0.0
+        } else {
+            let std::cmp::Reverse(F64Ord(free)) = self.free.pop().expect("slot heap never empty");
+            free
+        };
+        let end = free + lat;
+        self.busy += lat;
+        self.makespan = self.makespan.max(end);
+        self.warps += 1;
+        self.free.push(std::cmp::Reverse(F64Ord(end)));
+    }
+
+    /// [`SlotSchedule::push`] for a whole chunk of latencies.
+    pub fn extend(&mut self, latencies: &[f64]) {
+        for &lat in latencies {
+            self.push(lat);
+        }
+    }
+
+    /// Warps folded so far.
+    pub fn warps(&self) -> usize {
+        self.warps
+    }
+
+    /// The schedule of everything pushed so far. Non-consuming: fold more
+    /// warps afterwards and report again.
+    pub fn report(&self) -> DeviceReport {
+        let slots_used = self.slots.min(self.warps.max(1));
+        let denom = self.makespan * slots_used as f64;
+        DeviceReport {
+            makespan_cycles: self.makespan,
+            busy_cycles: self.busy,
+            utilization: if denom > 0.0 { self.busy / denom } else { 1.0 },
+            warps: self.warps,
+            slots: slots_used,
+        }
     }
 }
 
@@ -205,5 +260,43 @@ mod tests {
     #[test]
     fn empty_batch() {
         assert_eq!(makespan_cycles(&[], 8), 0.0);
+    }
+
+    #[test]
+    fn incremental_fold_matches_pooled_schedule() {
+        // Folding the latency sequence chunk by chunk — at every possible
+        // split point, including degenerate empty chunks — must reproduce
+        // the pooled schedule exactly: this is what lets the streaming
+        // engine drop its warp-cycle vector.
+        let mut x = 77u64;
+        let lats: Vec<f64> = (0..137)
+            .map(|_| {
+                x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                ((x >> 33) % 1000) as f64 + 0.25
+            })
+            .collect();
+        for slots in [1, 4, 48] {
+            let pooled = schedule(&lats, slots);
+            for split in [0, 1, 5, 48, 64, 136, 137] {
+                let mut inc = SlotSchedule::new(slots);
+                inc.extend(&lats[..split]);
+                inc.extend(&[]);
+                for chunk in lats[split..].chunks(7) {
+                    inc.extend(chunk);
+                }
+                assert_eq!(inc.report(), pooled, "slots {slots}, split {split}");
+                assert_eq!(inc.warps(), lats.len());
+            }
+        }
+    }
+
+    #[test]
+    fn incremental_fold_under_subscribed() {
+        // Fewer warps than slots: `slots` in the report must reflect what
+        // was actually used, matching the pooled path.
+        let mut inc = SlotSchedule::new(16);
+        inc.extend(&[3.0, 4.0]);
+        assert_eq!(inc.report(), schedule(&[3.0, 4.0], 16));
+        assert_eq!(SlotSchedule::new(8).report(), schedule(&[], 8));
     }
 }

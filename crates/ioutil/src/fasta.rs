@@ -33,6 +33,10 @@ pub struct FastaReader<B: BufRead> {
     /// Header of the next record, consumed while finishing the previous one.
     pending: Option<String>,
     line: String,
+    /// Reusable sequence accumulator: cleared and refilled per record so
+    /// steady-state streaming reuses one allocation at the high-water
+    /// sequence length instead of growing a fresh `String` every record.
+    seq: String,
     finished: bool,
     /// Pack sequences under this substitution matrix's alphabet (8-bit
     /// residue codes) instead of the default 4-bit DNA packing.
@@ -53,6 +57,7 @@ impl<B: BufRead> FastaReader<B> {
             lineno: 0,
             pending: None,
             line: String::new(),
+            seq: String::new(),
             finished: false,
             matrix: None,
         }
@@ -101,7 +106,10 @@ impl<B: BufRead> Iterator for FastaReader<B> {
             return None;
         }
         let mut name = self.pending.take();
-        let mut seq = String::new();
+        // Take the accumulator so sequence lines can append while
+        // `read_trimmed_line` borrows `self`; restored before returning.
+        let mut seq = std::mem::take(&mut self.seq);
+        seq.clear();
         loop {
             let line = match self.read_trimmed_line() {
                 Ok(Some(l)) => l,
@@ -136,7 +144,9 @@ impl<B: BufRead> Iterator for FastaReader<B> {
                 seq.push_str(line);
             }
         }
-        name.map(|n| Ok(FastaRecord { name: n, seq: self.pack(&seq) }))
+        let record = name.map(|n| Ok(FastaRecord { name: n, seq: self.pack(&seq) }));
+        self.seq = seq;
+        record
     }
 }
 

@@ -16,6 +16,15 @@
 //!   [`BatchEngine::run_tagged`], then answers each request and records
 //!   queue/service/total latency in the lock-free [`ServeMetrics`].
 //!
+//! With [`ServeConfig::prefetch`] > 0 (the default) the batcher splits in
+//! two: a **harvester** thread sweeps the window — answering expiries the
+//! moment they are due instead of after the current kernel batch — and
+//! feeds ready batches through a bounded channel to the **executor**, which
+//! owns the engine. The channel bound caps how many batches wait staged
+//! (backpressure falls back to the admission queue), and deadline checks
+//! re-run at dispatch inside the engine, so a batch that overstays the
+//! staging channel is still dropped, not served late.
+//!
 //! While the batcher executes batch *N*, readers fill window *N+1*, so
 //! admission and kernel execution overlap. All shutdown paths (SIGTERM via
 //! [`termination_flag`], the `{"cmd":"shutdown"}` request, or
@@ -65,6 +74,10 @@ pub struct ServeConfig {
     /// Queue waits beyond this count as starvation (0 = derive as
     /// 8 × `window_ns`).
     pub starvation_ns: u64,
+    /// Batches the harvester may stage ahead of the executing engine
+    /// (0 = harvest and execute on one thread, the pre-split behaviour).
+    /// Defaults to the `AGATHA_PREFETCH` environment override.
+    pub prefetch: usize,
     /// Bind address; use port 0 for an ephemeral port.
     pub addr: String,
 }
@@ -81,6 +94,7 @@ impl ServeConfig {
             max_queue: 4096,
             default_deadline_ns: None,
             starvation_ns: 0,
+            prefetch: agatha_core::options::default_prefetch_depth(),
             addr: "127.0.0.1:0".to_string(),
         }
     }
@@ -225,7 +239,8 @@ pub fn serve_with_clock(cfg: ServeConfig, clock: Arc<dyn Clock>) -> Result<Serve
 
     let batcher = {
         let shared = Arc::clone(&shared);
-        std::thread::spawn(move || batcher_loop(engine, &shared))
+        let prefetch = cfg.prefetch;
+        std::thread::spawn(move || batcher_loop(engine, &shared, prefetch))
     };
     let acceptor = {
         let shared = Arc::clone(&shared);
@@ -399,10 +414,39 @@ fn handle_line(
     Flow::Continue
 }
 
-fn batcher_loop(mut engine: BatchEngine, shared: &Arc<Shared>) {
-    while let Some(harvest) = next_harvest(shared) {
-        answer_harvest(&mut engine, shared, harvest);
+fn batcher_loop(mut engine: BatchEngine, shared: &Arc<Shared>, prefetch: usize) {
+    if prefetch == 0 {
+        while let Some(harvest) = next_harvest(shared) {
+            answer_expired(shared, harvest.expired);
+            execute_batch(&mut engine, shared, harvest.batch);
+        }
+        return;
     }
+    // Harvester/executor split: the harvester sweeps the window (answering
+    // expiries immediately, not after the in-flight kernel batch) and
+    // stages up to `prefetch` ready batches in a bounded channel; this
+    // thread owns the engine and drains them. When the harvester sees the
+    // shutdown drain through (`next_harvest` → `None`) it drops the
+    // sender, which ends the executor's loop after the staged tail.
+    let (tx, rx) = mpsc::sync_channel::<Vec<Pending<ReqCtx>>>(prefetch);
+    std::thread::scope(|s| {
+        s.spawn(move || {
+            while let Some(harvest) = next_harvest(shared) {
+                answer_expired(shared, harvest.expired);
+                if harvest.batch.is_empty() {
+                    continue;
+                }
+                if tx.send(harvest.batch).is_err() {
+                    // Executor gone (it never exits first in practice —
+                    // scoped threads make a panic there abort the scope).
+                    break;
+                }
+            }
+        });
+        for batch in rx {
+            execute_batch(&mut engine, shared, batch);
+        }
+    });
 }
 
 /// Block until there is something to answer: expired requests, a closed
@@ -431,23 +475,29 @@ fn next_harvest(shared: &Arc<Shared>) -> Option<Harvest<ReqCtx>> {
     }
 }
 
-fn answer_harvest(engine: &mut BatchEngine, shared: &Arc<Shared>, harvest: Harvest<ReqCtx>) {
-    let metrics = &shared.metrics;
-    // Window-level expiries: the deadline passed while the request sat in
-    // the admission queue; it never reached the engine.
-    for p in harvest.expired {
+/// Answer window-level expiries: the deadline passed while the request sat
+/// in the admission queue; it never reached the engine.
+fn answer_expired(shared: &Arc<Shared>, expired: Vec<Pending<ReqCtx>>) {
+    for p in expired {
         let now = shared.clock.now_ns();
         let queue_ns = now.saturating_sub(p.enqueued_ns);
         record_drop(shared, queue_ns);
         let _ = p.ctx.reply.send(dropped_response(p.ctx.id, queue_ns / 1_000));
     }
-    if harvest.batch.is_empty() {
+}
+
+/// Dispatch one harvested batch to the engine and answer every request in
+/// it. Deadlines are re-checked inside [`BatchEngine::run_tagged`], so a
+/// batch that waited in the prefetch staging channel still drops its
+/// overdue requests before kernel dispatch.
+fn execute_batch(engine: &mut BatchEngine, shared: &Arc<Shared>, batch: Vec<Pending<ReqCtx>>) {
+    let metrics = &shared.metrics;
+    if batch.is_empty() {
         return;
     }
     metrics.batches.fetch_add(1, Ordering::Relaxed);
-    let mut ctxs = Vec::with_capacity(harvest.batch.len());
-    let jobs: Vec<(Task, JobMeta)> = harvest
-        .batch
+    let mut ctxs = Vec::with_capacity(batch.len());
+    let jobs: Vec<(Task, JobMeta)> = batch
         .into_iter()
         .map(|p| {
             let meta = JobMeta {
